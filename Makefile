@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench repro repro-quick cover examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite (one benchmark per paper table/figure + substrate
+# microbenchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation at full scale (~2 minutes).
+repro:
+	$(GO) run ./cmd/topobench
+
+# Scaled-down regeneration (~15 seconds).
+repro-quick:
+	$(GO) run ./cmd/topobench -quick
+
+cover:
+	$(GO) test -cover ./...
+
+# Run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/competing
+	$(GO) run ./examples/staleness
+	$(GO) run ./examples/domains
+
+clean:
+	$(GO) clean ./...

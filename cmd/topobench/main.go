@@ -1,0 +1,174 @@
+// Command topobench regenerates the paper's evaluation: every figure of
+// "Using Tree Topology for Multicast Congestion Control" (Jagannathan &
+// Almeroth, ICPP 2001), plus a TopoSense-vs-RLM baseline comparison.
+//
+// Usage:
+//
+//	topobench                  # all figures at paper scale (1200 s runs)
+//	topobench -fig 8           # just Figure 8
+//	topobench -quick           # scaled-down sweep (~20x faster)
+//	topobench -seed 7          # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"toposense/internal/experiments"
+	"toposense/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to run: 6, 7, 8, 9, 10, baseline, ablation, churn, convergence, domains, extensions, lastmile, queues, variance or all")
+	quick := flag.Bool("quick", false, "scaled-down runs (shorter duration, fewer points)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	dur := experiments.PaperDuration
+	perSet := []int(nil)   // defaults
+	sessions := []int(nil) // defaults
+	staleness := []sim.Time(nil)
+	if *quick {
+		dur = 240 * sim.Second
+		perSet = []int{1, 2}
+		sessions = []int{2, 4}
+		staleness = []sim.Time{0, 4 * sim.Second, 8 * sim.Second}
+	}
+
+	runAll := *fig == "all"
+	ran := false
+	start := time.Now()
+
+	if runAll || *fig == "6" {
+		ran = true
+		rows := experiments.RunFig6(experiments.Fig6Config{Seed: *seed, Duration: dur, PerSet: perSet})
+		fmt.Print(experiments.StabilityTable(
+			"Figure 6: stability in Topology A (busiest receiver over the full run)",
+			"receivers", rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "7" {
+		ran = true
+		rows := experiments.RunFig7(experiments.Fig7Config{Seed: *seed, Duration: dur, Sessions: sessions})
+		fmt.Print(experiments.StabilityTable(
+			"Figure 7: stability in Topology B (busiest session over the full run)",
+			"sessions", rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "8" {
+		ran = true
+		rows := experiments.RunFig8(experiments.Fig8Config{Seed: *seed, Duration: dur, Sessions: sessions})
+		fmt.Print(experiments.FairnessTable(rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "9" {
+		ran = true
+		res := experiments.RunFig9(experiments.Fig9Config{Seed: *seed, Duration: dur})
+		fmt.Println("Figure 9 (full run, subscription levels):")
+		fmt.Print(res.Plot(100, 9))
+		fmt.Println()
+		fmt.Print(res.WindowTable())
+		fmt.Println()
+		fmt.Print(res.Summary())
+		fmt.Println()
+	}
+	if runAll || *fig == "10" {
+		ran = true
+		rows := experiments.RunFig10(experiments.Fig10Config{Seed: *seed, Duration: dur, PerSet: perSet, Staleness: staleness})
+		fmt.Print(experiments.StaleTable(rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "baseline" {
+		ran = true
+		rows := experiments.RunBaseline(experiments.BaselineConfig{Seed: *seed, Duration: dur})
+		fmt.Print(experiments.BaselineTable(rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "ablation" {
+		ran = true
+		rows := experiments.RunAblation(experiments.AblationConfig{Seed: *seed, Duration: dur})
+		fmt.Print(experiments.AblationTable(rows))
+		fmt.Println()
+	}
+	if runAll || *fig == "convergence" {
+		ran = true
+		cc := experiments.ConvergenceConfig{Seed: *seed}
+		if *quick {
+			cc.Duration = 240 * sim.Second
+		}
+		for _, tr := range []experiments.Traffic{experiments.CBR, experiments.VBR3} {
+			cc.Traffic = tr
+			fmt.Println(tr.Name + ":")
+			fmt.Print(experiments.ConvergenceTable(experiments.RunConvergence(cc)))
+			fmt.Println()
+		}
+	}
+	if runAll || *fig == "churn" {
+		ran = true
+		cc := experiments.ChurnConfig{Seed: *seed}
+		if *quick {
+			cc.Duration = 240 * sim.Second
+		}
+		fmt.Print(experiments.ChurnTable(experiments.RunChurn(cc)))
+		fmt.Println()
+	}
+	if runAll || *fig == "domains" {
+		ran = true
+		dc := experiments.DomainsConfig{Seed: *seed}
+		if *quick {
+			dc.Duration = 240 * sim.Second
+			dc.Seeds = 1
+		}
+		fmt.Print(experiments.DomainsTable(experiments.RunDomains(dc)))
+		fmt.Println()
+	}
+	if runAll || *fig == "queues" {
+		ran = true
+		qc := experiments.QueueConfig{Seed: *seed}
+		if *quick {
+			qc.Duration = 240 * sim.Second
+		}
+		fmt.Print(experiments.QueueTable(experiments.RunQueuePolicies(qc)))
+		fmt.Println()
+	}
+	if runAll || *fig == "lastmile" {
+		ran = true
+		lc := experiments.LastMileConfig{Seed: *seed}
+		if *quick {
+			lc.Duration = 240 * sim.Second
+		}
+		fmt.Print(experiments.LastMileTable(experiments.RunLastMile(lc)))
+		fmt.Println()
+	}
+	if runAll || *fig == "variance" {
+		ran = true
+		vc := experiments.VarianceConfig{Seed: *seed}
+		if *quick {
+			vc.Duration = 240 * sim.Second
+			vc.Seeds = 3
+		}
+		fmt.Print(experiments.VarianceTable(experiments.RunVariance(vc)))
+		fmt.Println()
+	}
+	if runAll || *fig == "extensions" {
+		ran = true
+		ext := experiments.ExtensionConfig{Seed: *seed}
+		if *quick {
+			ext.Duration = 240 * sim.Second
+			ext.Seeds = 1
+		}
+		fmt.Print(experiments.ExtensionTable("Extension: layer granularity (Section V)", "scheme", experiments.RunGranularity(ext)))
+		fmt.Println()
+		fmt.Print(experiments.ExtensionTable("Extension: group-leave latency (Section V, VBR)", "leave latency", experiments.RunLeaveLatency(ext)))
+		fmt.Println()
+		fmt.Print(experiments.ExtensionTable("Extension: decision interval (Section V)", "interval", experiments.RunIntervalSize(ext)))
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 6, 7, 8, 9, 10, baseline, ablation, churn, convergence, domains, extensions, lastmile, queues, variance or all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

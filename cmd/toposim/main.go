@@ -1,0 +1,192 @@
+// Command toposim runs a single TopoSense simulation scenario and reports
+// per-receiver outcomes: final subscription level, optimal level, relative
+// deviation, change count and loss summary. Useful for exploring parameter
+// choices interactively.
+//
+// Usage:
+//
+//	toposim -topology A -receivers 4 -traffic vbr3 -duration 600
+//	toposim -topology B -sessions 8 -staleness 6
+//	toposim -topology tiered -seed 3
+//	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"path/filepath"
+
+	"toposense/internal/controller"
+	"toposense/internal/core"
+	"toposense/internal/experiments"
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+	"toposense/internal/topology"
+	"toposense/internal/trace"
+)
+
+func main() {
+	topo := flag.String("topology", "A", "A, B or tiered")
+	receivers := flag.Int("receivers", 2, "topology A: receivers per set; tiered: receivers per leaf")
+	sessions := flag.Int("sessions", 4, "topology B: number of competing sessions")
+	traffic := flag.String("traffic", "cbr", "cbr, vbr3 or vbr6")
+	duration := flag.Float64("duration", 1200, "simulated seconds")
+	staleness := flag.Float64("staleness", 0, "topology information staleness in seconds")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	algo := flag.String("algo", "toposense", "toposense or rlm")
+	probe := flag.Bool("probe", false, "use mtrace-style probe-based topology discovery")
+	billing := flag.Bool("billing", false, "print the controller's billing ledger (toposense only)")
+	tsvDir := flag.String("tsv", "", "directory to write per-receiver level/loss time series as TSV")
+	explain := flag.Bool("explain", false, "print the algorithm's per-node decisions for the final interval")
+	flag.Parse()
+
+	var tr experiments.Traffic
+	switch strings.ToLower(*traffic) {
+	case "cbr":
+		tr = experiments.CBR
+	case "vbr3":
+		tr = experiments.VBR3
+	case "vbr6":
+		tr = experiments.VBR6
+	default:
+		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
+		os.Exit(2)
+	}
+
+	cfg := experiments.WorldConfig{
+		Seed:           *seed,
+		Traffic:        tr,
+		Staleness:      sim.FromSeconds(*staleness),
+		ProbeDiscovery: *probe,
+	}
+	e := sim.NewEngine(*seed)
+	var b *topology.Build
+	switch strings.ToUpper(*topo) {
+	case "A":
+		b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
+	case "B":
+		b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
+	case "TIERED":
+		b = topology.BuildTiered(e, topology.TieredConfig{
+			Seed:             *seed,
+			FanOut:           []int{2, 3},
+			Bandwidth:        []float64{10e6, 600e3},
+			ReceiversPerLeaf: *receivers,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	dur := sim.FromSeconds(*duration)
+	var traces []*metrics.Trace
+	var optima []int
+	var levels []int
+	var names []string
+
+	var sampler *trace.Sampler
+	switch strings.ToLower(*algo) {
+	case "toposense":
+		w := experiments.NewWorld(e, b, cfg)
+		if *billing {
+			w.Controller.EnableBilling()
+		}
+		if *explain {
+			w.Controller.Algorithm().EnableExplain()
+		}
+		if *tsvDir != "" {
+			sampler = trace.NewSampler(e, 500*sim.Millisecond)
+			for s := range w.Receivers {
+				for _, rx := range w.Receivers[s] {
+					rx := rx
+					name := fmt.Sprintf("s%d-%s", s, rx.Node().Name)
+					sampler.Probe(name+".level", func() float64 { return float64(rx.Level()) })
+					sampler.Probe(name+".loss", func() float64 { return rx.LastLoss })
+				}
+			}
+			sampler.Start()
+		}
+		w.Run(dur)
+		traces, optima = w.AllTraces()
+		for s := range w.Receivers {
+			for _, rx := range w.Receivers[s] {
+				levels = append(levels, rx.Level())
+				names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+			}
+		}
+		fmt.Printf("controller: %d steps, %d suggestions sent, %d reports received\n",
+			w.Controller.StepsRun, w.Controller.SuggestionsSent, w.Controller.ReportsRecv)
+		if *probe {
+			fmt.Printf("discovery: %d probe packets over %d discoveries\n", w.Tool.ProbePackets, w.Tool.Discoveries)
+		}
+		if *billing {
+			fmt.Println("\nbilling ledger:")
+			fmt.Print(controller.FormatBillingReport(w.Controller.BillingReport()))
+		}
+		if *explain {
+			fmt.Println("\nfinal interval decisions:")
+			fmt.Print(core.FormatDecisions(w.Controller.Algorithm().LastDecisions()))
+		}
+	case "rlm":
+		w := experiments.NewRLMWorld(e, b, cfg)
+		w.Run(dur)
+		traces, optima = w.AllTraces()
+		for s := range w.Receivers {
+			for _, rx := range w.Receivers[s] {
+				levels = append(levels, rx.Level())
+				names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algo %q\n", *algo)
+		os.Exit(2)
+	}
+
+	if sampler != nil {
+		if err := writeTSVs(*tsvDir, sampler); err != nil {
+			fmt.Fprintf(os.Stderr, "tsv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d series to %s\n", len(sampler.Names()), *tsvDir)
+	}
+
+	t := &experiments.Table{
+		Title:  fmt.Sprintf("Topology %s, %s, %s, %.0f s", strings.ToUpper(*topo), tr.Name, strings.ToLower(*algo), *duration),
+		Header: []string{"receiver", "final level", "optimal", "rel deviation", "changes"},
+	}
+	for i, trc := range traces {
+		t.AddRow(
+			names[i],
+			fmt.Sprintf("%d", levels[i]),
+			fmt.Sprintf("%d", optima[i]),
+			fmt.Sprintf("%.3f", trc.RelativeDeviation(optima[i], 0, dur)),
+			fmt.Sprintf("%d", trc.Changes(0, dur)),
+		)
+	}
+	fmt.Print(t)
+	fmt.Printf("mean relative deviation: %.3f\n", metrics.MeanRelativeDeviation(traces, optima, 0, dur))
+}
+
+// writeTSVs dumps every sampled series as <name>.tsv under dir.
+func writeTSVs(dir string, sampler *trace.Sampler) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range sampler.Names() {
+		f, err := os.Create(filepath.Join(dir, name+".tsv"))
+		if err != nil {
+			return err
+		}
+		if err := sampler.Series(name).WriteTSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package toposense_test
+
+import (
+	"fmt"
+
+	"toposense"
+)
+
+// ExampleScenario builds the smallest complete system: one source, one
+// bottleneck, one receiver, one controller — and shows the receiver
+// converging to the number of layers its bottleneck carries.
+func ExampleScenario() {
+	sc := toposense.NewScenario(42)
+	src := sc.AddNode("source")
+	rtr := sc.AddNode("router")
+	rxNode := sc.AddNode("receiver")
+	sc.Connect(src, rtr, 100e6)    // backbone
+	sc.Connect(rtr, rxNode, 500e3) // 500 Kbps bottleneck
+	sc.Source(src)
+	sc.Controller(src)
+	rx := sc.Receiver(rxNode)
+
+	sc.Run(120 * toposense.Second)
+	fmt.Printf("subscribed layers: %d\n", rx.Level())
+	fmt.Printf("cumulative rate of 4 layers: %.0f Kbps\n", toposense.DefaultLayerRates()[0]/1000*15)
+	// Output:
+	// subscribed layers: 4
+	// cumulative rate of 4 layers: 480 Kbps
+}

@@ -1,0 +1,3 @@
+module toposense
+
+go 1.22

@@ -1,0 +1,112 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// The paper: "Controller agents can also be very useful for billing
+// customers based on multicast content delivered." The controller already
+// sees every receiver's loss reports — bytes received and subscription
+// level per interval — so metering is a byproduct of congestion control.
+// This file implements that ledger.
+
+// BillingEntry is the metered usage of one receiver in one session.
+type BillingEntry struct {
+	Node    netsim.NodeID
+	Session int
+	// Bytes is the total payload the receiver reported receiving.
+	Bytes int64
+	// LevelSeconds maps a subscription level to the seconds the receiver
+	// reported spending at exactly that level.
+	LevelSeconds map[int]float64
+	// Reports is how many loss reports contributed (audit trail).
+	Reports int64
+}
+
+// MeanLevel returns the time-weighted mean subscription level.
+func (b BillingEntry) MeanLevel() float64 {
+	var total, weighted float64
+	for level, secs := range b.LevelSeconds {
+		total += secs
+		weighted += float64(level) * secs
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// ledgerKey mirrors receiverKey (kept separate so billing survives
+// registration expiry — you still bill a customer who left).
+type ledgerKey struct {
+	session int
+	node    netsim.NodeID
+}
+
+// ledger accumulates usage. Enabled lazily by EnableBilling.
+type ledger struct {
+	entries map[ledgerKey]*BillingEntry
+}
+
+// EnableBilling turns on usage metering. Call before Start.
+func (c *Controller) EnableBilling() {
+	if c.billing == nil {
+		c.billing = &ledger{entries: make(map[ledgerKey]*BillingEntry)}
+	}
+}
+
+// BillingEnabled reports whether metering is on.
+func (c *Controller) BillingEnabled() bool { return c.billing != nil }
+
+// meter records one loss report into the ledger.
+func (l *ledger) meter(session int, node netsim.NodeID, bytes int64, level int, interval sim.Time) {
+	k := ledgerKey{session, node}
+	e := l.entries[k]
+	if e == nil {
+		e = &BillingEntry{Node: node, Session: session, LevelSeconds: make(map[int]float64)}
+		l.entries[k] = e
+	}
+	e.Bytes += bytes
+	e.LevelSeconds[level] += interval.Seconds()
+	e.Reports++
+}
+
+// BillingReport returns the ledger sorted by (session, node). Returns nil
+// when billing was never enabled.
+func (c *Controller) BillingReport() []BillingEntry {
+	if c.billing == nil {
+		return nil
+	}
+	out := make([]BillingEntry, 0, len(c.billing.entries))
+	for _, e := range c.billing.entries {
+		copyEntry := *e
+		copyEntry.LevelSeconds = make(map[int]float64, len(e.LevelSeconds))
+		for k, v := range e.LevelSeconds {
+			copyEntry.LevelSeconds[k] = v
+		}
+		out = append(out, copyEntry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// FormatBillingReport renders the ledger for operators: one line per
+// receiver with delivered volume and the time-weighted mean level.
+func FormatBillingReport(entries []BillingEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %-6s  %12s  %10s  %s\n", "session", "node", "bytes", "mean level", "reports")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-8d  %-6d  %12d  %10.2f  %d\n", e.Session, e.Node, e.Bytes, e.MeanLevel(), e.Reports)
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+// Package controller implements the per-domain controller agent of the
+// TopoSense architecture. The agent sits on a network node (the paper
+// stations it at a source node, so its control traffic crosses the same
+// congested links as the media). Receivers register with it and send
+// periodic loss reports; a topology discovery tool supplies (possibly
+// stale) session trees; every decision interval the agent runs the
+// TopoSense algorithm and unicasts a subscription suggestion to every
+// registered receiver.
+package controller
+
+import (
+	"sort"
+
+	"toposense/internal/core"
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/report"
+	"toposense/internal/sim"
+	"toposense/internal/topodisc"
+)
+
+// receiverKey identifies one registered receiver of one session.
+type receiverKey struct {
+	session int
+	node    netsim.NodeID
+}
+
+// accum aggregates the sub-interval receiver reports that arrive between
+// two algorithm steps into the single per-interval view the algorithm
+// consumes.
+type accum struct {
+	bytes    int64
+	lossSum  float64
+	lossN    int
+	level    int
+	reported bool
+}
+
+// Controller is the controller agent.
+type Controller struct {
+	net    *netsim.Network
+	domain *mcast.Domain
+	node   *netsim.Node
+	tool   *topodisc.Tool
+	alg    *core.Algorithm
+
+	interval sim.Time
+	ticker   *sim.Ticker
+
+	// DisableResend suppresses the mid-interval suggestion repeat
+	// (ablation switch; the repeat protects against control loss on the
+	// congested links suggestions must cross).
+	DisableResend bool
+
+	// Staleness delays the controller's view of receiver feedback: a
+	// report is only usable Staleness after it arrives, matching the
+	// paper's stale-information experiments ("the impact of old topology
+	// and loss information"). The discovery tool carries its own staleness
+	// for the topology half.
+	Staleness sim.Time
+
+	registered map[receiverKey]bool
+	lastHeard  map[receiverKey]sim.Time
+	acc        map[receiverKey]*accum
+	billing    *ledger // non-nil once EnableBilling is called
+	// last holds the most recent completed aggregate per receiver, used
+	// when a receiver goes silent for a whole interval (its reports were
+	// lost): the algorithm then sees the stale numbers, like a real
+	// controller would.
+	last map[receiverKey]core.ReceiverState
+
+	// Stats.
+	StepsRun        int64
+	SuggestionsSent int64
+	ReportsRecv     int64
+	RegistersRecv   int64
+
+	// OnStep, if set, observes each step's inputs and outputs.
+	OnStep func(now sim.Time, in core.Input, out []core.Suggestion)
+}
+
+// New creates a controller at node using the given discovery tool and
+// algorithm. The algorithm's configured Interval drives the decision timer.
+func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, tool *topodisc.Tool, alg *core.Algorithm) *Controller {
+	c := &Controller{
+		net:        net,
+		domain:     domain,
+		node:       node,
+		tool:       tool,
+		alg:        alg,
+		interval:   alg.Config().Interval,
+		registered: make(map[receiverKey]bool),
+		lastHeard:  make(map[receiverKey]sim.Time),
+		acc:        make(map[receiverKey]*accum),
+		last:       make(map[receiverKey]core.ReceiverState),
+	}
+	node.AttachAgent(c)
+	return c
+}
+
+// Node returns the node the controller runs on.
+func (c *Controller) Node() *netsim.Node { return c.node }
+
+// Algorithm returns the underlying TopoSense instance.
+func (c *Controller) Algorithm() *core.Algorithm { return c.alg }
+
+// Start begins the discovery tool and the periodic decision timer.
+func (c *Controller) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.tool.Start()
+	c.ticker = c.net.Engine().Every(c.interval, c.step)
+}
+
+// Stop halts the decision timer (the discovery tool keeps running so a
+// restart has fresh history).
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+// Recv implements netsim.Agent: consume registrations and loss reports.
+// With Staleness set, processing is deferred so the information is that old
+// by the time the algorithm sees it.
+func (c *Controller) Recv(p *netsim.Packet) {
+	if c.Staleness > 0 {
+		payload := p.Payload
+		c.net.Engine().Schedule(c.Staleness, func() { c.consume(payload) })
+		return
+	}
+	c.consume(p.Payload)
+}
+
+func (c *Controller) consume(payload any) {
+	now := c.net.Engine().Now()
+	switch pl := payload.(type) {
+	case report.Register:
+		c.RegistersRecv++
+		k := receiverKey{pl.Session, pl.Node}
+		c.registered[k] = true
+		c.lastHeard[k] = now
+		if c.acc[k] == nil {
+			c.acc[k] = &accum{level: pl.Level}
+		}
+	case report.LossReport:
+		c.ReportsRecv++
+		k := receiverKey{pl.Session, pl.Node}
+		c.registered[k] = true // reports imply registration (register may be lost)
+		c.lastHeard[k] = now
+		a := c.acc[k]
+		if a == nil {
+			a = &accum{}
+			c.acc[k] = a
+		}
+		a.bytes += pl.Bytes
+		a.lossSum += pl.LossRate
+		a.lossN++
+		a.level = pl.Level
+		a.reported = true
+		if c.billing != nil {
+			c.billing.meter(pl.Session, pl.Node, pl.Bytes, pl.Level, pl.Interval)
+		}
+	}
+}
+
+// step runs one TopoSense interval: assemble topologies and reports, run
+// the algorithm, send suggestions.
+func (c *Controller) step() {
+	now := c.net.Engine().Now()
+
+	// Expire receivers that have gone silent for several intervals: they
+	// left (or died) and instructing them would steer the tree with ghost
+	// demand. Generosity scales with staleness, since reports are consumed
+	// late on purpose.
+	horizon := 5*c.interval + c.Staleness
+	for k, heard := range c.lastHeard {
+		if now-heard > horizon {
+			delete(c.registered, k)
+			delete(c.lastHeard, k)
+			delete(c.acc, k)
+			delete(c.last, k)
+		}
+	}
+
+	// Topologies from the discovery tool (respecting its staleness).
+	var topos []*core.Topology
+	for _, s := range c.tool.Sessions() {
+		snap := c.tool.Discover(s)
+		if snap == nil || snap.Empty() {
+			continue
+		}
+		topo := SnapshotToTopology(snap)
+		if err := topo.Validate(); err != nil {
+			continue // a torn snapshot is skipped, not acted on
+		}
+		topos = append(topos, topo)
+	}
+
+	// Fold accumulated receiver reports into per-interval states.
+	var reports []core.ReceiverState
+	keys := make([]receiverKey, 0, len(c.registered))
+	for k := range c.registered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].session != keys[j].session {
+			return keys[i].session < keys[j].session
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		a := c.acc[k]
+		if a == nil || !a.reported {
+			// Silent interval: reuse the last known state if any.
+			if st, ok := c.last[k]; ok {
+				reports = append(reports, st)
+			}
+			continue
+		}
+		st := core.ReceiverState{
+			Node:     k.node,
+			Session:  k.session,
+			Level:    a.level,
+			LossRate: a.lossSum / float64(a.lossN),
+			Bytes:    a.bytes,
+		}
+		c.last[k] = st
+		reports = append(reports, st)
+		*a = accum{level: a.level}
+	}
+
+	in := core.Input{Now: now, Topologies: topos, Reports: reports}
+	out := c.alg.Step(in)
+	c.StepsRun++
+
+	for _, sg := range out {
+		if !c.registered[receiverKey{sg.Session, sg.Node}] {
+			continue // never instruct an unregistered receiver
+		}
+		send := func() {
+			at := c.net.Engine().Now()
+			pkt := report.NewControlPacket(c.node.ID, sg.Node, report.SuggestionSize, at,
+				report.Suggestion{Node: sg.Node, Session: sg.Session, Level: sg.Level, Sent: at})
+			c.node.SendUnicast(pkt)
+			c.SuggestionsSent++
+		}
+		send()
+		// Suggestions cross the congested links they are trying to relieve
+		// and are routinely lost exactly when they matter most; a single
+		// mid-interval repeat makes the control loop robust without
+		// meaningful extra traffic.
+		if !c.DisableResend {
+			c.net.Engine().Schedule(c.interval/2, send)
+		}
+	}
+	if c.OnStep != nil {
+		c.OnStep(now, in, out)
+	}
+}
+
+// SnapshotToTopology converts a discovery snapshot into the algorithm's
+// topology type.
+func SnapshotToTopology(s *topodisc.Snapshot) *core.Topology {
+	t := &core.Topology{
+		Session:   s.Session,
+		Root:      s.Root,
+		Parent:    make(map[core.NodeID]core.NodeID, len(s.Parent)),
+		Children:  make(map[core.NodeID][]core.NodeID, len(s.Children)),
+		Receivers: make(map[core.NodeID]bool, len(s.Receivers)),
+	}
+	for k, v := range s.Parent {
+		t.Parent[k] = v
+	}
+	for k, v := range s.Children {
+		t.Children[k] = append([]core.NodeID(nil), v...)
+	}
+	for k, v := range s.Receivers {
+		t.Receivers[k] = v
+	}
+	return t
+}

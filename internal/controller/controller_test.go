@@ -1,0 +1,297 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"toposense/internal/core"
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/receiver"
+	"toposense/internal/report"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+	"toposense/internal/topodisc"
+)
+
+// world is a complete single-domain simulation for integration tests.
+type world struct {
+	e    *sim.Engine
+	n    *netsim.Network
+	d    *mcast.Domain
+	tool *topodisc.Tool
+	ctrl *Controller
+	srcs []*source.Source
+	rxs  []*receiver.Receiver
+}
+
+// buildChainWorld: src --fat-- r1 --bottleneck-- rx, controller at src.
+func buildChainWorld(t *testing.T, bottleneck float64, peakToMean float64) *world {
+	t.Helper()
+	e := sim.NewEngine(99)
+	n := netsim.New(e)
+	srcNode := n.AddNode("src")
+	r1 := n.AddNode("r1")
+	rxNode := n.AddNode("rx")
+	fat := netsim.LinkConfig{Bandwidth: 100e6, Delay: 200 * sim.Millisecond}
+	n.Connect(srcNode, r1, fat)
+	n.Connect(r1, rxNode, netsim.LinkConfig{Bandwidth: bottleneck, Delay: 200 * sim.Millisecond})
+	d := mcast.NewDomain(n)
+	src := source.New(n, d, srcNode, source.Config{Session: 0, PeakToMean: peakToMean})
+	tool := topodisc.NewTool(n, d, []int{0})
+	cfg := core.NewConfig(source.Rates(6))
+	alg := core.New(cfg, rand.New(rand.NewSource(7)))
+	ctrl := New(n, d, srcNode, tool, alg)
+	rx := receiver.New(n, d, rxNode, receiver.Config{
+		Session: 0, MaxLayers: 6, InitialLevel: 1, Controller: srcNode.ID,
+	})
+	return &world{e: e, n: n, d: d, tool: tool, ctrl: ctrl,
+		srcs: []*source.Source{src}, rxs: []*receiver.Receiver{rx}}
+}
+
+func (w *world) start() {
+	for _, s := range w.srcs {
+		s.Start()
+	}
+	w.ctrl.Start()
+	for _, r := range w.rxs {
+		r.Start()
+	}
+}
+
+func TestConvergesToBottleneckOptimal(t *testing.T) {
+	// 500 Kbps bottleneck: optimal subscription is 4 layers (480 Kbps).
+	w := buildChainWorld(t, 500e3, 0)
+	w.start()
+	w.e.RunUntil(120 * sim.Second)
+	rx := w.rxs[0]
+	if got := rx.Level(); got < 3 || got > 5 {
+		t.Fatalf("level after 120s = %d, want ~4", got)
+	}
+	// Sample the level over the second minute: it should sit at 4 most of
+	// the time (probes may briefly visit 5).
+	at4 := 0
+	samples := 0
+	tick := w.e.Every(sim.Second, func() {
+		samples++
+		if rx.Level() == 4 {
+			at4++
+		}
+	})
+	w.e.RunUntil(240 * sim.Second)
+	tick.Stop()
+	if frac := float64(at4) / float64(samples); frac < 0.6 {
+		t.Errorf("at the optimal level only %.0f%% of the time", frac*100)
+	}
+	if w.ctrl.StepsRun == 0 || w.ctrl.SuggestionsSent == 0 {
+		t.Error("controller did not run")
+	}
+}
+
+func TestConvergesLowBottleneck(t *testing.T) {
+	// 100 Kbps bottleneck: optimal is 2 layers (96 Kbps).
+	w := buildChainWorld(t, 100e3, 0)
+	w.start()
+	w.e.RunUntil(180 * sim.Second)
+	if got := w.rxs[0].Level(); got < 1 || got > 3 {
+		t.Fatalf("level = %d, want ~2", got)
+	}
+}
+
+func TestHeterogeneousReceiversGetDifferentLevels(t *testing.T) {
+	// Mini Topology A: two subtrees with different bottlenecks must reach
+	// different levels — the slow one must not drag the fast one down.
+	e := sim.NewEngine(4)
+	n := netsim.New(e)
+	srcNode := n.AddNode("src")
+	hub := n.AddNode("hub")
+	rSlow := n.AddNode("rslow")
+	rFast := n.AddNode("rfast")
+	slowRx := n.AddNode("slow-rx")
+	fastRx := n.AddNode("fast-rx")
+	fat := netsim.LinkConfig{Bandwidth: 100e6, Delay: 200 * sim.Millisecond}
+	n.Connect(srcNode, hub, fat)
+	n.Connect(hub, rSlow, fat)
+	n.Connect(hub, rFast, fat)
+	n.Connect(rSlow, slowRx, netsim.LinkConfig{Bandwidth: 100e3, Delay: 200 * sim.Millisecond})
+	n.Connect(rFast, fastRx, netsim.LinkConfig{Bandwidth: 500e3, Delay: 200 * sim.Millisecond})
+	d := mcast.NewDomain(n)
+	src := source.New(n, d, srcNode, source.Config{Session: 0})
+	tool := topodisc.NewTool(n, d, []int{0})
+	alg := core.New(core.NewConfig(source.Rates(6)), rand.New(rand.NewSource(7)))
+	ctrl := New(n, d, srcNode, tool, alg)
+	slow := receiver.New(n, d, slowRx, receiver.Config{Session: 0, MaxLayers: 6, InitialLevel: 1, Controller: srcNode.ID})
+	fast := receiver.New(n, d, fastRx, receiver.Config{Session: 0, MaxLayers: 6, InitialLevel: 1, Controller: srcNode.ID})
+	src.Start()
+	ctrl.Start()
+	slow.Start()
+	fast.Start()
+	e.RunUntil(180 * sim.Second)
+	if fast.Level() <= slow.Level() {
+		t.Errorf("fast receiver at %d, slow at %d: heterogeneity collapsed", fast.Level(), slow.Level())
+	}
+	if slow.Level() < 1 || slow.Level() > 3 {
+		t.Errorf("slow level = %d, want ~2", slow.Level())
+	}
+	if fast.Level() < 3 {
+		t.Errorf("fast level = %d, want ~4", fast.Level())
+	}
+}
+
+func TestControllerIgnoresUnregistered(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 0)
+	// Start the controller and source, but never the receiver: no
+	// registration, no reports, no tree -> no suggestions.
+	for _, s := range w.srcs {
+		s.Start()
+	}
+	w.ctrl.Start()
+	w.e.RunUntil(20 * sim.Second)
+	if w.ctrl.SuggestionsSent != 0 {
+		t.Errorf("suggested to unregistered receivers: %d", w.ctrl.SuggestionsSent)
+	}
+}
+
+func TestControllerStartStopIdempotent(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 0)
+	w.ctrl.Start()
+	w.ctrl.Start()
+	w.e.RunUntil(10 * sim.Second)
+	steps := w.ctrl.StepsRun
+	w.ctrl.Stop()
+	w.ctrl.Stop()
+	w.e.RunUntil(20 * sim.Second)
+	if w.ctrl.StepsRun != steps {
+		t.Error("controller kept stepping after Stop")
+	}
+	if w.ctrl.Node() == nil || w.ctrl.Algorithm() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestControllerOnStepObserver(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 0)
+	var calls int
+	w.ctrl.OnStep = func(now sim.Time, in core.Input, out []core.Suggestion) { calls++ }
+	w.start()
+	w.e.RunUntil(10 * sim.Second)
+	if calls == 0 {
+		t.Error("OnStep never called")
+	}
+}
+
+func TestControllerWorksWithStaleness(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 0)
+	w.tool.Staleness = 4 * sim.Second
+	w.start()
+	w.e.RunUntil(180 * sim.Second)
+	if got := w.rxs[0].Level(); got < 3 || got > 5 {
+		t.Errorf("level with 4s staleness = %d, want ~4", got)
+	}
+}
+
+func TestControllerVBRConverges(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 3)
+	w.start()
+	w.e.RunUntil(180 * sim.Second)
+	if got := w.rxs[0].Level(); got < 2 || got > 6 {
+		t.Errorf("VBR level = %d, want within [2,6]", got)
+	}
+}
+
+func TestSnapshotToTopology(t *testing.T) {
+	snap := &topodisc.Snapshot{
+		Session:   3,
+		Root:      0,
+		Parent:    map[netsim.NodeID]netsim.NodeID{1: 0, 2: 1},
+		Children:  map[netsim.NodeID][]netsim.NodeID{0: {1}, 1: {2}},
+		MaxLayer:  map[netsim.NodeID]int{0: 2, 1: 2, 2: 2},
+		Receivers: map[netsim.NodeID]bool{2: true},
+	}
+	topo := SnapshotToTopology(snap)
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("converted topology invalid: %v", err)
+	}
+	if topo.Session != 3 || topo.Root != 0 || !topo.Receivers[2] {
+		t.Errorf("conversion lost fields: %+v", topo)
+	}
+	// Mutating the copy must not touch the snapshot.
+	topo.Children[0][0] = 9
+	if snap.Children[0][0] != 1 {
+		t.Error("conversion aliases the snapshot")
+	}
+}
+
+func TestReportsImplyRegistration(t *testing.T) {
+	// Even if the Register packet is lost, the first loss report registers
+	// the receiver. Simulate by never sending Register: craft a receiver
+	// with Controller set but call only the report path via a real run —
+	// covered implicitly; here we inject a report directly.
+	w := buildChainWorld(t, 500e3, 0)
+	w.ctrl.Recv(&netsim.Packet{Payload: mustReport()})
+	if w.ctrl.ReportsRecv != 1 {
+		t.Fatal("report not consumed")
+	}
+	if len(w.ctrl.registered) != 1 {
+		t.Error("report did not register the receiver")
+	}
+}
+
+func mustReport() any {
+	return report.LossReport{Node: 5, Session: 0, Level: 2, LossRate: 0.1, Bytes: 1000, Interval: sim.Second}
+}
+
+func TestStalenessDelaysReports(t *testing.T) {
+	w := buildChainWorld(t, 10e6, 0)
+	w.ctrl.Staleness = 5 * sim.Second
+	w.start()
+	// After 4 s the receiver has sent reports, but none is old enough for
+	// the controller to have consumed it.
+	w.e.RunUntil(4 * sim.Second)
+	if w.ctrl.ReportsRecv != 0 {
+		t.Fatalf("consumed %d reports before the staleness horizon", w.ctrl.ReportsRecv)
+	}
+	w.e.RunUntil(20 * sim.Second)
+	if w.ctrl.ReportsRecv == 0 {
+		t.Fatal("reports never consumed")
+	}
+}
+
+func TestRegistrationExpiresAfterSilence(t *testing.T) {
+	w := buildChainWorld(t, 10e6, 0)
+	w.start()
+	w.e.RunUntil(20 * sim.Second)
+	if len(w.ctrl.registered) == 0 {
+		t.Fatal("receiver never registered")
+	}
+	// Silence the receiver; after 5 intervals it must be forgotten and
+	// suggestions must stop.
+	w.rxs[0].Stop()
+	w.e.RunUntil(60 * sim.Second)
+	if len(w.ctrl.registered) != 0 {
+		t.Errorf("ghost registrations: %d", len(w.ctrl.registered))
+	}
+	sent := w.ctrl.SuggestionsSent
+	w.e.RunUntil(80 * sim.Second)
+	if w.ctrl.SuggestionsSent != sent {
+		t.Error("controller kept suggesting to a departed receiver")
+	}
+}
+
+func TestStoppedReceiverIgnoresSuggestions(t *testing.T) {
+	w := buildChainWorld(t, 10e6, 0)
+	w.start()
+	w.e.RunUntil(10 * sim.Second)
+	rx := w.rxs[0]
+	rx.Stop()
+	if rx.Level() != 0 {
+		t.Fatalf("level %d after Stop", rx.Level())
+	}
+	// Hand-deliver a suggestion: it must be ignored.
+	rx.Recv(report.NewControlPacket(w.ctrl.Node().ID, rx.Node().ID, report.SuggestionSize, w.e.Now(),
+		report.Suggestion{Node: rx.Node().ID, Session: 0, Level: 4}))
+	w.e.RunUntil(15 * sim.Second)
+	if rx.Level() != 0 {
+		t.Errorf("stopped receiver rejoined to level %d", rx.Level())
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"toposense/internal/sim"
+)
+
+// nodeKey addresses per-(session, node) persistent state.
+type nodeKey struct {
+	session int
+	node    NodeID
+}
+
+// nodeState carries what the decision table needs across intervals.
+type nodeState struct {
+	hist        uint8 // 3-bit congestion history; bit 0 = newest interval
+	bwPrev      int64 // bytes received in the most recent completed interval
+	bwPrev2     int64 // bytes received in the interval before that
+	supplyPrev  int   // level allocated last interval ("supply in Tn-T2n")
+	supplyPrev2 int   // level allocated the interval before ("supply in T0-Tn")
+	lastSeen    sim.Time
+	// lastReduce is when the node's supply last went down; reductions are
+	// suppressed for a cool-down after it (see coolingDown).
+	lastReduce sim.Time
+}
+
+// backoffKey addresses a back-off timer: the named layer must not be
+// re-added within the subtree rooted at node until the timer expires.
+type backoffKey struct {
+	session int
+	node    NodeID
+	layer   int
+}
+
+// linkState is the persistent capacity estimate for one physical edge.
+type linkState struct {
+	capacity float64 // bits/s; +Inf means "not yet estimated"
+	lastSeen sim.Time
+	// resetAt is when this estimate returns to infinity. Per-link jittered
+	// deadlines keep independent subtrees from probing (and crashing) in
+	// lockstep after a synchronized global reset.
+	resetAt sim.Time
+	// observed holds the last few intervals' measured throughput. Pinning
+	// uses the max of this window: the interval that finally satisfies the
+	// loss conditions is often the post-drop drain (reports lag actions by
+	// the feedback latency), whose byte counts badly under-estimate the
+	// link. The congested interval just before it carried the true
+	// capacity.
+	observed [3]float64
+	obsIdx   int
+}
+
+func (ls *linkState) recordObserved(v float64) {
+	ls.observed[ls.obsIdx] = v
+	ls.obsIdx = (ls.obsIdx + 1) % len(ls.observed)
+}
+
+func (ls *linkState) maxObserved() float64 {
+	max := 0.0
+	for _, v := range ls.observed {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Algorithm is the TopoSense decision engine. Create one per controller
+// with New and call Step once per decision interval. It is not safe for
+// concurrent use.
+type Algorithm struct {
+	cfg Config
+	rng *rand.Rand
+
+	nodes    map[nodeKey]*nodeState
+	links    map[Edge]*linkState
+	backoffs map[backoffKey]sim.Time
+
+	lastCapacityReset sim.Time
+	steps             int64
+	explain           *explainState // non-nil once EnableExplain is called
+}
+
+// New creates an algorithm instance. The rng drives back-off randomization;
+// pass a seeded source for reproducible runs.
+func New(cfg Config, rng *rand.Rand) *Algorithm {
+	cfg.Normalize()
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Algorithm{
+		cfg:      cfg,
+		rng:      rng,
+		nodes:    make(map[nodeKey]*nodeState),
+		links:    make(map[Edge]*linkState),
+		backoffs: make(map[backoffKey]sim.Time),
+	}
+}
+
+// Config returns the algorithm's configuration.
+func (a *Algorithm) Config() Config { return a.cfg }
+
+// Steps returns how many intervals have been processed.
+func (a *Algorithm) Steps() int64 { return a.steps }
+
+// sessionPass holds one session's per-step working state.
+type sessionPass struct {
+	topo      *Topology
+	order     []NodeID // top-down BFS order
+	report    map[NodeID]*ReceiverState
+	loss      map[NodeID]float64   // min-over-children loss (stage 1)
+	congest   map[NodeID]bool      // congestion state (stage 1)
+	subBytes  map[NodeID]int64     // max bytes by any receiver in the subtree
+	recvCount map[NodeID]int       // receivers in the subtree rooted at the node
+	level     map[NodeID]int       // current subscription (leaf: report; internal: max of children)
+	bneck     map[NodeID]float64   // bottleneck bandwidth root->node (stage 3)
+	maxBW     map[NodeID]float64   // max bottleneck over children (stage 3)
+	demand    map[NodeID]int       // stage 5 demand
+	supply    map[NodeID]int       // stage 5 allocation
+	decisions map[NodeID]*Decision // explain records, nil unless enabled
+}
+
+// Step runs one full decision interval over every session and returns the
+// per-receiver subscription suggestions, sorted by (session, node).
+func (a *Algorithm) Step(in Input) []Suggestion {
+	a.steps++
+	a.resetExplain()
+
+	// Build per-session passes; skip sessions with no usable topology.
+	passes := make([]*sessionPass, 0, len(in.Topologies))
+	for _, topo := range in.Topologies {
+		if topo == nil || topo.Root == NodeIDNone {
+			continue
+		}
+		p := &sessionPass{
+			topo:      topo,
+			order:     topo.BFSOrder(),
+			report:    make(map[NodeID]*ReceiverState),
+			loss:      make(map[NodeID]float64),
+			congest:   make(map[NodeID]bool),
+			subBytes:  make(map[NodeID]int64),
+			recvCount: make(map[NodeID]int),
+			level:     make(map[NodeID]int),
+			bneck:     make(map[NodeID]float64),
+			maxBW:     make(map[NodeID]float64),
+			demand:    make(map[NodeID]int),
+			supply:    make(map[NodeID]int),
+		}
+		if a.explain != nil {
+			p.decisions = make(map[NodeID]*Decision)
+		}
+		passes = append(passes, p)
+	}
+	for i := range in.Reports {
+		r := &in.Reports[i]
+		for _, p := range passes {
+			if p.topo.Session == r.Session {
+				p.report[r.Node] = r
+			}
+		}
+	}
+
+	// Stage 1: congestion states per session.
+	for _, p := range passes {
+		a.computeCongestion(p)
+	}
+	// Stage 2: link capacity estimation on the union of edges.
+	a.estimateCapacities(in.Now, passes)
+	// Stage 3: bottleneck bandwidths per session.
+	for _, p := range passes {
+		a.computeBottlenecks(p)
+	}
+	// Stage 4: inter-session bandwidth sharing on shared links.
+	shares := a.shareBandwidth(passes)
+	// Stage 5: demand computation + supply allocation.
+	var out []Suggestion
+	for _, p := range passes {
+		a.computeDemand(in.Now, p)
+		a.allocateSupply(p, shares)
+		for _, n := range p.order {
+			if p.topo.Receivers[n] {
+				out = append(out, Suggestion{Node: n, Session: p.topo.Session, Level: p.supply[n]})
+			}
+			if p.decisions != nil {
+				if d := p.decisions[n]; d != nil {
+					d.Supply = p.supply[n]
+					a.record(*d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Node < out[j].Node
+	})
+
+	// Roll per-node state forward and garbage-collect.
+	a.rollState(in.Now, passes)
+	a.expireBackoffs(in.Now)
+	return out
+}
+
+// NodeIDNone mirrors netsim.NoNode without re-importing it everywhere.
+const NodeIDNone = NodeID(-1)
+
+// rollState pushes this interval's observations into the persistent
+// per-node state and drops state for nodes gone from every topology.
+func (a *Algorithm) rollState(now sim.Time, passes []*sessionPass) {
+	for _, p := range passes {
+		for _, n := range p.order {
+			st := a.stateOf(p.topo.Session, n)
+			bit := uint8(0)
+			if p.congest[n] {
+				bit = 1
+			}
+			st.hist = ((st.hist << 1) | bit) & 7
+			st.bwPrev2 = st.bwPrev
+			st.bwPrev = p.subBytes[n]
+			// Record only genuine cuts — allocations that force current
+			// subscribers down — not the natural end of an upward probe
+			// (supply shrinking back toward the actual level).
+			if p.supply[n] < st.supplyPrev && p.supply[n] < p.level[n] {
+				st.lastReduce = now
+			}
+			st.supplyPrev2 = st.supplyPrev
+			st.supplyPrev = p.supply[n]
+			st.lastSeen = now
+		}
+	}
+	// GC node state unseen for 10 intervals.
+	horizon := now - 10*a.cfg.Interval
+	for k, st := range a.nodes {
+		if st.lastSeen < horizon {
+			delete(a.nodes, k)
+		}
+	}
+	for e, ls := range a.links {
+		if ls.lastSeen < horizon {
+			delete(a.links, e)
+		}
+	}
+}
+
+func (a *Algorithm) expireBackoffs(now sim.Time) {
+	for k, until := range a.backoffs {
+		if until <= now {
+			delete(a.backoffs, k)
+		}
+	}
+}
+
+func (a *Algorithm) stateOf(session int, n NodeID) *nodeState {
+	k := nodeKey{session, n}
+	st, ok := a.nodes[k]
+	if !ok {
+		st = &nodeState{}
+		a.nodes[k] = st
+	}
+	return st
+}
+
+// peekState returns nil when no state exists (first sighting of a node).
+func (a *Algorithm) peekState(session int, n NodeID) *nodeState {
+	return a.nodes[nodeKey{session, n}]
+}
+
+// backingOff reports whether adding `layer` within session at node n (or any
+// of its ancestors, where subtree-level back-offs live) is currently barred.
+func (a *Algorithm) backingOff(now sim.Time, p *sessionPass, n NodeID, layer int) bool {
+	for cur := n; ; {
+		if until, ok := a.backoffs[backoffKey{p.topo.Session, cur, layer}]; ok && until > now {
+			return true
+		}
+		parent, ok := p.topo.Parent[cur]
+		if !ok {
+			return false
+		}
+		cur = parent
+	}
+}
+
+// setBackoff arms a random back-off for the given dropped layer at node n.
+func (a *Algorithm) setBackoff(now sim.Time, session int, n NodeID, layer int) {
+	if layer < 1 || a.cfg.DisableBackoff {
+		return
+	}
+	span := int64(a.cfg.BackoffMax - a.cfg.BackoffMin)
+	var jitter sim.Time
+	if span > 0 {
+		jitter = sim.Time(a.rng.Int63n(span + 1))
+	}
+	a.backoffs[backoffKey{session, n, layer}] = now + a.cfg.BackoffMin + jitter
+}
+
+// Backoffs returns the number of live back-off timers (for tests/metrics).
+func (a *Algorithm) Backoffs() int { return len(a.backoffs) }
+
+// CapacityEstimate returns the current estimate for an edge in bits/s and
+// whether one exists ( finite ).
+func (a *Algorithm) CapacityEstimate(e Edge) (float64, bool) {
+	ls, ok := a.links[e]
+	if !ok || math.IsInf(ls.capacity, 1) {
+		return math.Inf(1), false
+	}
+	return ls.capacity, true
+}

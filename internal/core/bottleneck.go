@@ -1,0 +1,43 @@
+package core
+
+import "math"
+
+// computeBottlenecks implements stage 3. Top-down, each node's bottleneck
+// bandwidth is the minimum estimated capacity on its path from the source.
+// Bottom-up, each node's "maximum bandwidth it can handle" is the maximum
+// bottleneck over its children — a parent serving a fast subtree and a slow
+// subtree must itself carry what the fast subtree can take.
+func (a *Algorithm) computeBottlenecks(p *sessionPass) {
+	for _, n := range p.order { // top-down
+		parent, ok := p.topo.Parent[n]
+		if !ok {
+			p.bneck[n] = math.Inf(1)
+			continue
+		}
+		cap := math.Inf(1)
+		if ls := a.links[Edge{From: parent, To: n}]; ls != nil {
+			cap = ls.capacity
+		}
+		p.bneck[n] = math.Min(p.bneck[parent], cap)
+	}
+	for i := len(p.order) - 1; i >= 0; i-- { // bottom-up
+		n := p.order[i]
+		kids := p.topo.Children[n]
+		if len(kids) == 0 {
+			p.maxBW[n] = p.bneck[n]
+			continue
+		}
+		max := 0.0
+		for _, c := range kids {
+			if p.maxBW[c] > max {
+				max = p.maxBW[c]
+			}
+		}
+		// A transit node with its own receiver can itself demand up to its
+		// bottleneck.
+		if p.topo.Receivers[n] && p.bneck[n] > max {
+			max = p.bneck[n]
+		}
+		p.maxBW[n] = max
+	}
+}

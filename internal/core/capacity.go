@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+
+	"toposense/internal/sim"
+)
+
+// estimateCapacities implements stage 2 ("Estimate link bandwidths for all
+// shared links"): maintain a capacity estimate for every link carried by
+// two or more sessions. A shared link starts at infinity and is pinned to
+// the observed throughput only when (1) the aggregate loss at the link's
+// destination exceeds p_threshold and (2) every session sharing the link
+// sees loss above p_threshold there — the paper's guard against blaming a
+// shared link for one session's downstream bottleneck.
+//
+// Links carried by a single session are never pinned: with one receiver
+// behind an edge the algorithm cannot localize its loss to that edge (the
+// loss could be anywhere on the path), and a bad pin would starve the
+// session until the next reset. Single-session bottlenecks are controlled
+// reactively by the Table-I demand computation instead; capacity estimates
+// exist to drive the inter-session sharing stage, which only concerns
+// shared links.
+// Finite estimates grow by CapacityGrowth each interval (reports can lag
+// actual transmission) and all estimates reset to infinity every
+// CapacityResetPeriod so that transient flows or downstream bottlenecks do
+// not poison them forever.
+func (a *Algorithm) estimateCapacities(now sim.Time, passes []*sessionPass) {
+	// Periodic per-link reset: every pinned estimate expires back to
+	// infinity after CapacityResetPeriod plus a random fraction, so that
+	// independent subtrees re-explore at different times instead of
+	// crashing in lockstep.
+	for _, ls := range a.links {
+		if !math.IsInf(ls.capacity, 1) && now >= ls.resetAt {
+			ls.capacity = math.Inf(1)
+		}
+	}
+
+	// Collect per-edge observations across sessions.
+	type obs struct {
+		losses    []float64 // one per session using the edge
+		bytes     []int64   // max subtree bytes per session (observed volume)
+		receivers int       // total receivers behind the edge
+		congested bool      // any session's child node labeled CONGESTED
+	}
+	edges := make(map[Edge]*obs)
+	for _, p := range passes {
+		for _, n := range p.order {
+			e, ok := p.topo.EdgeTo(n)
+			if !ok {
+				continue
+			}
+			o := edges[e]
+			if o == nil {
+				o = &obs{}
+				edges[e] = o
+			}
+			o.losses = append(o.losses, p.loss[n])
+			o.bytes = append(o.bytes, p.subBytes[n])
+			o.receivers += p.recvCount[n]
+			if p.congest[n] {
+				o.congested = true
+			}
+		}
+	}
+
+	interval := a.cfg.Interval.Seconds()
+	for _, e := range sortedEdges(edges) {
+		o := edges[e]
+		ls := a.links[e]
+		if ls == nil {
+			ls = &linkState{capacity: math.Inf(1)}
+			a.links[e] = ls
+		}
+		ls.lastSeen = now
+
+		// Record this interval's observed throughput: what the receivers
+		// demonstrably got through the link, summed over sessions (each
+		// session contributes its best subtree receiver).
+		var bits float64
+		for _, b := range o.bytes {
+			bits += float64(b) * 8
+		}
+		ls.recordObserved(bits / interval)
+
+		// Grow an existing finite estimate. A finite estimate is kept until
+		// the periodic reset: the interval right after a drop observes the
+		// queue-drain/leave-latency transient and would badly under-estimate
+		// if allowed to re-pin ("links are assumed to be of infinite
+		// capacity until ..." — estimation happens at the transition).
+		if !math.IsInf(ls.capacity, 1) {
+			ls.capacity *= 1 + a.cfg.CapacityGrowth
+			continue
+		}
+
+		// An edge is only pinnable when at least two independent observers
+		// sit behind it — several sessions, or several receivers of one
+		// session whose correlated losses the congestion stage attributed
+		// to this subtree. A single observer cannot localize its loss to
+		// any particular edge of its path, and a wrong pin would starve it
+		// until the next reset.
+		if !a.cfg.PinSingleObserver && len(o.losses) < 2 && (o.receivers < 2 || !o.congested) {
+			continue
+		}
+
+		// Conditions: every session's loss above threshold, and the
+		// volume-weighted aggregate loss above threshold too.
+		all := true
+		var weighted, volume float64
+		for i, l := range o.losses {
+			if l <= a.cfg.PThreshold {
+				all = false
+			}
+			w := float64(o.bytes[i])
+			weighted += l * w
+			volume += w
+		}
+		if !all || volume == 0 {
+			continue
+		}
+		aggregate := weighted / volume
+		if aggregate <= a.cfg.PThreshold {
+			continue
+		}
+		// Pin to the best recent throughput: the loss conditions often
+		// first hold on the drain interval after a drop, whose low byte
+		// counts would freeze the link far below its true capacity for a
+		// whole reset period. The preceding congested interval measured
+		// what the link can actually carry.
+		observed := ls.maxObserved()
+		if observed <= 0 {
+			continue
+		}
+		ls.capacity = observed
+		jitter := sim.Time(a.rng.Int63n(int64(a.cfg.CapacityResetPeriod)/2 + 1))
+		ls.resetAt = now + a.cfg.CapacityResetPeriod + jitter
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"toposense/internal/sim"
+)
+
+// Default algorithm parameters. The paper gives the structure of the
+// algorithm but not every constant; defaults were chosen to reproduce the
+// published behaviour on the paper's topologies and are exercised by the
+// experiments in internal/experiments.
+const (
+	// DefaultPThreshold is p_threshold: a node with a higher loss rate is
+	// considered congested.
+	DefaultPThreshold = 0.05
+	// DefaultHighLoss is the "loss rate is high" bar of Table I (leaf,
+	// history 1, BW lesser).
+	DefaultHighLoss = 0.10
+	// DefaultVeryHighLoss is the "loss is very high" bar of Table I (leaf,
+	// history 3/7, BW greater).
+	DefaultVeryHighLoss = 0.25
+	// DefaultEtaSimilar is η_similar: the fraction of children whose loss
+	// must sit close to the mean before an internal node is declared
+	// congested itself.
+	DefaultEtaSimilar = 0.7
+	// DefaultSimilarBand is the relative band around the mean child loss
+	// that counts as "close".
+	DefaultSimilarBand = 0.5
+	// DefaultBWEqualTol is the relative tolerance within which bandwidth
+	// received in two consecutive intervals counts as "Equal".
+	DefaultBWEqualTol = 0.05
+	// DefaultCapacityGrowth is the fractional growth applied to a finite
+	// link-capacity estimate every interval ("the estimate is increased
+	// every interval by a small amount").
+	DefaultCapacityGrowth = 0.02
+)
+
+// Default timers.
+const (
+	DefaultInterval            = 4 * sim.Second
+	DefaultBackoffMin          = 10 * sim.Second
+	DefaultBackoffMax          = 30 * sim.Second
+	DefaultCapacityResetPeriod = 60 * sim.Second
+)
+
+// Config parameterizes the algorithm. The zero value is not usable; use
+// NewConfig or fill LayerRates and call Normalize.
+type Config struct {
+	// LayerRates is the advertised bandwidth of each layer, in bits/s,
+	// index 0 = base layer. The paper assumes these are known beforehand.
+	LayerRates []float64
+
+	PThreshold   float64
+	HighLoss     float64
+	VeryHighLoss float64
+	EtaSimilar   float64
+	SimilarBand  float64
+	BWEqualTol   float64
+
+	// Interval is the decision interval: the time between Step calls.
+	Interval sim.Time
+	// BackoffMin/Max bound the random back-off applied to a dropped layer.
+	BackoffMin, BackoffMax sim.Time
+	// CapacityGrowth inflates finite capacity estimates each interval.
+	CapacityGrowth float64
+	// CapacityResetPeriod resets all estimates to infinity, forcing
+	// re-estimation (the behaviour behind the paper's Figure 9 bursts).
+	CapacityResetPeriod sim.Time
+
+	// Ablation switches (all default off — the full system). They exist so
+	// the benchmark harness can quantify each design choice's contribution;
+	// production use should leave them false.
+
+	// DisableCooldown turns off the post-reduction cool-down, letting
+	// stale drain feedback compound successive cuts.
+	DisableCooldown bool
+	// DisableBackoff turns off the dropped-layer back-off timers,
+	// removing the receivers' probe coordination.
+	DisableBackoff bool
+	// PinSingleObserver lets capacity estimation pin links observed by a
+	// single receiver, mis-localizing path loss onto arbitrary edges.
+	PinSingleObserver bool
+}
+
+// NewConfig returns a config with the given layer rates and all defaults.
+func NewConfig(layerRates []float64) Config {
+	c := Config{LayerRates: append([]float64(nil), layerRates...)}
+	c.Normalize()
+	return c
+}
+
+// Normalize fills zero fields with defaults and validates the result.
+func (c *Config) Normalize() {
+	if c.PThreshold == 0 {
+		c.PThreshold = DefaultPThreshold
+	}
+	if c.HighLoss == 0 {
+		c.HighLoss = DefaultHighLoss
+	}
+	if c.VeryHighLoss == 0 {
+		c.VeryHighLoss = DefaultVeryHighLoss
+	}
+	if c.EtaSimilar == 0 {
+		c.EtaSimilar = DefaultEtaSimilar
+	}
+	if c.SimilarBand == 0 {
+		c.SimilarBand = DefaultSimilarBand
+	}
+	if c.BWEqualTol == 0 {
+		c.BWEqualTol = DefaultBWEqualTol
+	}
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = DefaultBackoffMin
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.CapacityGrowth == 0 {
+		c.CapacityGrowth = DefaultCapacityGrowth
+	}
+	if c.CapacityResetPeriod == 0 {
+		c.CapacityResetPeriod = DefaultCapacityResetPeriod
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks config invariants.
+func (c *Config) Validate() error {
+	if len(c.LayerRates) == 0 {
+		return fmt.Errorf("core: config needs at least one layer rate")
+	}
+	for i, r := range c.LayerRates {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return fmt.Errorf("core: layer %d rate %g invalid", i+1, r)
+		}
+	}
+	if c.PThreshold <= 0 || c.PThreshold >= 1 {
+		return fmt.Errorf("core: PThreshold %g out of (0,1)", c.PThreshold)
+	}
+	if c.EtaSimilar <= 0 || c.EtaSimilar > 1 {
+		return fmt.Errorf("core: EtaSimilar %g out of (0,1]", c.EtaSimilar)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("core: Interval must be positive")
+	}
+	if c.BackoffMin <= 0 || c.BackoffMax < c.BackoffMin {
+		return fmt.Errorf("core: backoff range [%v,%v] invalid", c.BackoffMin, c.BackoffMax)
+	}
+	return nil
+}
+
+// MaxLevel returns the number of layers.
+func (c Config) MaxLevel() int { return len(c.LayerRates) }
+
+// CumRate returns the cumulative bandwidth of a subscription to the first
+// level layers. CumRate(0) is 0; levels beyond MaxLevel saturate.
+func (c Config) CumRate(level int) float64 {
+	if level > len(c.LayerRates) {
+		level = len(c.LayerRates)
+	}
+	total := 0.0
+	for i := 0; i < level; i++ {
+		total += c.LayerRates[i]
+	}
+	return total
+}
+
+// LevelFor returns the highest subscription level whose cumulative rate
+// fits within bps.
+func (c Config) LevelFor(bps float64) int {
+	total := 0.0
+	for i, r := range c.LayerRates {
+		total += r
+		if total > bps {
+			return i
+		}
+	}
+	return len(c.LayerRates)
+}

@@ -1,0 +1,109 @@
+package core
+
+import "math"
+
+// computeCongestion implements stage 1 of the algorithm: label every node
+// of the session tree CONGESTED or NOT-CONGESTED, compute each node's loss
+// rate bottom-up (an internal node's loss is the minimum of its children's
+// — if every child must shed load, the parent's effective demand drops to
+// the least-loaded child's level), and record the maximum bytes received by
+// any receiver in each subtree (used later to estimate shared-link
+// capacities). Also derives each node's current subscription level as the
+// maximum over its subtree's receivers.
+func (a *Algorithm) computeCongestion(p *sessionPass) {
+	order := p.order
+	// Bottom-up: leaves first.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		kids := p.topo.Children[n]
+		loss := math.Inf(1)
+		var bytes int64
+		level := 0
+		for _, c := range kids {
+			if p.loss[c] < loss {
+				loss = p.loss[c]
+			}
+			if p.subBytes[c] > bytes {
+				bytes = p.subBytes[c]
+			}
+			if p.level[c] > level {
+				level = p.level[c]
+			}
+		}
+		// A receiver attached at this node (leaf, or a transit host with a
+		// local member) contributes like a virtual child.
+		if r, ok := p.report[n]; ok && p.topo.Receivers[n] {
+			if r.LossRate < loss {
+				loss = r.LossRate
+			}
+			if r.Bytes > bytes {
+				bytes = r.Bytes
+			}
+			if r.Level > level {
+				level = r.Level
+			}
+		}
+		if math.IsInf(loss, 1) {
+			// No children and no report: a receiver node the controller has
+			// not heard from yet. Assume no loss.
+			loss = 0
+		}
+		p.loss[n] = loss
+		p.subBytes[n] = bytes
+		p.level[n] = level
+		count := 0
+		if p.topo.Receivers[n] {
+			count = 1
+		}
+		for _, c := range kids {
+			count += p.recvCount[c]
+		}
+		p.recvCount[n] = count
+
+		if p.topo.IsLeaf(n) {
+			// "A leaf node is congested if the packet loss rate at that
+			// node is higher than a threshold."
+			p.congest[n] = p.loss[n] > a.cfg.PThreshold
+			continue
+		}
+		p.congest[n] = a.internalSelfCongested(p, n)
+	}
+	// Top-down: an internal node is also congested when its parent is.
+	for _, n := range order {
+		parent, ok := p.topo.Parent[n]
+		if !ok {
+			continue
+		}
+		if p.congest[parent] && !p.topo.IsLeaf(n) {
+			p.congest[n] = true
+		}
+	}
+}
+
+// internalSelfCongested applies the paper's rule: an internal node is
+// congested (on its own account) when every child's loss exceeds
+// p_threshold and at least η_similar of the children have losses close to
+// the mean child loss — i.e. the children are losing together, pointing at
+// the shared upstream link rather than at independent downstream
+// bottlenecks.
+func (a *Algorithm) internalSelfCongested(p *sessionPass, n NodeID) bool {
+	kids := p.topo.Children[n]
+	if len(kids) == 0 {
+		return false
+	}
+	mean := 0.0
+	for _, c := range kids {
+		if p.loss[c] <= a.cfg.PThreshold {
+			return false
+		}
+		mean += p.loss[c]
+	}
+	mean /= float64(len(kids))
+	similar := 0
+	for _, c := range kids {
+		if math.Abs(p.loss[c]-mean) <= a.cfg.SimilarBand*mean {
+			similar++
+		}
+	}
+	return float64(similar) >= a.cfg.EtaSimilar*float64(len(kids))
+}

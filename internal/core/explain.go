@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"toposense/internal/sim"
+)
+
+// Decision records how one node was evaluated in one interval: the Table-I
+// inputs (history, bandwidth relation), the chosen cell, and the resulting
+// demand/supply. Enable with Algorithm.Explain = true; the records answer
+// "why did the controller tell receiver X to drop?" — the kind of operator
+// question a deployed controller must be able to answer.
+type Decision struct {
+	At        sim.Time
+	Session   int
+	Node      NodeID
+	Leaf      bool
+	Congested bool
+	Hist      uint8
+	Rel       BWRel
+	Action    Action
+	Deferred  bool // parent congested: action left to the subtree root
+	Cooling   bool // reduction suppressed by the post-cut cool-down
+	Level     int  // current subscription entering the interval
+	Demand    int
+	Supply    int
+}
+
+// String renders one decision on one line.
+func (d Decision) String() string {
+	kind := "leaf"
+	if !d.Leaf {
+		kind = "node"
+	}
+	flags := ""
+	if d.Congested {
+		flags += " CONGESTED"
+	}
+	if d.Deferred {
+		flags += " deferred"
+	}
+	if d.Cooling {
+		flags += " cooling"
+	}
+	return fmt.Sprintf("%9.1fs s%d %s %-3d hist=%03b rel=%-7s act=%-28s lvl=%d demand=%d supply=%d%s",
+		d.At.Seconds(), d.Session, kind, d.Node, d.Hist, d.Rel, d.Action, d.Level, d.Demand, d.Supply, flags)
+}
+
+// explainState buffers the most recent step's decisions.
+type explainState struct {
+	decisions []Decision
+}
+
+// EnableExplain turns on decision recording (records the most recent Step).
+func (a *Algorithm) EnableExplain() {
+	if a.explain == nil {
+		a.explain = &explainState{}
+	}
+}
+
+// LastDecisions returns the decisions of the most recent Step, sorted in
+// evaluation (bottom-up) order per session. Nil when explain is off.
+func (a *Algorithm) LastDecisions() []Decision {
+	if a.explain == nil {
+		return nil
+	}
+	return append([]Decision(nil), a.explain.decisions...)
+}
+
+// FormatDecisions renders a decision list, one line each.
+func FormatDecisions(ds []Decision) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// record appends a decision when explain is enabled.
+func (a *Algorithm) record(d Decision) {
+	if a.explain != nil {
+		a.explain.decisions = append(a.explain.decisions, d)
+	}
+}
+
+// resetExplain clears the buffer at the start of a step.
+func (a *Algorithm) resetExplain() {
+	if a.explain != nil {
+		a.explain.decisions = a.explain.decisions[:0]
+	}
+}

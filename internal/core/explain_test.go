@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainDisabledByDefault(t *testing.T) {
+	st := newStepper(testConfig())
+	st.step([]*Topology{chain(0, 3)}, []ReceiverState{{Node: 2, Session: 0, Level: 1, Bytes: 100}})
+	if st.a.LastDecisions() != nil {
+		t.Error("decisions recorded without EnableExplain")
+	}
+}
+
+func TestExplainRecordsEveryNode(t *testing.T) {
+	st := newStepper(testConfig())
+	st.a.EnableExplain()
+	st.a.EnableExplain() // idempotent
+	topo := star(0, 2)   // 4 nodes
+	st.step([]*Topology{topo}, []ReceiverState{
+		{Node: 2, Session: 0, Level: 2, LossRate: 0, Bytes: 20_000},
+		{Node: 3, Session: 0, Level: 2, LossRate: 0, Bytes: 20_000},
+	})
+	ds := st.a.LastDecisions()
+	if len(ds) != 4 {
+		t.Fatalf("decisions = %d, want 4 (every node)", len(ds))
+	}
+	seen := map[NodeID]Decision{}
+	for _, d := range ds {
+		seen[d.Node] = d
+		if d.Supply < 0 || d.Demand < 0 {
+			t.Errorf("negative demand/supply: %+v", d)
+		}
+		if d.At != st.now {
+			t.Errorf("decision timestamp %v, want %v", d.At, st.now)
+		}
+	}
+	if !seen[2].Leaf || !seen[3].Leaf {
+		t.Error("leaves not marked Leaf")
+	}
+	if seen[0].Leaf || seen[1].Leaf {
+		t.Error("internal nodes marked Leaf")
+	}
+	// Clean first interval: leaves should be Add with supply one above.
+	if seen[2].Action != ActAdd {
+		t.Errorf("leaf action = %v, want add", seen[2].Action)
+	}
+}
+
+func TestExplainBufferResetEachStep(t *testing.T) {
+	st := newStepper(testConfig())
+	st.a.EnableExplain()
+	topo := chain(0, 3)
+	rep := []ReceiverState{{Node: 2, Session: 0, Level: 1, Bytes: 100}}
+	st.step([]*Topology{topo}, rep)
+	first := len(st.a.LastDecisions())
+	st.step([]*Topology{topo}, rep)
+	if got := len(st.a.LastDecisions()); got != first {
+		t.Errorf("buffer grew across steps: %d -> %d", first, got)
+	}
+}
+
+func TestExplainShowsCongestionAndDefer(t *testing.T) {
+	cfg := testConfig()
+	st := newStepper(cfg)
+	st.a.EnableExplain()
+	topo := star(0, 2)
+	reports := func(loss float64) []ReceiverState {
+		return []ReceiverState{
+			{Node: 2, Session: 0, Level: 4, LossRate: loss, Bytes: 100_000},
+			{Node: 3, Session: 0, Level: 4, LossRate: loss * 1.02, Bytes: 100_000},
+		}
+	}
+	st.step([]*Topology{topo}, reports(0))
+	st.step([]*Topology{topo}, reports(0.3))
+	var leafDecision, hubDecision Decision
+	for _, d := range st.a.LastDecisions() {
+		switch d.Node {
+		case 2:
+			leafDecision = d
+		case 1:
+			hubDecision = d
+		}
+	}
+	if !hubDecision.Congested {
+		t.Error("hub not marked congested under correlated loss")
+	}
+	if !leafDecision.Deferred {
+		t.Error("leaf under a congested hub not marked deferred")
+	}
+	out := FormatDecisions(st.a.LastDecisions())
+	if !strings.Contains(out, "CONGESTED") || !strings.Contains(out, "deferred") {
+		t.Errorf("formatted output missing flags:\n%s", out)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Session: 1, Node: 7, Leaf: true, Hist: 3, Rel: BWEqual,
+		Action: ActHalveSupplyOld, Level: 4, Demand: 2, Supply: 2, Cooling: true}
+	s := d.String()
+	for _, want := range []string{"s1", "leaf", "hist=011", "equal", "halve-old-supply", "cooling"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Decision.String missing %q: %s", want, s)
+		}
+	}
+}

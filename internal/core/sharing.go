@@ -1,0 +1,136 @@
+package core
+
+import "math"
+
+// shareKey addresses one session's share on one shared edge.
+type shareKey struct {
+	edge    Edge
+	session int
+}
+
+// shareBandwidth implements stage 4: on every link carrying more than one
+// session and having a finite capacity estimate, split the capacity among
+// the sessions. Following the paper, each session's weight is its "maximum
+// possible demand" — the layers it could use at that link if every other
+// session took only its base layer — computed top-down per session and then
+// folded bottom-up (an internal node's possible demand is the max over its
+// children). The fair share of session i is then w_i·B/Σw_j, never below
+// the base-layer rate. Weights are taken in bandwidth units (the cumulative
+// rate of the possible demand) rather than raw layer counts, since layers
+// double in rate and a layer-count ratio would starve high-rate sessions.
+func (a *Algorithm) shareBandwidth(passes []*sessionPass) map[shareKey]float64 {
+	// Which sessions use each edge.
+	type edgeUse struct {
+		sessions []int // indices into passes
+		children []NodeID
+	}
+	edges := make(map[Edge]*edgeUse)
+	for pi, p := range passes {
+		for _, n := range p.order {
+			e, ok := p.topo.EdgeTo(n)
+			if !ok {
+				continue
+			}
+			u := edges[e]
+			if u == nil {
+				u = &edgeUse{}
+				edges[e] = u
+			}
+			u.sessions = append(u.sessions, pi)
+			u.children = append(u.children, n)
+		}
+	}
+
+	base := a.cfg.LayerRates[0]
+
+	// Per session: top-down "available if others at base" bandwidth.
+	avail := make([]map[NodeID]float64, len(passes))
+	for pi, p := range passes {
+		av := make(map[NodeID]float64, len(p.order))
+		for _, n := range p.order {
+			parent, ok := p.topo.Parent[n]
+			if !ok {
+				av[n] = math.Inf(1)
+				continue
+			}
+			e := Edge{From: parent, To: n}
+			bw := math.Inf(1)
+			if ls := a.links[e]; ls != nil && !math.IsInf(ls.capacity, 1) {
+				bw = ls.capacity
+				// Subtract the base layers of the other sessions on e.
+				if u := edges[e]; u != nil {
+					others := 0
+					for _, si := range u.sessions {
+						if si != pi {
+							others++
+						}
+					}
+					bw -= float64(others) * base
+				}
+				if bw < base {
+					bw = base // a session is never assumed below its base layer
+				}
+			}
+			av[n] = math.Min(av[parent], bw)
+		}
+		avail[pi] = av
+	}
+
+	// Per session: bottom-up "maximum possible demand" in layers.
+	possible := make([]map[NodeID]int, len(passes))
+	for pi, p := range passes {
+		poss := make(map[NodeID]int, len(p.order))
+		for i := len(p.order) - 1; i >= 0; i-- {
+			n := p.order[i]
+			kids := p.topo.Children[n]
+			if len(kids) == 0 {
+				poss[n] = a.cfg.LevelFor(avail[pi][n])
+				continue
+			}
+			max := 0
+			for _, c := range kids {
+				if poss[c] > max {
+					max = poss[c]
+				}
+			}
+			if p.topo.Receivers[n] {
+				if own := a.cfg.LevelFor(avail[pi][n]); own > max {
+					max = own
+				}
+			}
+			poss[n] = max
+		}
+		possible[pi] = poss
+	}
+
+	// Fair shares on shared, finitely-estimated edges.
+	shares := make(map[shareKey]float64)
+	for _, e := range sortedEdges(edges) {
+		u := edges[e]
+		if len(u.sessions) < 2 {
+			continue
+		}
+		ls := a.links[e]
+		if ls == nil || math.IsInf(ls.capacity, 1) {
+			continue
+		}
+		var total float64
+		weights := make([]float64, len(u.sessions))
+		for i, si := range u.sessions {
+			x := possible[si][u.children[i]]
+			if x < 1 {
+				x = 1
+			}
+			weights[i] = a.cfg.CumRate(x)
+			total += weights[i]
+		}
+		for i, si := range u.sessions {
+			share := ls.capacity * weights[i] / total
+			if share < base {
+				share = base
+			}
+			shares[shareKey{edge: e, session: passes[si].topo.Session}] = share
+		}
+	}
+	return shares
+}

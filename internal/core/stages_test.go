@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+func testConfig() Config {
+	return NewConfig([]float64{32e3, 64e3, 128e3, 256e3, 512e3, 1024e3})
+}
+
+// newPass builds a sessionPass for a topology with given leaf reports.
+func newPass(a *Algorithm, topo *Topology, reports []ReceiverState) *sessionPass {
+	p := &sessionPass{
+		topo:      topo,
+		order:     topo.BFSOrder(),
+		report:    map[NodeID]*ReceiverState{},
+		loss:      map[NodeID]float64{},
+		congest:   map[NodeID]bool{},
+		subBytes:  map[NodeID]int64{},
+		recvCount: map[NodeID]int{},
+		level:     map[NodeID]int{},
+		bneck:     map[NodeID]float64{},
+		maxBW:     map[NodeID]float64{},
+		demand:    map[NodeID]int{},
+		supply:    map[NodeID]int{},
+	}
+	for i := range reports {
+		p.report[reports[i].Node] = &reports[i]
+	}
+	return p
+}
+
+func TestCongestionLeafThreshold(t *testing.T) {
+	a := New(testConfig(), nil)
+	topo := star(0, 2) // leaves 2, 3 under node 1
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, Level: 3, LossRate: 0.10, Bytes: 1000},
+		{Node: 3, Session: 0, Level: 2, LossRate: 0.01, Bytes: 800},
+	})
+	a.computeCongestion(p)
+	if !p.congest[2] {
+		t.Error("leaf 2 at 10% loss not congested")
+	}
+	if p.congest[3] {
+		t.Error("leaf 3 at 1% loss congested")
+	}
+}
+
+func TestCongestionInternalMinLoss(t *testing.T) {
+	a := New(testConfig(), nil)
+	topo := star(0, 3)
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.30, Bytes: 500, Level: 4},
+		{Node: 3, Session: 0, LossRate: 0.10, Bytes: 900, Level: 3},
+		{Node: 4, Session: 0, LossRate: 0.02, Bytes: 1200, Level: 2},
+	})
+	a.computeCongestion(p)
+	// Internal loss = min over children.
+	if p.loss[1] != 0.02 {
+		t.Errorf("internal loss = %g, want 0.02", p.loss[1])
+	}
+	// Max bytes in subtree.
+	if p.subBytes[1] != 1200 || p.subBytes[0] != 1200 {
+		t.Errorf("subBytes = %d/%d, want 1200", p.subBytes[1], p.subBytes[0])
+	}
+	// Level = max of children.
+	if p.level[1] != 4 {
+		t.Errorf("internal level = %d, want 4", p.level[1])
+	}
+	// One healthy child: the internal node is NOT congested.
+	if p.congest[1] {
+		t.Error("internal congested despite a healthy child")
+	}
+}
+
+func TestCongestionInternalAllChildrenSimilar(t *testing.T) {
+	a := New(testConfig(), nil)
+	topo := star(0, 3)
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.20, Bytes: 500},
+		{Node: 3, Session: 0, LossRate: 0.22, Bytes: 500},
+		{Node: 4, Session: 0, LossRate: 0.18, Bytes: 500},
+	})
+	a.computeCongestion(p)
+	if !p.congest[1] {
+		t.Error("internal node with uniformly lossy children not congested")
+	}
+}
+
+func TestCongestionInternalDissimilarChildren(t *testing.T) {
+	cfg := testConfig()
+	cfg.SimilarBand = 0.2 // tight band
+	a := New(cfg, nil)
+	topo := star(0, 3)
+	// A healthy sibling branch keeps the root itself uncongested, so node
+	// 1's state reflects only the similarity rule.
+	topo.Parent[9] = 0
+	topo.Children[0] = append(topo.Children[0], 9)
+	topo.Receivers[9] = true
+	// All of node 1's children above threshold, but wildly different:
+	// points at separate downstream bottlenecks, not the shared link.
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.06, Bytes: 500},
+		{Node: 3, Session: 0, LossRate: 0.30, Bytes: 500},
+		{Node: 4, Session: 0, LossRate: 0.90, Bytes: 500},
+		{Node: 9, Session: 0, LossRate: 0.0, Bytes: 500},
+	})
+	a.computeCongestion(p)
+	if p.congest[1] {
+		t.Error("internal congested despite dissimilar child losses")
+	}
+}
+
+func TestCongestionPropagatesFromParent(t *testing.T) {
+	a := New(testConfig(), nil)
+	// chain 0 -> 1 -> 2 -> 3(receiver); plus a second receiver branch at
+	// 1 so node 1 is internal with two congested children.
+	topo := &Topology{
+		Session: 0, Root: 0,
+		Parent:    map[NodeID]NodeID{1: 0, 2: 1, 3: 2, 4: 1},
+		Children:  map[NodeID][]NodeID{0: {1}, 1: {2, 4}, 2: {3}},
+		Receivers: map[NodeID]bool{3: true, 4: true},
+	}
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 3, Session: 0, LossRate: 0.20, Bytes: 100},
+		{Node: 4, Session: 0, LossRate: 0.21, Bytes: 100},
+	})
+	a.computeCongestion(p)
+	if !p.congest[1] {
+		t.Fatal("node 1 should be congested (similar lossy children)")
+	}
+	// Node 2 is internal: congested because its parent 1 is.
+	if !p.congest[2] {
+		t.Error("internal child of congested parent not congested")
+	}
+}
+
+func TestCongestionUnreportedLeafAssumedClean(t *testing.T) {
+	a := New(testConfig(), nil)
+	topo := star(0, 2)
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.50, Bytes: 100},
+		// leaf 3 never reported
+	})
+	a.computeCongestion(p)
+	if p.congest[3] {
+		t.Error("silent leaf treated as congested")
+	}
+	if p.loss[1] != 0 {
+		t.Errorf("internal min loss = %g, want 0 (silent child)", p.loss[1])
+	}
+}
+
+func TestCapacityInfiniteUntilLoss(t *testing.T) {
+	a := New(testConfig(), nil)
+	topo := chain(0, 3)
+	p := newPass(a, topo, []ReceiverState{{Node: 2, Session: 0, LossRate: 0.0, Bytes: 100_000, Level: 3}})
+	a.computeCongestion(p)
+	a.estimateCapacities(0, []*sessionPass{p})
+	if _, ok := a.CapacityEstimate(Edge{From: 1, To: 2}); ok {
+		t.Error("capacity pinned without loss")
+	}
+}
+
+func TestCapacityPinnedOnLoss(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	// Two similarly lossy receivers behind node 1: the shared edge 0->1 is
+	// pinnable (correlated losses localize the bottleneck).
+	topo := star(0, 2)
+	p := newPass(a, topo, []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.20, Bytes: 120_000, Level: 4},
+		{Node: 3, Session: 0, LossRate: 0.21, Bytes: 110_000, Level: 4},
+	})
+	a.computeCongestion(p)
+	a.estimateCapacities(0, []*sessionPass{p})
+	got, ok := a.CapacityEstimate(Edge{From: 0, To: 1})
+	if !ok {
+		t.Fatal("capacity not pinned despite correlated loss")
+	}
+	// Observed = max bytes any receiver in the subtree got through 0->1.
+	want := 120_000.0 * 8 / cfg.Interval.Seconds()
+	if math.Abs(got-want) > 1 {
+		t.Errorf("capacity = %g, want %g", got, want)
+	}
+}
+
+func TestCapacityNotPinnedForSingleObserver(t *testing.T) {
+	// One receiver behind a chain: its loss cannot be localized to any
+	// edge, so nothing is pinned (single-session bottlenecks are handled
+	// by the demand table).
+	a := New(testConfig(), nil)
+	topo := chain(0, 3)
+	p := newPass(a, topo, []ReceiverState{{Node: 2, Session: 0, LossRate: 0.30, Bytes: 120_000, Level: 4}})
+	a.computeCongestion(p)
+	a.estimateCapacities(0, []*sessionPass{p})
+	for _, e := range []Edge{{0, 1}, {1, 2}} {
+		if _, ok := a.CapacityEstimate(e); ok {
+			t.Errorf("edge %v pinned with a single observer", e)
+		}
+	}
+}
+
+func TestCapacityGrowthAndReset(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	topo := star(0, 2)
+	lossy := []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0.2, Bytes: 100_000, Level: 4},
+		{Node: 3, Session: 0, LossRate: 0.21, Bytes: 90_000, Level: 4},
+	}
+	clean := []ReceiverState{
+		{Node: 2, Session: 0, LossRate: 0, Bytes: 100_000, Level: 4},
+		{Node: 3, Session: 0, LossRate: 0, Bytes: 90_000, Level: 4},
+	}
+	e := Edge{From: 0, To: 1}
+
+	p := newPass(a, topo, lossy)
+	a.computeCongestion(p)
+	a.estimateCapacities(0, []*sessionPass{p})
+	c0, ok := a.CapacityEstimate(e)
+	if !ok {
+		t.Fatal("not pinned")
+	}
+
+	// Next interval, no loss: estimate grows by CapacityGrowth.
+	p2 := newPass(a, topo, clean)
+	a.computeCongestion(p2)
+	a.estimateCapacities(cfg.Interval, []*sessionPass{p2})
+	c1, ok := a.CapacityEstimate(e)
+	if !ok {
+		t.Fatal("estimate vanished")
+	}
+	if math.Abs(c1-c0*(1+cfg.CapacityGrowth)) > 1e-6*c0 {
+		t.Errorf("growth: %g -> %g, want factor %g", c0, c1, 1+cfg.CapacityGrowth)
+	}
+
+	// The estimate expires back to infinity after at most 1.5x the reset
+	// period (per-link jitter randomizes the exact instant).
+	p3 := newPass(a, topo, clean)
+	a.computeCongestion(p3)
+	a.estimateCapacities(cfg.CapacityResetPeriod*2, []*sessionPass{p3})
+	if _, ok := a.CapacityEstimate(e); ok {
+		t.Error("estimate survived well past the reset horizon")
+	}
+}
+
+func TestCapacityNotPinnedWhenOneSessionHealthy(t *testing.T) {
+	a := New(testConfig(), nil)
+	// Two sessions share edge 0->1; only session 0 is losing (its own
+	// downstream problem) — the shared link must stay infinite.
+	t0 := chain(0, 3)
+	t1 := chain(1, 3)
+	p0 := newPass(a, t0, []ReceiverState{{Node: 2, Session: 0, LossRate: 0.30, Bytes: 50_000, Level: 4}})
+	p1 := newPass(a, t1, []ReceiverState{{Node: 2, Session: 1, LossRate: 0.01, Bytes: 90_000, Level: 4}})
+	a.computeCongestion(p0)
+	a.computeCongestion(p1)
+	a.estimateCapacities(0, []*sessionPass{p0, p1})
+	if _, ok := a.CapacityEstimate(Edge{From: 0, To: 1}); ok {
+		t.Error("shared link pinned while one session is healthy")
+	}
+}
+
+func TestCapacitySharedLinkSumsSessions(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	t0 := chain(0, 3)
+	t1 := chain(1, 3)
+	p0 := newPass(a, t0, []ReceiverState{{Node: 2, Session: 0, LossRate: 0.30, Bytes: 50_000, Level: 4}})
+	p1 := newPass(a, t1, []ReceiverState{{Node: 2, Session: 1, LossRate: 0.25, Bytes: 70_000, Level: 4}})
+	a.computeCongestion(p0)
+	a.computeCongestion(p1)
+	a.estimateCapacities(0, []*sessionPass{p0, p1})
+	got, ok := a.CapacityEstimate(Edge{From: 0, To: 1})
+	if !ok {
+		t.Fatal("shared link not pinned with both sessions lossy")
+	}
+	want := (50_000 + 70_000) * 8.0 / cfg.Interval.Seconds()
+	if math.Abs(got-want) > 1 {
+		t.Errorf("capacity = %g, want %g", got, want)
+	}
+}
+
+func TestBottleneckPropagation(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	topo := chain(0, 4) // 0->1->2->3
+	a.links[Edge{From: 0, To: 1}] = &linkState{capacity: 1e6}
+	a.links[Edge{From: 1, To: 2}] = &linkState{capacity: 200e3}
+	a.links[Edge{From: 2, To: 3}] = &linkState{capacity: 500e3}
+	p := newPass(a, topo, nil)
+	a.computeBottlenecks(p)
+	if p.bneck[3] != 200e3 {
+		t.Errorf("bottleneck at leaf = %g, want 200e3 (min on path)", p.bneck[3])
+	}
+	if p.bneck[1] != 1e6 {
+		t.Errorf("bottleneck at 1 = %g", p.bneck[1])
+	}
+	if !math.IsInf(p.bneck[0], 1) {
+		t.Errorf("root bottleneck should be +inf")
+	}
+	if p.maxBW[0] != 200e3 {
+		t.Errorf("maxBW at root = %g, want 200e3", p.maxBW[0])
+	}
+}
+
+func TestBottleneckMaxOverChildren(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	topo := star(0, 2) // 0 -> 1 -> {2, 3}
+	a.links[Edge{From: 1, To: 2}] = &linkState{capacity: 100e3}
+	a.links[Edge{From: 1, To: 3}] = &linkState{capacity: 500e3}
+	p := newPass(a, topo, nil)
+	a.computeBottlenecks(p)
+	if p.maxBW[1] != 500e3 {
+		t.Errorf("maxBW at 1 = %g, want 500e3 (fastest child)", p.maxBW[1])
+	}
+	if p.maxBW[2] != 100e3 || p.maxBW[3] != 500e3 {
+		t.Errorf("leaf maxBW = %g/%g", p.maxBW[2], p.maxBW[3])
+	}
+}
+
+// Property: bottleneck bandwidth is non-increasing from root to leaf.
+func TestQuickBottleneckMonotone(t *testing.T) {
+	cfg := testConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(cfg, nil)
+		n := rng.Intn(20) + 2
+		topo := &Topology{Session: 0, Root: 0,
+			Parent: map[NodeID]NodeID{}, Children: map[NodeID][]NodeID{}, Receivers: map[NodeID]bool{}}
+		for i := 1; i < n; i++ {
+			p := NodeID(rng.Intn(i))
+			topo.Parent[NodeID(i)] = p
+			topo.Children[p] = append(topo.Children[p], NodeID(i))
+			if rng.Intn(2) == 0 {
+				a.links[Edge{From: p, To: NodeID(i)}] = &linkState{capacity: float64(rng.Intn(900)+100) * 1e3}
+			}
+		}
+		p := newPass(a, topo, nil)
+		a.computeBottlenecks(p)
+		for child, parent := range topo.Parent {
+			if p.bneck[child] > p.bneck[parent] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareBandwidthProportional(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	// Sessions 0 and 1 share edge 0->1; session 0's subtree can take 4
+	// layers, session 1's only 1 (a 32k downstream bottleneck).
+	t0 := chain(0, 3)
+	t1 := chain(1, 3)
+	a.links[Edge{From: 0, To: 1}] = &linkState{capacity: 512e3}
+	a.links[Edge{From: 1, To: 2}] = &linkState{capacity: math.Inf(1)}
+	p0 := newPass(a, t0, []ReceiverState{{Node: 2, Session: 0, Level: 4, Bytes: 1}})
+	p1 := newPass(a, t1, []ReceiverState{{Node: 2, Session: 1, Level: 1, Bytes: 1}})
+	a.computeCongestion(p0)
+	a.computeCongestion(p1)
+	// Session 1's own path is pinched by a separate per-session edge: give
+	// session 1 a tighter downstream link. Both sessions share 0->1 only.
+	// For this unit test, constrain session 1 via its avail: re-pin the
+	// shared edge and check proportionality of weights.
+	shares := a.shareBandwidth([]*sessionPass{p0, p1})
+	s0 := shares[shareKey{Edge{0, 1}, 0}]
+	s1 := shares[shareKey{Edge{0, 1}, 1}]
+	if s0 == 0 || s1 == 0 {
+		t.Fatalf("missing shares: %v", shares)
+	}
+	// Both subtrees look identical here (no per-session constraint), so
+	// shares must be equal and sum to the capacity.
+	if math.Abs(s0-s1) > 1 {
+		t.Errorf("equal sessions got unequal shares: %g vs %g", s0, s1)
+	}
+	if math.Abs(s0+s1-512e3) > 1 {
+		t.Errorf("shares do not sum to capacity: %g", s0+s1)
+	}
+}
+
+func TestShareBandwidthRespectsDownstreamBottleneck(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	// Shared edge 0->1 at 992k. Session 1 has a 32k bottleneck deeper
+	// (edge 1->2 pinned in ITS topology only is impossible — edges are
+	// physical) so model it via distinct leaf edges: session 0 leaf at 2,
+	// session 1 leaf at 3.
+	t0 := &Topology{Session: 0, Root: 0,
+		Parent:    map[NodeID]NodeID{1: 0, 2: 1},
+		Children:  map[NodeID][]NodeID{0: {1}, 1: {2}},
+		Receivers: map[NodeID]bool{2: true}}
+	t1 := &Topology{Session: 1, Root: 0,
+		Parent:    map[NodeID]NodeID{1: 0, 3: 1},
+		Children:  map[NodeID][]NodeID{0: {1}, 1: {3}},
+		Receivers: map[NodeID]bool{3: true}}
+	a.links[Edge{From: 0, To: 1}] = &linkState{capacity: 992e3}
+	a.links[Edge{From: 1, To: 3}] = &linkState{capacity: 32e3} // session 1 pinched
+	p0 := newPass(a, t0, []ReceiverState{{Node: 2, Session: 0, Level: 4, Bytes: 1}})
+	p1 := newPass(a, t1, []ReceiverState{{Node: 3, Session: 1, Level: 1, Bytes: 1}})
+	a.computeCongestion(p0)
+	a.computeCongestion(p1)
+	shares := a.shareBandwidth([]*sessionPass{p0, p1})
+	s0 := shares[shareKey{Edge{0, 1}, 0}]
+	s1 := shares[shareKey{Edge{0, 1}, 1}]
+	if s0 <= s1 {
+		t.Errorf("unconstrained session got no more than pinched one: %g vs %g", s0, s1)
+	}
+	if s1 < 32e3 {
+		t.Errorf("session below base layer: %g", s1)
+	}
+	// Session 0's weight: min(992k - 1*32k, ...) = 960k usable -> 4 layers
+	// (480k); session 1: 32k -> 1 layer. Weights 480:32 over 992k.
+	want0 := 992e3 * 480.0 / 512.0
+	if math.Abs(s0-want0) > 1 {
+		t.Errorf("s0 = %g, want %g", s0, want0)
+	}
+}
+
+func TestShareBandwidthSkipsUnsharedAndUnpinned(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg, nil)
+	t0 := chain(0, 3)
+	a.links[Edge{From: 0, To: 1}] = &linkState{capacity: 512e3}
+	p0 := newPass(a, t0, []ReceiverState{{Node: 2, Session: 0, Level: 2, Bytes: 1}})
+	a.computeCongestion(p0)
+	shares := a.shareBandwidth([]*sessionPass{p0})
+	if len(shares) != 0 {
+		t.Errorf("single-session link produced shares: %v", shares)
+	}
+	// Shared but unpinned link: also no shares.
+	t1 := chain(1, 3)
+	p1 := newPass(a, t1, []ReceiverState{{Node: 2, Session: 1, Level: 2, Bytes: 1}})
+	a.computeCongestion(p1)
+	delete(a.links, Edge{From: 0, To: 1})
+	shares = a.shareBandwidth([]*sessionPass{p0, p1})
+	if len(shares) != 0 {
+		t.Errorf("unpinned shared link produced shares: %v", shares)
+	}
+}
+
+// quickCheck runs a property with a bounded count.
+func quickCheck(f func(int64) bool, n int) error {
+	for i := 0; i < n; i++ {
+		if !f(int64(i * 7919)) {
+			return &quickError{seed: int64(i * 7919)}
+		}
+	}
+	return nil
+}
+
+type quickError struct{ seed int64 }
+
+func (e *quickError) Error() string { return "property failed at seed " + sim.Time(e.seed).String() }

@@ -1,0 +1,171 @@
+package core
+
+// This file encodes Table I of the paper: the decision table for computing
+// demand at each node at time T2. The congestion-state history is a 3-bit
+// integer — bit 2 is the state at T0, bit 1 at T1 and bit 0 at T2
+// (CONGESTED = 1) — and the "BW Equality" column relates the bandwidth
+// received in interval T0–T1 to that received in T1–T2.
+
+// BWRel is the "BW Equality" column: how bandwidth received in the earlier
+// interval (T0–T1) compares to the later one (T1–T2).
+type BWRel int
+
+const (
+	// BWLesser: earlier interval carried less than the later (receiving
+	// more recently — ramping up).
+	BWLesser BWRel = iota
+	// BWEqual: both intervals carried about the same (steady state).
+	BWEqual
+	// BWGreater: earlier interval carried more (receiving is declining).
+	BWGreater
+)
+
+func (r BWRel) String() string {
+	switch r {
+	case BWLesser:
+		return "lesser"
+	case BWEqual:
+		return "equal"
+	default:
+		return "greater"
+	}
+}
+
+// CompareBW classifies two interval byte counts into a BWRel with relative
+// tolerance tol: counts within tol of the larger are Equal.
+func CompareBW(earlier, later int64, tol float64) BWRel {
+	a, b := float64(earlier), float64(later)
+	max := a
+	if b > max {
+		max = b
+	}
+	if max == 0 || absf(a-b) <= tol*max {
+		return BWEqual
+	}
+	if a < b {
+		return BWLesser
+	}
+	return BWGreater
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Action is one cell of Table I.
+type Action int
+
+const (
+	// ActMaintain keeps the demand at the current subscription level.
+	ActMaintain Action = iota
+	// ActAdd adds the next layer, if it is not backing off.
+	ActAdd
+	// ActDropIfHighLoss drops one layer and sets the back-off timer, but
+	// only when the loss rate is high (leaf, history 1, BW lesser).
+	ActDropIfHighLoss
+	// ActReduceToSupplyOld reduces demand to the supply in T0–Tn (the
+	// earlier interval's allocation).
+	ActReduceToSupplyOld
+	// ActHalveSupplyOld reduces demand to half the supply in T0–Tn and
+	// sets the back-off timer.
+	ActHalveSupplyOld
+	// ActHalveSupplyOldIfVeryHigh reduces demand to half the supply in
+	// T0–Tn only when loss is very high (leaf, history 3/7, BW greater).
+	ActHalveSupplyOldIfVeryHigh
+	// ActHalveSupplyRecent reduces demand to half the supply in Tn–T2n
+	// (the most recent allocation; internal, history 1/5/7, BW greater).
+	ActHalveSupplyRecent
+	// ActAccept accepts all demands of the child nodes (internal node).
+	ActAccept
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActMaintain:
+		return "maintain"
+	case ActAdd:
+		return "add"
+	case ActDropIfHighLoss:
+		return "drop-if-high-loss"
+	case ActReduceToSupplyOld:
+		return "reduce-to-old-supply"
+	case ActHalveSupplyOld:
+		return "halve-old-supply"
+	case ActHalveSupplyOldIfVeryHigh:
+		return "halve-old-supply-if-very-high"
+	case ActHalveSupplyRecent:
+		return "halve-recent-supply"
+	case ActAccept:
+		return "accept"
+	default:
+		return "unknown"
+	}
+}
+
+// SetsBackoff reports whether Table I attaches "set the backoff timer" to
+// the action cell.
+func (a Action) SetsBackoff() bool {
+	switch a {
+	case ActDropIfHighLoss, ActHalveSupplyOld:
+		return true
+	}
+	return false
+}
+
+// LeafAction returns the Table-I cell for a leaf node with the given 3-bit
+// congestion history and BW relation.
+func LeafAction(hist uint8, rel BWRel) Action {
+	hist &= 7
+	switch rel {
+	case BWLesser:
+		switch hist {
+		case 0:
+			return ActAdd
+		case 1:
+			return ActDropIfHighLoss
+		case 2, 4, 5, 6:
+			return ActMaintain
+		case 3:
+			return ActReduceToSupplyOld
+		default: // 7
+			return ActHalveSupplyOld
+		}
+	case BWEqual:
+		switch hist {
+		case 0, 4:
+			return ActAdd
+		case 1, 2, 5, 6:
+			return ActMaintain
+		default: // 3, 7
+			return ActHalveSupplyOld
+		}
+	default: // BWGreater
+		switch hist {
+		case 0:
+			return ActAdd
+		case 1, 2, 4, 5, 6:
+			return ActMaintain
+		default: // 3, 7
+			return ActHalveSupplyOldIfVeryHigh
+		}
+	}
+}
+
+// InternalAction returns the Table-I cell for an internal node.
+func InternalAction(hist uint8, rel BWRel) Action {
+	hist &= 7
+	switch hist {
+	case 0, 4:
+		return ActAccept
+	case 2, 3, 6:
+		return ActMaintain
+	default: // 1, 5, 7
+		if rel == BWGreater {
+			return ActHalveSupplyRecent
+		}
+		return ActHalveSupplyOld
+	}
+}

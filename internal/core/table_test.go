@@ -1,0 +1,152 @@
+package core
+
+import "testing"
+
+// TestLeafActionTable checks every cell of Table I for leaf nodes — 8
+// histories x 3 BW relations.
+func TestLeafActionTable(t *testing.T) {
+	cases := []struct {
+		hist uint8
+		rel  BWRel
+		want Action
+	}{
+		// BW Lesser.
+		{0, BWLesser, ActAdd},
+		{1, BWLesser, ActDropIfHighLoss},
+		{2, BWLesser, ActMaintain},
+		{3, BWLesser, ActReduceToSupplyOld},
+		{4, BWLesser, ActMaintain},
+		{5, BWLesser, ActMaintain},
+		{6, BWLesser, ActMaintain},
+		{7, BWLesser, ActHalveSupplyOld},
+		// BW Equal.
+		{0, BWEqual, ActAdd},
+		{1, BWEqual, ActMaintain},
+		{2, BWEqual, ActMaintain},
+		{3, BWEqual, ActHalveSupplyOld},
+		{4, BWEqual, ActAdd},
+		{5, BWEqual, ActMaintain},
+		{6, BWEqual, ActMaintain},
+		{7, BWEqual, ActHalveSupplyOld},
+		// BW Greater.
+		{0, BWGreater, ActAdd},
+		{1, BWGreater, ActMaintain},
+		{2, BWGreater, ActMaintain},
+		{3, BWGreater, ActHalveSupplyOldIfVeryHigh},
+		{4, BWGreater, ActMaintain},
+		{5, BWGreater, ActMaintain},
+		{6, BWGreater, ActMaintain},
+		{7, BWGreater, ActHalveSupplyOldIfVeryHigh},
+	}
+	for _, c := range cases {
+		if got := LeafAction(c.hist, c.rel); got != c.want {
+			t.Errorf("LeafAction(%d, %v) = %v, want %v", c.hist, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestInternalActionTable checks every cell of Table I for internal nodes.
+func TestInternalActionTable(t *testing.T) {
+	cases := []struct {
+		hist uint8
+		rel  BWRel
+		want Action
+	}{
+		{0, BWLesser, ActAccept},
+		{0, BWEqual, ActAccept},
+		{0, BWGreater, ActAccept},
+		{4, BWLesser, ActAccept},
+		{4, BWEqual, ActAccept},
+		{4, BWGreater, ActAccept},
+		{1, BWGreater, ActHalveSupplyRecent},
+		{5, BWGreater, ActHalveSupplyRecent},
+		{7, BWGreater, ActHalveSupplyRecent},
+		{1, BWEqual, ActHalveSupplyOld},
+		{1, BWLesser, ActHalveSupplyOld},
+		{5, BWEqual, ActHalveSupplyOld},
+		{5, BWLesser, ActHalveSupplyOld},
+		{7, BWEqual, ActHalveSupplyOld},
+		{7, BWLesser, ActHalveSupplyOld},
+		{2, BWLesser, ActMaintain},
+		{2, BWEqual, ActMaintain},
+		{2, BWGreater, ActMaintain},
+		{3, BWLesser, ActMaintain},
+		{3, BWEqual, ActMaintain},
+		{3, BWGreater, ActMaintain},
+		{6, BWLesser, ActMaintain},
+		{6, BWEqual, ActMaintain},
+		{6, BWGreater, ActMaintain},
+	}
+	for _, c := range cases {
+		if got := InternalAction(c.hist, c.rel); got != c.want {
+			t.Errorf("InternalAction(%d, %v) = %v, want %v", c.hist, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestTableHistoryMasked(t *testing.T) {
+	// Histories beyond 3 bits must be masked, not misclassified.
+	if LeafAction(8, BWLesser) != LeafAction(0, BWLesser) {
+		t.Error("hist 8 should behave as hist 0")
+	}
+	if InternalAction(15, BWEqual) != InternalAction(7, BWEqual) {
+		t.Error("hist 15 should behave as hist 7")
+	}
+}
+
+func TestCompareBW(t *testing.T) {
+	cases := []struct {
+		earlier, later int64
+		want           BWRel
+	}{
+		{0, 0, BWEqual},
+		{100, 100, BWEqual},
+		{100, 104, BWEqual},   // within 5%
+		{104, 100, BWEqual},   // within 5%
+		{100, 200, BWLesser},  // ramping up
+		{200, 100, BWGreater}, // declining
+		{0, 50, BWLesser},
+		{50, 0, BWGreater},
+	}
+	for _, c := range cases {
+		if got := CompareBW(c.earlier, c.later, 0.05); got != c.want {
+			t.Errorf("CompareBW(%d, %d) = %v, want %v", c.earlier, c.later, got, c.want)
+		}
+	}
+}
+
+func TestCompareBWZeroTolerance(t *testing.T) {
+	if CompareBW(100, 101, 0) != BWLesser {
+		t.Error("zero tolerance must distinguish 100 vs 101")
+	}
+}
+
+func TestActionStringsAndBackoff(t *testing.T) {
+	all := []Action{ActMaintain, ActAdd, ActDropIfHighLoss, ActReduceToSupplyOld,
+		ActHalveSupplyOld, ActHalveSupplyOldIfVeryHigh, ActHalveSupplyRecent, ActAccept}
+	seen := map[string]bool{}
+	for _, a := range all {
+		s := a.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("Action %d has bad String %q", a, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate Action String %q", s)
+		}
+		seen[s] = true
+	}
+	if Action(99).String() != "unknown" {
+		t.Error("out-of-range action String")
+	}
+	if !ActDropIfHighLoss.SetsBackoff() || !ActHalveSupplyOld.SetsBackoff() {
+		t.Error("backoff-setting cells not flagged")
+	}
+	if ActMaintain.SetsBackoff() || ActAdd.SetsBackoff() {
+		t.Error("non-backoff cells flagged")
+	}
+	for _, r := range []BWRel{BWLesser, BWEqual, BWGreater} {
+		if r.String() == "" {
+			t.Error("empty BWRel String")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package core implements the TopoSense algorithm — the paper's primary
+// contribution. TopoSense runs inside a per-domain controller agent. Each
+// decision interval it consumes (a) the discovered multicast session
+// topologies, possibly stale, and (b) receiver loss/byte reports, and
+// produces a prescribed subscription level for every receiver.
+//
+// The algorithm's five stages follow Figure 4 of the paper:
+//
+//  1. compute a congestion state for every node of every session tree
+//     (congestion.go);
+//  2. estimate link capacities for shared links from observed loss and
+//     throughput (capacity.go);
+//  3. propagate bottleneck bandwidths through each tree (bottleneck.go);
+//  4. share estimated capacity on shared links between competing sessions
+//     (sharing.go);
+//  5. compute per-node demand with the Table-I decision table and allocate
+//     supply top-down (table.go, demand.go).
+//
+// The package is deliberately free of any dependency on the network
+// simulator's machinery beyond identifier types: it operates on plain
+// topology and report values, which keeps every stage unit-testable in
+// isolation and mirrors the paper's statement that the algorithm works on
+// "an internal image of the multicast tree topologies".
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// NodeID aliases the network node identifier.
+type NodeID = netsim.NodeID
+
+// Topology is the controller's image of one session's multicast tree: the
+// overlay of the per-layer distribution trees (a tree, because layers are
+// cumulative).
+type Topology struct {
+	Session int
+	Root    NodeID
+	// Parent maps every non-root on-tree node to its parent.
+	Parent map[NodeID]NodeID
+	// Children maps every on-tree node to its children.
+	Children map[NodeID][]NodeID
+	// Receivers marks the nodes with attached receivers (report sources).
+	Receivers map[NodeID]bool
+}
+
+// Validate checks tree invariants: a real root, parent/child symmetry, no
+// cycles, connectivity. The controller calls this on every discovered
+// topology before feeding it to the algorithm.
+func (t *Topology) Validate() error {
+	if t.Root == netsim.NoNode {
+		return fmt.Errorf("core: topology for session %d has no root", t.Session)
+	}
+	if _, hasParent := t.Parent[t.Root]; hasParent {
+		return fmt.Errorf("core: root %d has a parent", t.Root)
+	}
+	for child, parent := range t.Parent {
+		found := false
+		for _, c := range t.Children[parent] {
+			if c == child {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: node %d has parent %d but is not its child", child, parent)
+		}
+	}
+	for parent, kids := range t.Children {
+		for _, c := range kids {
+			if t.Parent[c] != parent {
+				return fmt.Errorf("core: node %d is child of %d but Parent says %d", c, parent, t.Parent[c])
+			}
+		}
+	}
+	// Reachability from the root must cover every node in Parent.
+	seen := map[NodeID]bool{t.Root: true}
+	stack := []NodeID{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children[n] {
+			if seen[c] {
+				return fmt.Errorf("core: node %d reached twice (cycle or diamond)", c)
+			}
+			seen[c] = true
+			stack = append(stack, c)
+		}
+	}
+	for child := range t.Parent {
+		if !seen[child] {
+			return fmt.Errorf("core: node %d unreachable from root", child)
+		}
+	}
+	return nil
+}
+
+// BFSOrder returns the nodes top-down: the root first, every parent before
+// its children. Reversing it yields a valid bottom-up order. Sibling order
+// follows the Children slices, so it is deterministic.
+func (t *Topology) BFSOrder() []NodeID {
+	order := make([]NodeID, 0, len(t.Parent)+1)
+	queue := []NodeID{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		queue = append(queue, t.Children[n]...)
+	}
+	return order
+}
+
+// IsLeaf reports whether the node has no children in this topology.
+func (t *Topology) IsLeaf(n NodeID) bool { return len(t.Children[n]) == 0 }
+
+// Edge identifies a directed physical link from Parent to Child. The same
+// Edge appearing in several session topologies is a shared link.
+type Edge struct {
+	From, To NodeID
+}
+
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+
+// EdgeTo returns the edge from n's parent to n, and false for the root.
+func (t *Topology) EdgeTo(n NodeID) (Edge, bool) {
+	p, ok := t.Parent[n]
+	if !ok {
+		return Edge{}, false
+	}
+	return Edge{From: p, To: n}, true
+}
+
+// ReceiverState is the controller's latest view of one receiver in one
+// session, assembled from loss reports.
+type ReceiverState struct {
+	Node     NodeID
+	Session  int
+	Level    int     // subscription level during the reported interval
+	LossRate float64 // fraction of expected packets missing, 0..1
+	Bytes    int64   // bytes received over the controller's decision interval
+}
+
+// Suggestion is the algorithm's output: the subscription level receiver
+// Node should use for Session.
+type Suggestion struct {
+	Node    NodeID
+	Session int
+	Level   int
+}
+
+// Input bundles everything one Step consumes.
+type Input struct {
+	Now        sim.Time
+	Topologies []*Topology
+	Reports    []ReceiverState
+}
+
+// sortedEdges returns map keys in deterministic order.
+func sortedEdges[V any](m map[Edge]V) []Edge {
+	out := make([]Edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

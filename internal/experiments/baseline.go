@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toposense/internal/mcast"
+	"toposense/internal/metrics"
+	"toposense/internal/rlm"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+	"toposense/internal/topology"
+)
+
+// RLMWorld is a simulation using uncoordinated receiver-driven (RLM-style)
+// receivers instead of a TopoSense controller — the baseline class of
+// approaches the paper contrasts with.
+type RLMWorld struct {
+	Engine    *sim.Engine
+	Build     *topology.Build
+	Domain    *mcast.Domain
+	Sources   []*source.Source
+	Receivers [][]*rlm.Receiver
+	Traces    [][]*metrics.Trace
+	Optimal   [][]int
+	started   bool
+}
+
+// NewRLMWorld assembles an RLM world on a built topology.
+func NewRLMWorld(e *sim.Engine, b *topology.Build, cfg WorldConfig) *RLMWorld {
+	layers := cfg.Layers
+	if layers == 0 {
+		layers = source.DefaultLayers
+	}
+	d := mcast.NewDomain(b.Net)
+	w := &RLMWorld{Engine: e, Build: b, Domain: d, Optimal: b.Optimal}
+	for i, srcNode := range b.Sources {
+		w.Sources = append(w.Sources, source.New(b.Net, d, srcNode, source.Config{
+			Session: i, Layers: layers, PeakToMean: cfg.Traffic.PeakToMean,
+		}))
+	}
+	for s := range b.Receivers {
+		var rxs []*rlm.Receiver
+		var trs []*metrics.Trace
+		for _, node := range b.Receivers[s] {
+			rx := rlm.New(b.Net, d, node, rlm.Config{Session: s, MaxLayers: layers})
+			tr := metrics.NewTrace(0, 0)
+			rx.OnChange = func(c rlm.Change) { tr.Set(c.At, c.To) }
+			rxs = append(rxs, rx)
+			trs = append(trs, tr)
+		}
+		w.Receivers = append(w.Receivers, rxs)
+		w.Traces = append(w.Traces, trs)
+	}
+	return w
+}
+
+// Run starts everything and advances to the given time.
+func (w *RLMWorld) Run(until sim.Time) {
+	if !w.started {
+		w.started = true
+		for _, s := range w.Sources {
+			s.Start()
+		}
+		for _, rxs := range w.Receivers {
+			for _, rx := range rxs {
+				rx.Start()
+			}
+		}
+	}
+	w.Engine.RunUntil(until)
+}
+
+// AllTraces flattens traces with their optima.
+func (w *RLMWorld) AllTraces() (traces []*metrics.Trace, optima []int) {
+	for s := range w.Traces {
+		traces = append(traces, w.Traces[s]...)
+		optima = append(optima, w.Optimal[s]...)
+	}
+	return traces, optima
+}
+
+// BaselineRow compares TopoSense and RLM on the same scenario.
+type BaselineRow struct {
+	Scenario   string
+	Algo       string // "TopoSense" | "RLM"
+	Deviation  float64
+	MaxChanges int
+}
+
+// BaselineConfig parameterizes the comparison.
+type BaselineConfig struct {
+	Seed     int64
+	Duration sim.Time  // 0 = the paper's 1200 s
+	Traffics []Traffic // nil = {CBR, VBR(P=3)}
+	// Topology A set size and Topology B session count.
+	PerSet   int // 0 = 4 (8 receivers)
+	Sessions int // 0 = 4
+}
+
+func (c *BaselineConfig) normalize() {
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.Traffics == nil {
+		c.Traffics = []Traffic{CBR, VBR3}
+	}
+	if c.PerSet == 0 {
+		c.PerSet = 4
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 4
+	}
+}
+
+// RunBaseline runs TopoSense and the RLM baseline on Topologies A and B and
+// reports deviation-from-optimal and stability side by side. The shape the
+// paper argues for: topology-aware coordination tracks the optimum at least
+// as closely with fewer subscription changes, because receivers never probe
+// a bottleneck another receiver already mapped.
+func RunBaseline(cfg BaselineConfig) []BaselineRow {
+	cfg.normalize()
+	var rows []BaselineRow
+
+	run := func(scenario string, tr Traffic, topoSense bool) BaselineRow {
+		var traces []*metrics.Trace
+		var optima []int
+		wc := WorldConfig{Seed: cfg.Seed, Traffic: tr}
+		if scenario == "A" {
+			e := sim.NewEngine(cfg.Seed)
+			b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.PerSet})
+			if topoSense {
+				w := NewWorld(e, b, wc)
+				w.Run(cfg.Duration)
+				traces, optima = w.AllTraces()
+			} else {
+				w := NewRLMWorld(e, b, wc)
+				w.Run(cfg.Duration)
+				traces, optima = w.AllTraces()
+			}
+		} else {
+			e := sim.NewEngine(cfg.Seed)
+			b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+			if topoSense {
+				w := NewWorld(e, b, wc)
+				w.Run(cfg.Duration)
+				traces, optima = w.AllTraces()
+			} else {
+				w := NewRLMWorld(e, b, wc)
+				w.Run(cfg.Duration)
+				traces, optima = w.AllTraces()
+			}
+		}
+		algo := "RLM"
+		if topoSense {
+			algo = "TopoSense"
+		}
+		name := fmt.Sprintf("Topology %s", scenario)
+		if scenario == "A" {
+			name += fmt.Sprintf(" (%d receivers)", 2*cfg.PerSet)
+		} else {
+			name += fmt.Sprintf(" (%d sessions)", cfg.Sessions)
+		}
+		name += ", " + tr.Name
+		return BaselineRow{
+			Scenario:   name,
+			Algo:       algo,
+			Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+			MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+		}
+	}
+
+	for _, scenario := range []string{"A", "B"} {
+		for _, tr := range cfg.Traffics {
+			rows = append(rows, run(scenario, tr, true), run(scenario, tr, false))
+		}
+	}
+	return rows
+}
+
+// BaselineTable renders the comparison.
+func BaselineTable(rows []BaselineRow) *Table {
+	t := &Table{
+		Title:  "Baseline comparison: TopoSense vs receiver-driven (RLM-style)",
+		Header: []string{"scenario", "algorithm", "mean relative deviation", "max changes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Scenario, r.Algo, fmt.Sprintf("%.3f", r.Deviation), fmt.Sprintf("%d", r.MaxChanges))
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toposense/internal/receiver"
+	"toposense/internal/sim"
+	"toposense/internal/topology"
+)
+
+// Churn: receivers arriving and departing mid-session. The paper's
+// architecture targets long-lived sessions but receivers register and
+// leave freely ("Potential recipients of multicast traffic register
+// themselves with the controller agent"); this experiment stresses the
+// machinery that makes that safe — registration expiry, group-leave
+// latency, back-off state garbage collection — and checks that a stable
+// reference receiver is not disturbed by its neighbours' churn.
+
+// ChurnRow summarizes one churn intensity.
+type ChurnRow struct {
+	MeanOn, MeanOff sim.Time
+	Arrivals        int
+	// RefDeviation is the always-on reference receiver's deviation — churn
+	// around it must not wreck its subscription.
+	RefDeviation float64
+	// FinalActive counts churning receivers subscribed (>= base) at the end
+	// of the run, and FinalTotal how many were in an on-period.
+	FinalActive, FinalTotal int
+}
+
+// ChurnConfig parameterizes the churn experiment.
+type ChurnConfig struct {
+	Seed     int64
+	Duration sim.Time // 0 = 600 s
+	Slots    int      // churning receiver slots; 0 = 4
+	Traffic  Traffic  // zero = CBR
+}
+
+func (c *ChurnConfig) normalize() {
+	if c.Duration == 0 {
+		c.Duration = 600 * sim.Second
+	}
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.Traffic.Name == "" {
+		c.Traffic = CBR
+	}
+}
+
+// RunChurn sweeps churn intensity on Topology A's fast set: one always-on
+// reference receiver plus Slots receivers cycling through exponential
+// on/off periods.
+func RunChurn(cfg ChurnConfig) []ChurnRow {
+	cfg.normalize()
+	intensities := []struct{ on, off sim.Time }{
+		{180 * sim.Second, 90 * sim.Second}, // gentle
+		{90 * sim.Second, 45 * sim.Second},  // moderate
+		{45 * sim.Second, 20 * sim.Second},  // heavy
+	}
+	var rows []ChurnRow
+	for _, in := range intensities {
+		rows = append(rows, runChurnOnce(cfg, in.on, in.off))
+	}
+	return rows
+}
+
+func runChurnOnce(cfg ChurnConfig, meanOn, meanOff sim.Time) ChurnRow {
+	e := sim.NewEngine(cfg.Seed)
+	// Fast set large enough for the reference + churners; slow set minimal.
+	b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.Slots + 1})
+	w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+
+	// The world wires receivers for every node; we run the slow set and
+	// the first fast receiver (the reference) as-is, and replace the other
+	// fast receivers with churn-managed ones.
+	refIdx := cfg.Slots + 1 // first receiver of set 2
+	w.Start()
+	churnNodes := b.Receivers[0][refIdx+1:]
+	for _, rxs := range w.Receivers {
+		for i, rx := range rxs {
+			if i > refIdx {
+				rx.Stop() // churn slots are managed below
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	row := ChurnRow{MeanOn: meanOn, MeanOff: meanOff}
+	active := make([]*receiver.Receiver, len(churnNodes))
+
+	expDelay := func(mean sim.Time) sim.Time {
+		d := sim.Time(rng.ExpFloat64() * float64(mean))
+		if d < sim.Second {
+			d = sim.Second
+		}
+		return d
+	}
+	var schedule func(slot int, arriving bool)
+	schedule = func(slot int, arriving bool) {
+		if arriving {
+			e.Schedule(expDelay(meanOff), func() {
+				row.Arrivals++
+				rx := receiver.New(w.Net, w.Domain, churnNodes[slot], receiver.Config{
+					Session: 0, MaxLayers: 6, InitialLevel: 1, Controller: b.Controller.ID,
+				})
+				rx.Start()
+				active[slot] = rx
+				schedule(slot, false)
+			})
+			return
+		}
+		e.Schedule(expDelay(meanOn), func() {
+			if active[slot] != nil {
+				active[slot].Stop()
+				active[slot] = nil
+			}
+			schedule(slot, true)
+		})
+	}
+	for slot := range churnNodes {
+		schedule(slot, true)
+	}
+
+	e.RunUntil(cfg.Duration)
+
+	refTrace := w.Traces[0][refIdx]
+	refOptimal := b.Optimal[0][refIdx]
+	row.RefDeviation = refTrace.RelativeDeviation(refOptimal, 0, cfg.Duration)
+	for _, rx := range active {
+		if rx == nil {
+			continue
+		}
+		row.FinalTotal++
+		if rx.Level() >= 1 {
+			row.FinalActive++
+		}
+	}
+	return row
+}
+
+// ChurnTable renders the sweep.
+func ChurnTable(rows []ChurnRow) *Table {
+	t := &Table{
+		Title:  "Receiver churn on Topology A's fast set (reference receiver must stay stable)",
+		Header: []string{"mean on/off", "arrivals", "ref deviation", "active at end"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.0fs/%.0fs", r.MeanOn.Seconds(), r.MeanOff.Seconds()),
+			fmt.Sprintf("%d", r.Arrivals),
+			fmt.Sprintf("%.3f", r.RefDeviation),
+			fmt.Sprintf("%d/%d", r.FinalActive, r.FinalTotal),
+		)
+	}
+	return t
+}

@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+// Scaled-down configs keep test runtime reasonable while exercising every
+// code path of the harness; the full paper-scale sweeps run in
+// cmd/topobench and the benchmarks.
+
+func TestWorldAssemblyA(t *testing.T) {
+	w := NewWorldA(2, WorldConfig{Seed: 1, Traffic: CBR})
+	if len(w.Sources) != 1 || len(w.Receivers[0]) != 4 {
+		t.Fatalf("world shape: %d sources, %d receivers", len(w.Sources), len(w.Receivers[0]))
+	}
+	w.Run(10 * sim.Second)
+	if w.Controller.StepsRun == 0 {
+		t.Error("controller idle")
+	}
+	traces, optima := w.AllTraces()
+	if len(traces) != 4 || len(optima) != 4 {
+		t.Errorf("traces/optima: %d/%d", len(traces), len(optima))
+	}
+	// Start is idempotent.
+	w.Start()
+}
+
+func TestWorldAssemblyB(t *testing.T) {
+	w := NewWorldB(3, WorldConfig{Seed: 1, Traffic: VBR3})
+	if len(w.Sources) != 3 {
+		t.Fatalf("sources = %d", len(w.Sources))
+	}
+	w.Run(10 * sim.Second)
+	for s, rxs := range w.Receivers {
+		if rxs[0].Level() < 1 {
+			t.Errorf("session %d receiver never joined", s)
+		}
+	}
+}
+
+func TestRunFig6Scaled(t *testing.T) {
+	rows := RunFig6(Fig6Config{
+		Seed:     1,
+		Duration: 120 * sim.Second,
+		PerSet:   []int{1, 2},
+		Traffic:  []Traffic{CBR},
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxChanges <= 0 {
+			t.Errorf("receivers never changed subscription: %+v", r)
+		}
+		if r.MeanBetween <= 0 {
+			t.Errorf("non-positive mean time between changes: %+v", r)
+		}
+		if r.Traffic != "CBR" {
+			t.Errorf("traffic label %q", r.Traffic)
+		}
+	}
+	if rows[0].X != 2 || rows[1].X != 4 {
+		t.Errorf("receiver counts: %+v", rows)
+	}
+	table := StabilityTable("Figure 6", "receivers", rows)
+	if !strings.Contains(table.String(), "max changes") {
+		t.Error("table missing header")
+	}
+}
+
+func TestRunFig7Scaled(t *testing.T) {
+	rows := RunFig7(Fig7Config{
+		Seed:     1,
+		Duration: 120 * sim.Second,
+		Sessions: []int{2},
+		Traffic:  []Traffic{CBR, VBR3},
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.X != 2 || r.MaxChanges <= 0 {
+			t.Errorf("row %+v", r)
+		}
+	}
+}
+
+func TestRunFig8Scaled(t *testing.T) {
+	rows := RunFig8(Fig8Config{
+		Seed:     1,
+		Duration: 300 * sim.Second,
+		Sessions: []int{2},
+		Traffic:  []Traffic{CBR},
+	})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	// CBR at 2 sessions should track the optimum closely even in a short
+	// run — the headline fairness result.
+	if r.DevFirst > 0.30 || r.DevSecond > 0.20 {
+		t.Errorf("deviation too large: %+v", r)
+	}
+	if r.DevFirst < 0 || r.DevSecond < 0 {
+		t.Errorf("negative deviation: %+v", r)
+	}
+	if !strings.Contains(FairnessTable(rows).String(), "sessions") {
+		t.Error("fairness table broken")
+	}
+}
+
+func TestRunFig9Scaled(t *testing.T) {
+	res := RunFig9(Fig9Config{
+		Seed:     1,
+		Sessions: 2,
+		Duration: 120 * sim.Second,
+	})
+	if len(res.Levels) != 2 || len(res.Losses) != 2 {
+		t.Fatalf("series count wrong")
+	}
+	for s := range res.Levels {
+		if res.Levels[s].Len() == 0 {
+			t.Errorf("session %d level series empty", s)
+		}
+		if res.Losses[s].Len() != res.Levels[s].Len() {
+			t.Errorf("session %d series lengths differ", s)
+		}
+	}
+	wt := res.WindowTable()
+	if len(wt.Rows) == 0 {
+		t.Error("window table empty")
+	}
+	if res.Summary() == "" {
+		t.Error("summary empty")
+	}
+}
+
+func TestRunFig10Scaled(t *testing.T) {
+	rows := RunFig10(Fig10Config{
+		Seed:      1,
+		Duration:  120 * sim.Second,
+		PerSet:    []int{1},
+		Staleness: []sim.Time{0, 8 * sim.Second},
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Deviation < 0 {
+			t.Errorf("negative deviation: %+v", r)
+		}
+		if r.Receivers != 2 {
+			t.Errorf("receivers = %d", r.Receivers)
+		}
+	}
+	if !strings.Contains(StaleTable(rows).String(), "staleness") {
+		t.Error("stale table broken")
+	}
+}
+
+func TestRunBaselineScaled(t *testing.T) {
+	rows := RunBaseline(BaselineConfig{
+		Seed:     1,
+		Duration: 120 * sim.Second,
+		Traffics: []Traffic{CBR},
+		PerSet:   1,
+		Sessions: 2,
+	})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	algos := map[string]int{}
+	for _, r := range rows {
+		algos[r.Algo]++
+		if r.Deviation < 0 {
+			t.Errorf("negative deviation: %+v", r)
+		}
+	}
+	if algos["TopoSense"] != 2 || algos["RLM"] != 2 {
+		t.Errorf("algo mix: %v", algos)
+	}
+	if !strings.Contains(BaselineTable(rows).String(), "RLM") {
+		t.Error("baseline table broken")
+	}
+}
+
+func TestRLMWorld(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := buildTestB(e, 2)
+	w := NewRLMWorld(e, b, WorldConfig{Seed: 1, Traffic: CBR})
+	w.Run(60 * sim.Second)
+	traces, optima := w.AllTraces()
+	if len(traces) != 2 || len(optima) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for s, rxs := range w.Receivers {
+		if rxs[0].Level() < 1 {
+			t.Errorf("session %d rlm receiver never joined", s)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "333") {
+		t.Errorf("table output %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count %d: %q", len(lines), out)
+	}
+}
+
+func TestTrafficDefinitions(t *testing.T) {
+	if CBR.PeakToMean > 1 || VBR3.PeakToMean != 3 || VBR6.PeakToMean != 6 {
+		t.Error("traffic models wrong")
+	}
+	if len(AllTraffic) != 3 {
+		t.Error("AllTraffic wrong")
+	}
+}
+
+func TestRunAblationScaled(t *testing.T) {
+	rows := RunAblation(AblationConfig{Seed: 1, Duration: 120 * sim.Second, Sessions: 2})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 variants", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		if r.Deviation < 0 || r.MeanLoss < 0 {
+			t.Errorf("negative metrics: %+v", r)
+		}
+	}
+	for _, want := range []string{"full", "no-cooldown", "no-backoff", "pin-any-link", "no-resend"} {
+		if !names[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+	if !strings.Contains(AblationTable(rows).String(), "pin-any-link") {
+		t.Error("ablation table broken")
+	}
+}
+
+func TestRunExtensionsScaled(t *testing.T) {
+	cfg := ExtensionConfig{Seed: 1, Seeds: 1, Duration: 120 * sim.Second}
+	gran := RunGranularity(cfg)
+	if len(gran) != 3 {
+		t.Fatalf("granularity rows = %d", len(gran))
+	}
+	for _, r := range gran {
+		if r.Deviation < 0 || r.TimeToOptimal <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	// Finer layers must not converge faster than the coarse scheme (adds
+	// are one layer at a time).
+	if gran[2].TimeToOptimal < gran[0].TimeToOptimal {
+		t.Errorf("12-layer scheme converged faster than 6-layer: %v < %v",
+			gran[2].TimeToOptimal, gran[0].TimeToOptimal)
+	}
+
+	ll := RunLeaveLatency(cfg)
+	if len(ll) != 5 {
+		t.Fatalf("leave-latency rows = %d", len(ll))
+	}
+	iv := RunIntervalSize(cfg)
+	if len(iv) != 4 {
+		t.Fatalf("interval rows = %d", len(iv))
+	}
+	if !strings.Contains(ExtensionTable("x", "p", iv).String(), "rel deviation") {
+		t.Error("extension table broken")
+	}
+}
+
+func TestRunDomainsScaled(t *testing.T) {
+	rows := RunDomains(DomainsConfig{Seed: 1, Seeds: 1, Duration: 240 * sim.Second, ReceiversPer: 2})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 variants x 2 domains)", len(rows))
+	}
+	variants := map[string]int{}
+	for _, r := range rows {
+		variants[r.Variant]++
+		if r.Deviation < 0 {
+			t.Errorf("negative deviation: %+v", r)
+		}
+		// Both architectures must steer every receiver to within one layer
+		// of its domain optimum — the paper's subtree-independence claim.
+		if !r.FinalOK {
+			t.Errorf("%s / %s did not converge", r.Variant, r.Domain)
+		}
+	}
+	if variants["global"] != 2 || variants["per-domain"] != 2 {
+		t.Errorf("variant mix: %v", variants)
+	}
+	if !strings.Contains(DomainsTable(rows).String(), "per-domain") {
+		t.Error("domains table broken")
+	}
+}
+
+func TestPerDomainControllersAreIndependent(t *testing.T) {
+	// The per-domain variant runs two controllers that never exchange a
+	// message; both must have actually worked (steps and suggestions).
+	cfg := DomainsConfig{Seed: 2, Seeds: 1, Duration: 120 * sim.Second, ReceiversPer: 2}
+	cfg.normalize()
+	w := buildDomainsWorld(cfg)
+	w.wire(cfg, true)
+	w.engine.RunUntil(cfg.Duration)
+	if len(w.controllers) != 2 {
+		t.Fatalf("controllers = %d", len(w.controllers))
+	}
+	for i, c := range w.controllers {
+		if c.StepsRun == 0 || c.SuggestionsSent == 0 {
+			t.Errorf("controller %d idle: steps=%d sugg=%d", i, c.StepsRun, c.SuggestionsSent)
+		}
+	}
+}
+
+func TestRunChurnScaled(t *testing.T) {
+	rows := RunChurn(ChurnConfig{Seed: 1, Duration: 180 * sim.Second, Slots: 2})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Arrivals == 0 {
+			t.Errorf("no arrivals at %v/%v", r.MeanOn, r.MeanOff)
+		}
+		// The always-on reference receiver must stay near its optimum no
+		// matter the churn around it.
+		if r.RefDeviation > 0.25 {
+			t.Errorf("reference receiver disturbed by churn: %.3f at %v/%v", r.RefDeviation, r.MeanOn, r.MeanOff)
+		}
+		// Every churner in an on-period at the end must be subscribed.
+		if r.FinalActive != r.FinalTotal {
+			t.Errorf("wedged churners: %d/%d", r.FinalActive, r.FinalTotal)
+		}
+	}
+	if !strings.Contains(ChurnTable(rows).String(), "arrivals") {
+		t.Error("churn table broken")
+	}
+}
+
+func TestRunConvergenceScaled(t *testing.T) {
+	rows := RunConvergence(ConvergenceConfig{Seed: 1, Duration: 240 * sim.Second, Sets: 3, PerSet: 2})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Set != i+1 || r.Optimal != i+1 {
+			t.Errorf("set %d: optimal %d (capacities sized for exactly k layers)", r.Set, r.Optimal)
+		}
+		// CBR heterogeneous convergence is the prior work's headline: the
+		// steady-state (modal) level must be the optimum and set-mates
+		// must agree.
+		if r.ModalLevel != r.Optimal {
+			t.Errorf("set %d modal level %d, want %d", r.Set, r.ModalLevel, r.Optimal)
+		}
+		if !r.IntraFair {
+			t.Errorf("set %d not intra-fair", r.Set)
+		}
+		if r.TimeToOptimal >= 240*sim.Second && r.Optimal > 1 {
+			t.Errorf("set %d never reached optimal", r.Set)
+		}
+	}
+	// Convergence time grows with the target level (one layer at a time).
+	if rows[2].TimeToOptimal < rows[1].TimeToOptimal {
+		t.Errorf("set 3 converged before set 2: %v < %v", rows[2].TimeToOptimal, rows[1].TimeToOptimal)
+	}
+	if !strings.Contains(ConvergenceTable(rows).String(), "intra-fair") {
+		t.Error("convergence table broken")
+	}
+}
+
+func TestFig9Plots(t *testing.T) {
+	res := RunFig9(Fig9Config{Seed: 1, Sessions: 2, Duration: 60 * sim.Second})
+	full := res.Plot(60, 6)
+	if !strings.Contains(full, "*") || !strings.Contains(full, "session0/level") {
+		t.Errorf("full plot broken:\n%s", full)
+	}
+	win := res.PlotWindow(60, 6)
+	if !strings.Contains(win, "subscription level:") || !strings.Contains(win, "loss rate:") {
+		t.Errorf("window plot broken:\n%s", win)
+	}
+}
+
+func TestRunQueuePoliciesScaled(t *testing.T) {
+	rows := RunQueuePolicies(QueueConfig{Seed: 1, Duration: 180 * sim.Second, Sessions: 2})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]QueueRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+		if r.Deviation < 0 {
+			t.Errorf("negative deviation: %+v", r)
+		}
+	}
+	// TopoSense rows meter loss; RLM rows don't.
+	if byName["drop-tail + TopoSense (paper)"].MeanLoss <= 0 {
+		t.Error("TopoSense loss not metered")
+	}
+	if byName["drop-tail + RLM"].MeanLoss != 0 {
+		t.Error("RLM rows should not meter loss")
+	}
+	if !strings.Contains(QueueTable(rows).String(), "priority") {
+		t.Error("queue table broken")
+	}
+}
+
+func TestRunVarianceScaled(t *testing.T) {
+	rows := RunVariance(VarianceConfig{Seed: 1, Seeds: 2, Duration: 120 * sim.Second, Sessions: 2})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seeds != 2 {
+			t.Errorf("seeds = %d", r.Seeds)
+		}
+		if r.Min > r.Mean || r.Mean > r.Max {
+			t.Errorf("summary ordering broken: %+v", r)
+		}
+		if r.StdDev < 0 {
+			t.Errorf("negative stddev: %+v", r)
+		}
+	}
+	if !strings.Contains(VarianceTable(rows).String(), "stddev") {
+		t.Error("variance table broken")
+	}
+}
+
+func TestRunLastMileScaled(t *testing.T) {
+	rows := RunLastMile(LastMileConfig{Seed: 1, Duration: 240 * sim.Second})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Deviation < 0 || r.UnaffectedDev < 0 {
+			t.Errorf("negative deviation: %+v", r)
+		}
+	}
+	// Subtree independence: receivers not behind the tier-2/tier-3
+	// constraint must track their own optimum closely.
+	for _, r := range rows[1:] {
+		if r.UnaffectedDev > 0.15 {
+			t.Errorf("%s: unaffected receivers disturbed (dev %.3f)", r.Where, r.UnaffectedDev)
+		}
+	}
+	if !strings.Contains(LastMileTable(rows).String(), "last mile") {
+		t.Error("last-mile table broken")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+	"toposense/internal/trace"
+)
+
+// StaleRow is one point of Figure 10: tracking quality on Topology A for a
+// given information staleness and session size. Deviation is the paper's
+// relative-deviation metric; MeanLoss and MaxChanges expose the degradation
+// the deviation metric partially hides (over- and under-subscription cancel
+// in time share, but receivers still suffer the loss of every late
+// reaction).
+type StaleRow struct {
+	Staleness  sim.Time
+	Receivers  int // total receivers in the session
+	Deviation  float64
+	MeanLoss   float64 // mean per-interval loss rate across receivers
+	MaxChanges int     // busiest receiver's subscription changes
+}
+
+// Fig10Config parameterizes the stale-information experiment.
+type Fig10Config struct {
+	Seed      int64
+	Duration  sim.Time   // 0 = the paper's 1200 s
+	Traffic   Traffic    // zero = VBR(P=3), as in the paper
+	PerSet    []int      // receivers per set; nil = {1, 2, 4} (2/4/8 total)
+	Staleness []sim.Time // nil = {0, 2, ..., 18} seconds
+}
+
+func (c *Fig10Config) normalize() {
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.Traffic.Name == "" {
+		c.Traffic = VBR3
+	}
+	if c.PerSet == nil {
+		c.PerSet = []int{1, 2, 4}
+	}
+	if c.Staleness == nil {
+		for s := 0; s <= 18; s += 2 {
+			c.Staleness = append(c.Staleness, sim.Time(s)*sim.Second)
+		}
+	}
+}
+
+// RunFig10 reproduces Figure 10 ("Impact of stale information on Topology A
+// subscription with VBR traffic"): sweep the discovery tool's staleness and
+// measure the mean relative deviation from the optimal subscription.
+func RunFig10(cfg Fig10Config) []StaleRow {
+	cfg.normalize()
+	var rows []StaleRow
+	for _, per := range cfg.PerSet {
+		for _, stale := range cfg.Staleness {
+			w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Staleness: stale})
+			sampler := trace.NewSampler(w.Engine, sim.Second)
+			for i, rx := range w.Receivers[0] {
+				rx := rx
+				sampler.Probe(fmt.Sprintf("loss%d", i), func() float64 { return rx.LastLoss })
+			}
+			sampler.Start()
+			w.Run(cfg.Duration)
+			sampler.Stop()
+			traces, optima := w.AllTraces()
+			meanLoss := 0.0
+			for i := range w.Receivers[0] {
+				meanLoss += sampler.Series(fmt.Sprintf("loss%d", i)).Mean()
+			}
+			meanLoss /= float64(len(w.Receivers[0]))
+			rows = append(rows, StaleRow{
+				Staleness:  stale,
+				Receivers:  2 * per,
+				Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+				MeanLoss:   meanLoss,
+				MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+			})
+		}
+	}
+	return rows
+}
+
+// StaleTable renders Figure 10 rows.
+func StaleTable(rows []StaleRow) *Table {
+	t := &Table{
+		Title:  "Figure 10: impact of stale topology/loss information on Topology A (VBR traffic)",
+		Header: []string{"staleness (s)", "receivers", "rel deviation", "mean loss", "max changes"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.0f", r.Staleness.Seconds()),
+			fmt.Sprintf("%d", r.Receivers),
+			fmt.Sprintf("%.3f", r.Deviation),
+			fmt.Sprintf("%.4f", r.MeanLoss),
+			fmt.Sprintf("%d", r.MaxChanges),
+		)
+	}
+	return t
+}

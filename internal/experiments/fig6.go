@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+)
+
+// StabilityRow is one point of Figure 6 or 7: for a receiver/session count
+// and traffic model, the maximum number of subscription changes by any
+// receiver over the run and the mean time between successive changes for
+// that receiver.
+type StabilityRow struct {
+	X           int    // receivers in the session (Fig 6) or sessions (Fig 7)
+	Traffic     string // CBR / VBR(P=3) / VBR(P=6)
+	MaxChanges  int
+	MeanBetween sim.Time
+}
+
+// Fig6Config parameterizes the Topology A stability experiment.
+type Fig6Config struct {
+	Seed     int64
+	Duration sim.Time  // 0 = the paper's 1200 s
+	PerSet   []int     // receivers per set; nil = {1, 2, 4, 8}
+	Traffic  []Traffic // nil = AllTraffic
+}
+
+func (c *Fig6Config) normalize() {
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.PerSet == nil {
+		c.PerSet = []int{1, 2, 4, 8}
+	}
+	if c.Traffic == nil {
+		c.Traffic = AllTraffic
+	}
+}
+
+// RunFig6 reproduces Figure 6 ("Stability in Topology A"): for each
+// receiver-set size and traffic model, run Topology A for the duration and
+// report the busiest receiver's change count and mean time between changes.
+func RunFig6(cfg Fig6Config) []StabilityRow {
+	cfg.normalize()
+	var rows []StabilityRow
+	for _, per := range c6order(cfg.PerSet) {
+		for _, tr := range cfg.Traffic {
+			w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+			w.Run(cfg.Duration)
+			traces, _ := w.AllTraces()
+			rows = append(rows, StabilityRow{
+				X:           2 * per, // total receivers in the session
+				Traffic:     tr.Name,
+				MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
+				MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
+			})
+		}
+	}
+	return rows
+}
+
+func c6order(xs []int) []int { return xs }
+
+// StabilityTable renders stability rows as the two panels the paper plots.
+func StabilityTable(title, xLabel string, rows []StabilityRow) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{xLabel, "traffic", "max changes", "mean time between changes (s)"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.X),
+			r.Traffic,
+			fmt.Sprintf("%d", r.MaxChanges),
+			fmt.Sprintf("%.1f", r.MeanBetween.Seconds()),
+		)
+	}
+	return t
+}

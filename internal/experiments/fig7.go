@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+)
+
+// Fig7Config parameterizes the Topology B stability experiment.
+type Fig7Config struct {
+	Seed     int64
+	Duration sim.Time  // 0 = the paper's 1200 s
+	Sessions []int     // nil = {2, 4, 8, 16}
+	Traffic  []Traffic // nil = AllTraffic
+}
+
+func (c *Fig7Config) normalize() {
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.Sessions == nil {
+		c.Sessions = []int{2, 4, 8, 16}
+	}
+	if c.Traffic == nil {
+		c.Traffic = AllTraffic
+	}
+}
+
+// RunFig7 reproduces Figure 7 ("Stability in Topology B"): N sessions
+// share one link sized so each can take 4 layers; report the busiest
+// session's subscription-change count and mean time between changes.
+func RunFig7(cfg Fig7Config) []StabilityRow {
+	cfg.normalize()
+	var rows []StabilityRow
+	for _, sessions := range cfg.Sessions {
+		for _, tr := range cfg.Traffic {
+			w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+			w.Run(cfg.Duration)
+			traces, _ := w.AllTraces()
+			rows = append(rows, StabilityRow{
+				X:           sessions,
+				Traffic:     tr.Name,
+				MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
+				MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+)
+
+// FairnessRow is one point of Figure 8: the mean relative deviation from
+// the optimal subscription across all sessions, over the first and second
+// halves of the run, plus how much of the shared link's capacity was
+// actually used — the paper asks for bandwidth "fairly and fully
+// utilized", and a scheme could be fair by starving everyone.
+type FairnessRow struct {
+	Sessions  int
+	Traffic   string
+	DevFirst  float64 // 0 – 600 s
+	DevSecond float64 // 600 – 1200 s
+	// Utilization is delivered bits on the shared link over the whole run
+	// divided by capacity x duration.
+	Utilization float64
+}
+
+// Fig8Config parameterizes the inter-session fairness experiment.
+type Fig8Config struct {
+	Seed     int64
+	Duration sim.Time  // 0 = the paper's 1200 s (halved into two windows)
+	Sessions []int     // nil = {2, 4, 8, 16}
+	Traffic  []Traffic // nil = AllTraffic
+}
+
+func (c *Fig8Config) normalize() {
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.Sessions == nil {
+		c.Sessions = []int{2, 4, 8, 16}
+	}
+	if c.Traffic == nil {
+		c.Traffic = AllTraffic
+	}
+}
+
+// RunFig8 reproduces Figure 8 ("Fairness in Topology B"): the mean relative
+// deviation from the optimal 4-layer subscription, per session count and
+// traffic model, over both halves of the run. Small values in both windows
+// mean TopoSense shares the link fairly regardless of when you look.
+func RunFig8(cfg Fig8Config) []FairnessRow {
+	cfg.normalize()
+	half := cfg.Duration / 2
+	var rows []FairnessRow
+	for _, sessions := range cfg.Sessions {
+		for _, tr := range cfg.Traffic {
+			w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+			w.Run(cfg.Duration)
+			traces, optima := w.AllTraces()
+			shared := w.Build.Bottlenecks[0]
+			capacityBits := shared.Bandwidth * cfg.Duration.Seconds()
+			rows = append(rows, FairnessRow{
+				Sessions:    sessions,
+				Traffic:     tr.Name,
+				DevFirst:    metrics.MeanRelativeDeviation(traces, optima, 0, half),
+				DevSecond:   metrics.MeanRelativeDeviation(traces, optima, half, cfg.Duration),
+				Utilization: float64(shared.Stats().TxBytes) * 8 / capacityBits,
+			})
+		}
+	}
+	return rows
+}
+
+// FairnessTable renders Figure 8 rows.
+func FairnessTable(rows []FairnessRow) *Table {
+	t := &Table{
+		Title:  "Figure 8: inter-session fairness in Topology B (mean relative deviation from optimal)",
+		Header: []string{"sessions", "traffic", "dev 0-1/2", "dev 1/2-end", "link utilization"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Sessions),
+			r.Traffic,
+			fmt.Sprintf("%.3f", r.DevFirst),
+			fmt.Sprintf("%.3f", r.DevSecond),
+			fmt.Sprintf("%.1f%%", r.Utilization*100),
+		)
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"toposense/internal/plot"
+	"toposense/internal/sim"
+	"toposense/internal/trace"
+)
+
+// Fig9Config parameterizes the subscription/loss trace experiment.
+type Fig9Config struct {
+	Seed       int64
+	Sessions   int      // 0 = the paper's 4 competing sessions
+	Traffic    Traffic  // zero = VBR(P=3), as in the paper
+	Duration   sim.Time // 0 = the paper's 1200 s
+	Sample     sim.Time // sampling period; 0 = 500 ms
+	WindowFrom sim.Time // displayed window start; 0 = auto (after warmup)
+	WindowLen  sim.Time // displayed window length; 0 = the paper's 10 s
+}
+
+func (c *Fig9Config) normalize() {
+	if c.Sessions == 0 {
+		c.Sessions = 4
+	}
+	if c.Traffic.Name == "" {
+		c.Traffic = VBR3
+	}
+	if c.Duration == 0 {
+		c.Duration = PaperDuration
+	}
+	if c.Sample == 0 {
+		c.Sample = 500 * sim.Millisecond
+	}
+	if c.WindowLen == 0 {
+		c.WindowLen = 10 * sim.Second
+	}
+	if c.WindowFrom == 0 {
+		// A window straddling a capacity re-estimation cycle shows the
+		// over-subscription bursts the paper highlights.
+		c.WindowFrom = c.Duration/2 - c.WindowLen/2
+	}
+}
+
+// Fig9Result carries the sampled series: per session, the subscription
+// level and the observed loss rate over time.
+type Fig9Result struct {
+	Levels []*trace.Series // one per session
+	Losses []*trace.Series // one per session
+	Window struct {
+		From, To sim.Time
+	}
+}
+
+// RunFig9 reproduces Figure 9 ("Layer Subscription and Loss History for 4
+// competing sessions with VBR traffic"): run Topology B and record each
+// session's subscription level and loss rate.
+func RunFig9(cfg Fig9Config) *Fig9Result {
+	cfg.normalize()
+	w := NewWorldB(cfg.Sessions, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+	sampler := trace.NewSampler(w.Engine, cfg.Sample)
+	res := &Fig9Result{}
+	res.Window.From = cfg.WindowFrom
+	res.Window.To = cfg.WindowFrom + cfg.WindowLen
+	for s := range w.Receivers {
+		rx := w.Receivers[s][0]
+		lvl := fmt.Sprintf("session%d/level", s)
+		lss := fmt.Sprintf("session%d/loss", s)
+		sampler.Probe(lvl, func() float64 { return float64(rx.Level()) })
+		sampler.Probe(lss, func() float64 { return rx.LastLoss })
+	}
+	sampler.Start()
+	w.Run(cfg.Duration)
+	sampler.Stop()
+	for s := 0; s < cfg.Sessions; s++ {
+		res.Levels = append(res.Levels, sampler.Series(fmt.Sprintf("session%d/level", s)))
+		res.Losses = append(res.Losses, sampler.Series(fmt.Sprintf("session%d/loss", s)))
+	}
+	return res
+}
+
+// WindowTable renders the paper's 10-second window sample by sample.
+func (r *Fig9Result) WindowTable() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 9: subscription and loss, %d sessions, window %.0f-%.0f s",
+			len(r.Levels), r.Window.From.Seconds(), r.Window.To.Seconds()),
+	}
+	t.Header = []string{"t (s)"}
+	for s := range r.Levels {
+		t.Header = append(t.Header, fmt.Sprintf("s%d lvl", s), fmt.Sprintf("s%d loss", s))
+	}
+	if len(r.Levels) == 0 || r.Levels[0] == nil {
+		return t
+	}
+	lv := make([]*trace.Series, len(r.Levels))
+	ls := make([]*trace.Series, len(r.Losses))
+	for s := range r.Levels {
+		lv[s] = r.Levels[s].Window(r.Window.From, r.Window.To)
+		ls[s] = r.Losses[s].Window(r.Window.From, r.Window.To)
+	}
+	for i := 0; i < lv[0].Len(); i++ {
+		at, _ := lv[0].At(i)
+		row := []string{fmt.Sprintf("%.1f", at.Seconds())}
+		for s := range lv {
+			_, level := lv[s].At(i)
+			_, loss := ls[s].At(i)
+			row = append(row, fmt.Sprintf("%.0f", level), fmt.Sprintf("%.3f", loss))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Plot renders the sessions' subscription levels over the full run as an
+// ASCII chart — the upper panel of the paper's Figure 9.
+func (r *Fig9Result) Plot(width, height int) string {
+	return plot.Line(r.Levels, width, height)
+}
+
+// PlotWindow renders the configured window only, level and loss stacked —
+// both panels of the paper's Figure 9.
+func (r *Fig9Result) PlotWindow(width, height int) string {
+	var lv, ls []*trace.Series
+	for s := range r.Levels {
+		lv = append(lv, r.Levels[s].Window(r.Window.From, r.Window.To))
+		ls = append(ls, r.Losses[s].Window(r.Window.From, r.Window.To))
+	}
+	return "subscription level:\n" + plot.Line(lv, width, height) +
+		"loss rate:\n" + plot.Line(ls, width, height)
+}
+
+// Summary reports, per session, how much of the run was spent at each
+// level and whether over-subscription to layers 5/6 occurred (the paper's
+// observation about capacity re-estimation).
+func (r *Fig9Result) Summary() string {
+	var b strings.Builder
+	for s, lv := range r.Levels {
+		if lv == nil || lv.Len() == 0 {
+			continue
+		}
+		counts := map[int]int{}
+		over := 0
+		for i := 0; i < lv.Len(); i++ {
+			_, v := lv.At(i)
+			counts[int(v)]++
+			if v >= 5 {
+				over++
+			}
+		}
+		fmt.Fprintf(&b, "session %d: mean level %.2f, loss mean %.3f, %.1f%% of samples over-subscribed (>=5)\n",
+			s, lv.Mean(), r.Losses[s].Mean(), 100*float64(over)/float64(lv.Len()))
+	}
+	return b.String()
+}

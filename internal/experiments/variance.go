@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+)
+
+// Seed-variance study: every number in the reproduction is deterministic
+// given a seed, so the honest error bars come from re-running across seeds.
+// This runner repeats the headline fairness experiment (Figure 8's 4-session
+// point) across seeds and reports mean, standard deviation and range.
+
+// VarianceRow summarizes one traffic model's deviation across seeds.
+type VarianceRow struct {
+	Traffic  string
+	Seeds    int
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+}
+
+// VarianceConfig parameterizes the study.
+type VarianceConfig struct {
+	Seed     int64 // first seed; Seeds consecutive values are used
+	Seeds    int   // 0 = 5
+	Duration sim.Time
+	Sessions int // 0 = 4
+}
+
+func (c *VarianceConfig) normalize() {
+	if c.Seeds <= 0 {
+		c.Seeds = 5
+	}
+	if c.Duration == 0 {
+		c.Duration = 600 * sim.Second
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 4
+	}
+}
+
+// RunVariance measures the across-seed spread of the mean relative
+// deviation on Topology B for each traffic model.
+func RunVariance(cfg VarianceConfig) []VarianceRow {
+	cfg.normalize()
+	var rows []VarianceRow
+	for _, tr := range AllTraffic {
+		devs := make([]float64, 0, cfg.Seeds)
+		for s := 0; s < cfg.Seeds; s++ {
+			w := NewWorldB(cfg.Sessions, WorldConfig{Seed: cfg.Seed + int64(s), Traffic: tr})
+			w.Run(cfg.Duration)
+			traces, optima := w.AllTraces()
+			devs = append(devs, metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration))
+		}
+		rows = append(rows, summarize(tr.Name, devs))
+	}
+	return rows
+}
+
+func summarize(name string, xs []float64) VarianceRow {
+	row := VarianceRow{Traffic: name, Seeds: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		row.Mean += x
+		row.Min = math.Min(row.Min, x)
+		row.Max = math.Max(row.Max, x)
+	}
+	row.Mean /= float64(len(xs))
+	for _, x := range xs {
+		row.StdDev += (x - row.Mean) * (x - row.Mean)
+	}
+	if len(xs) > 1 {
+		row.StdDev = math.Sqrt(row.StdDev / float64(len(xs)-1))
+	}
+	return row
+}
+
+// VarianceTable renders the study.
+func VarianceTable(rows []VarianceRow) *Table {
+	t := &Table{
+		Title:  "Across-seed variance of the Figure 8 headline (Topology B, 4 sessions)",
+		Header: []string{"traffic", "seeds", "mean dev", "stddev", "min", "max"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Traffic,
+			fmt.Sprintf("%d", r.Seeds),
+			fmt.Sprintf("%.3f", r.Mean),
+			fmt.Sprintf("%.3f", r.StdDev),
+			fmt.Sprintf("%.3f", r.Min),
+			fmt.Sprintf("%.3f", r.Max),
+		)
+	}
+	return t
+}

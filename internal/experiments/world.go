@@ -1,0 +1,198 @@
+// Package experiments contains the benchmark harness that regenerates every
+// figure of the paper's evaluation (Section IV): stability on Topologies A
+// and B (Figures 6 and 7), inter-session fairness (Figure 8), the
+// subscription/loss trace with four competing sessions (Figure 9), the
+// impact of stale topology information (Figure 10), and an RLM-baseline
+// comparison. Each runner assembles a full simulated world — network,
+// multicast domain, layered sources, receivers, topology-discovery tool and
+// controller — runs it for the configured duration, and reduces receiver
+// traces to the numbers the paper plots.
+package experiments
+
+import (
+	"math/rand"
+
+	"toposense/internal/controller"
+	"toposense/internal/core"
+	"toposense/internal/mcast"
+	"toposense/internal/metrics"
+	"toposense/internal/netsim"
+	"toposense/internal/receiver"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+	"toposense/internal/topodisc"
+	"toposense/internal/topology"
+)
+
+// Traffic names a source model used across the experiments.
+type Traffic struct {
+	Name       string
+	PeakToMean float64 // 0 or 1 = CBR
+}
+
+// The paper's three traffic models.
+var (
+	CBR  = Traffic{Name: "CBR", PeakToMean: 0}
+	VBR3 = Traffic{Name: "VBR(P=3)", PeakToMean: 3}
+	VBR6 = Traffic{Name: "VBR(P=6)", PeakToMean: 6}
+)
+
+// AllTraffic is the sweep used by Figures 6-8.
+var AllTraffic = []Traffic{CBR, VBR3, VBR6}
+
+// Duration of every paper run.
+const PaperDuration = 1200 * sim.Second
+
+// World is an assembled TopoSense simulation.
+type World struct {
+	Engine     *sim.Engine
+	Net        *netsim.Network
+	Domain     *mcast.Domain
+	Build      *topology.Build
+	Sources    []*source.Source
+	Receivers  [][]*receiver.Receiver // [session][i]
+	Controller *controller.Controller
+	Tool       *topodisc.Tool
+	Traces     [][]*metrics.Trace // parallel to Receivers
+	Optimal    [][]int            // parallel to Receivers
+	started    bool
+}
+
+// WorldConfig carries the knobs shared by all experiments.
+type WorldConfig struct {
+	Seed      int64
+	Traffic   Traffic
+	Staleness sim.Time
+	Layers    int // 0 = source.DefaultLayers
+	// Rates overrides the default doubling layer rates (granularity
+	// extension experiments); determines the layer count when set.
+	Rates []float64
+	// LeaveLatency overrides the multicast group-leave latency; 0 keeps
+	// mcast.DefaultLeaveLatency.
+	LeaveLatency sim.Time
+	// ProbeDiscovery switches topology discovery to the mtrace-style
+	// hop-by-hop probe mode instead of the instantaneous oracle.
+	ProbeDiscovery bool
+	// Algorithm overrides; zero values take core defaults.
+	Alg core.Config
+}
+
+// NewWorld assembles a world on a built topology. One source per session is
+// placed at Build.Sources[i]; the controller at Build.Controller; one
+// receiver per entry of Build.Receivers.
+func NewWorld(e *sim.Engine, b *topology.Build, cfg WorldConfig) *World {
+	layers := cfg.Layers
+	if len(cfg.Rates) > 0 {
+		layers = len(cfg.Rates)
+	} else if layers == 0 {
+		layers = source.DefaultLayers
+	}
+	d := mcast.NewDomain(b.Net)
+	if cfg.LeaveLatency != 0 {
+		d.LeaveLatency = cfg.LeaveLatency
+	}
+
+	w := &World{Engine: e, Net: b.Net, Domain: d, Build: b, Optimal: b.Optimal}
+	sessions := make([]int, len(b.Sources))
+	for i, srcNode := range b.Sources {
+		sessions[i] = i
+		w.Sources = append(w.Sources, source.New(b.Net, d, srcNode, source.Config{
+			Session:    i,
+			Layers:     layers,
+			PeakToMean: cfg.Traffic.PeakToMean,
+			Rates:      cfg.Rates,
+		}))
+	}
+
+	tool := topodisc.NewTool(b.Net, d, sessions)
+	tool.Staleness = cfg.Staleness
+	tool.ProbeMode = cfg.ProbeDiscovery
+	w.Tool = tool
+
+	algCfg := cfg.Alg
+	if algCfg.LayerRates == nil {
+		if len(cfg.Rates) > 0 {
+			algCfg.LayerRates = append([]float64(nil), cfg.Rates...)
+		} else {
+			algCfg.LayerRates = source.Rates(layers)
+		}
+	}
+	algCfg.Normalize()
+	alg := core.New(algCfg, rand.New(rand.NewSource(cfg.Seed+1)))
+	w.Controller = controller.New(b.Net, d, b.Controller, tool, alg)
+	// The paper's staleness experiments age both halves of the
+	// controller's input: the discovered topology and the loss reports.
+	w.Controller.Staleness = cfg.Staleness
+
+	for s := range b.Receivers {
+		var rxs []*receiver.Receiver
+		var trs []*metrics.Trace
+		for _, node := range b.Receivers[s] {
+			rx := receiver.New(b.Net, d, node, receiver.Config{
+				Session:      s,
+				MaxLayers:    layers,
+				InitialLevel: 1,
+				Controller:   b.Controller.ID,
+			})
+			tr := metrics.NewTrace(0, 0)
+			rx.OnChange = func(c receiver.Change) { tr.Set(c.At, c.To) }
+			rxs = append(rxs, rx)
+			trs = append(trs, tr)
+		}
+		w.Receivers = append(w.Receivers, rxs)
+		w.Traces = append(w.Traces, trs)
+	}
+	return w
+}
+
+// Start launches sources, controller and receivers.
+func (w *World) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	for _, s := range w.Sources {
+		s.Start()
+	}
+	w.Controller.Start()
+	for _, rxs := range w.Receivers {
+		for _, rx := range rxs {
+			rx.Start()
+		}
+	}
+}
+
+// Run starts the world (if needed) and advances to the given time.
+func (w *World) Run(until sim.Time) {
+	w.Start()
+	w.Engine.RunUntil(until)
+}
+
+// AllTraces flattens traces with their optima, session-major.
+func (w *World) AllTraces() (traces []*metrics.Trace, optima []int) {
+	for s := range w.Traces {
+		traces = append(traces, w.Traces[s]...)
+		optima = append(optima, w.Optimal[s]...)
+	}
+	return traces, optima
+}
+
+// NewWorldA builds the paper's Topology A world.
+func NewWorldA(receiversPerSet int, cfg WorldConfig) *World {
+	e := sim.NewEngine(cfg.Seed)
+	b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: receiversPerSet})
+	return NewWorld(e, b, cfg)
+}
+
+// NewWorldB builds the paper's Topology B world with the given number of
+// competing sessions.
+func NewWorldB(sessions int, cfg WorldConfig) *World {
+	e := sim.NewEngine(cfg.Seed)
+	b := topology.BuildB(e, topology.BConfig{Sessions: sessions})
+	return NewWorld(e, b, cfg)
+}
+
+// buildTestB is a tiny helper for tests that need a raw Build.
+func buildTestB(e *sim.Engine, sessions int) *topology.Build {
+	return topology.BuildB(e, topology.BConfig{Sessions: sessions})
+}

@@ -1,0 +1,326 @@
+// Package mcast layers multicast distribution on top of netsim: group
+// addressing, source-rooted shortest-path trees, receiver join (graft) and
+// leave (prune) processing, and the group-leave latency the paper discusses
+// in Section V.
+//
+// Every (session, layer) pair is one multicast group, exactly as in the
+// paper's layered model where each layer is transmitted on its own multicast
+// address. Routers keep per-group forwarding state: the set of downstream
+// links that lead to at least one member, plus locally attached members.
+//
+// Joins propagate hop-by-hop toward the source along the unicast
+// shortest-path tree (reverse-path), taking one link-propagation delay per
+// hop, and stop at the first on-tree router — like an IGMP report followed
+// by a PIM graft. Leaves are lazier: when the last member behind a router
+// goes away, the router keeps forwarding for LeaveLatency (the IGMP
+// last-member query interval) before pruning, so an over-subscribed layer
+// keeps congesting the bottleneck for a while after the receiver drops it.
+// The paper calls this out as a core difficulty of layered multicast.
+package mcast
+
+import (
+	"fmt"
+	"sort"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// DefaultLeaveLatency approximates IGMPv2 last-member query behaviour:
+// traffic keeps flowing roughly this long after the last member leaves.
+const DefaultLeaveLatency = 1 * sim.Second
+
+// Member receives multicast data packets for groups it has joined.
+type Member interface {
+	RecvMulticast(p *netsim.Packet)
+}
+
+// groupKey identifies a group by its session and layer.
+type groupKey struct {
+	session, layer int
+}
+
+// groupInfo is the domain-wide registration of one group.
+type groupInfo struct {
+	id     netsim.GroupID
+	key    groupKey
+	source netsim.NodeID
+}
+
+// nodeGroupState is one router's forwarding entry for one group.
+type nodeGroupState struct {
+	downstream map[netsim.NodeID]bool // children currently forwarded to
+	members    []Member               // locally attached members
+	pruneTimer *sim.Event             // pending leave-latency expiry, if any
+}
+
+func (s *nodeGroupState) active() bool {
+	return len(s.members) > 0 || len(s.downstream) > 0
+}
+
+// Domain manages multicast state for an entire network. It installs itself
+// as the MulticastHandler on every node.
+type Domain struct {
+	net          *netsim.Network
+	LeaveLatency sim.Time
+
+	groups []groupInfo                 // indexed by GroupID
+	byKey  map[groupKey]netsim.GroupID // (session,layer) -> id
+	state  map[netsim.NodeID]map[netsim.GroupID]*nodeGroupState
+
+	// Grafts and Prunes count tree maintenance operations (for tests and
+	// reporting).
+	Grafts, Prunes int64
+}
+
+// NewDomain creates the multicast domain and installs it on all current
+// nodes of the network; nodes added afterwards are covered automatically
+// via the network's OnAddNode hook.
+func NewDomain(net *netsim.Network) *Domain {
+	d := &Domain{
+		net:          net,
+		LeaveLatency: DefaultLeaveLatency,
+		byKey:        make(map[groupKey]netsim.GroupID),
+		state:        make(map[netsim.NodeID]map[netsim.GroupID]*nodeGroupState),
+	}
+	d.Install()
+	net.OnAddNode = func(n *netsim.Node) { n.SetMulticastHandler(d) }
+	return d
+}
+
+// Install (re)attaches the domain as multicast handler on every node.
+func (d *Domain) Install() {
+	for _, n := range d.net.Nodes() {
+		n.SetMulticastHandler(d)
+	}
+}
+
+// RegisterGroup declares a (session, layer) group rooted at source and
+// returns its GroupID. Registering the same pair twice returns the original
+// ID (the source must match).
+func (d *Domain) RegisterGroup(session, layer int, source netsim.NodeID) netsim.GroupID {
+	key := groupKey{session, layer}
+	if id, ok := d.byKey[key]; ok {
+		if d.groups[id].source != source {
+			panic(fmt.Sprintf("mcast: group s%d/l%d re-registered with a different source", session, layer))
+		}
+		return id
+	}
+	id := netsim.GroupID(len(d.groups))
+	d.groups = append(d.groups, groupInfo{id: id, key: key, source: source})
+	d.byKey[key] = id
+	return id
+}
+
+// GroupOf returns the GroupID for (session, layer), or netsim.NoGroup.
+func (d *Domain) GroupOf(session, layer int) netsim.GroupID {
+	if id, ok := d.byKey[groupKey{session, layer}]; ok {
+		return id
+	}
+	return netsim.NoGroup
+}
+
+// Source returns the source node of a group.
+func (d *Domain) Source(g netsim.GroupID) netsim.NodeID { return d.groups[g].source }
+
+// SessionLayer returns the (session, layer) a group carries.
+func (d *Domain) SessionLayer(g netsim.GroupID) (int, int) {
+	gi := d.groups[g]
+	return gi.key.session, gi.key.layer
+}
+
+// NumGroups returns how many groups are registered.
+func (d *Domain) NumGroups() int { return len(d.groups) }
+
+func (d *Domain) stateOf(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
+	byGroup, ok := d.state[n]
+	if !ok {
+		byGroup = make(map[netsim.GroupID]*nodeGroupState)
+		d.state[n] = byGroup
+	}
+	st, ok := byGroup[g]
+	if !ok {
+		st = &nodeGroupState{downstream: make(map[netsim.NodeID]bool)}
+		byGroup[g] = st
+	}
+	return st
+}
+
+func (d *Domain) lookup(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
+	if byGroup, ok := d.state[n]; ok {
+		return byGroup[g]
+	}
+	return nil
+}
+
+// upstream returns the next hop from n toward the group source, or NoNode
+// when n is the source (or the source is unreachable).
+func (d *Domain) upstream(n netsim.NodeID, g netsim.GroupID) netsim.NodeID {
+	src := d.groups[g].source
+	if n == src {
+		return netsim.NoNode
+	}
+	return d.net.NextHop(n, src)
+}
+
+// Join attaches m as a member of group g at node n. The graft propagates
+// hop-by-hop toward the source; forwarding state at each hop is created when
+// the graft reaches it, so the first data packets arrive roughly one
+// path-propagation-delay after the join.
+func (d *Domain) Join(n netsim.NodeID, g netsim.GroupID, m Member) {
+	st := d.stateOf(n, g)
+	for _, existing := range st.members {
+		if existing == m {
+			return // already joined
+		}
+	}
+	wasActive := st.active()
+	st.members = append(st.members, m)
+	d.cancelPrune(st)
+	if !wasActive {
+		d.graftUpstream(n, g)
+	}
+}
+
+// graftUpstream walks toward the source adding forwarding state, one link
+// propagation delay per hop, stopping at the first already-active router.
+func (d *Domain) graftUpstream(n netsim.NodeID, g netsim.GroupID) {
+	up := d.upstream(n, g)
+	if up == netsim.NoNode {
+		return // n is the source (or disconnected)
+	}
+	link := d.net.Node(n).LinkTo(up)
+	if link == nil {
+		return
+	}
+	d.Grafts++
+	d.net.Engine().Schedule(link.Delay, func() {
+		upSt := d.stateOf(up, g)
+		wasActive := upSt.active()
+		upSt.downstream[n] = true
+		d.cancelPrune(upSt)
+		if !wasActive {
+			d.graftUpstream(up, g)
+		}
+	})
+}
+
+// Leave detaches m from group g at node n. If that leaves the router with
+// no members and no downstream children, the router keeps forwarding for
+// LeaveLatency, then prunes itself off the tree.
+func (d *Domain) Leave(n netsim.NodeID, g netsim.GroupID, m Member) {
+	st := d.lookup(n, g)
+	if st == nil {
+		return
+	}
+	for i, existing := range st.members {
+		if existing == m {
+			st.members = append(st.members[:i], st.members[i+1:]...)
+			break
+		}
+	}
+	d.maybeSchedulePrune(n, g, st)
+}
+
+func (d *Domain) maybeSchedulePrune(n netsim.NodeID, g netsim.GroupID, st *nodeGroupState) {
+	if st.active() || st.pruneTimer != nil {
+		return
+	}
+	st.pruneTimer = d.net.Engine().Schedule(d.LeaveLatency, func() {
+		st.pruneTimer = nil
+		if st.active() {
+			return // re-joined during the leave-latency window
+		}
+		d.pruneFromParent(n, g)
+	})
+}
+
+// pruneFromParent tells n's upstream router to stop forwarding to n. The
+// prune takes one link propagation delay; the upstream router then checks
+// whether it too has gone idle.
+func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
+	up := d.upstream(n, g)
+	if up == netsim.NoNode {
+		return
+	}
+	link := d.net.Node(n).LinkTo(up)
+	if link == nil {
+		return
+	}
+	d.Prunes++
+	d.net.Engine().Schedule(link.Delay, func() {
+		upSt := d.lookup(up, g)
+		if upSt == nil {
+			return
+		}
+		delete(upSt.downstream, n)
+		if !upSt.active() && upSt.pruneTimer == nil {
+			// Upstream prunes promptly: the leave-latency cost was already
+			// paid at the last-hop router.
+			d.pruneFromParent(up, g)
+		}
+	})
+}
+
+func (d *Domain) cancelPrune(st *nodeGroupState) {
+	if st.pruneTimer != nil {
+		d.net.Engine().Cancel(st.pruneTimer)
+		st.pruneTimer = nil
+	}
+}
+
+// HandleMulticast implements netsim.MulticastHandler: deliver to local
+// members and replicate onto every downstream link (never back upstream).
+func (d *Domain) HandleMulticast(n *netsim.Node, p *netsim.Packet, from *netsim.Link) {
+	st := d.lookup(n.ID, p.Group)
+	if st == nil {
+		return // not on this group's tree: prune already took effect
+	}
+	for _, m := range st.members {
+		m.RecvMulticast(p)
+	}
+	if len(st.downstream) == 0 {
+		return
+	}
+	// Deterministic replication order.
+	children := make([]netsim.NodeID, 0, len(st.downstream))
+	for c := range st.downstream {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, c := range children {
+		if from != nil && c == from.From {
+			continue // never forward back where it came from
+		}
+		if link := n.LinkTo(c); link != nil {
+			link.Send(p)
+		}
+	}
+}
+
+// ForwardingChildren returns the downstream children of node n for group g,
+// sorted. Used by the topology discovery tool.
+func (d *Domain) ForwardingChildren(n netsim.NodeID, g netsim.GroupID) []netsim.NodeID {
+	st := d.lookup(n, g)
+	if st == nil {
+		return nil
+	}
+	out := make([]netsim.NodeID, 0, len(st.downstream))
+	for c := range st.downstream {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasLocalMembers reports whether any member is attached at node n for g.
+func (d *Domain) HasLocalMembers(n netsim.NodeID, g netsim.GroupID) bool {
+	st := d.lookup(n, g)
+	return st != nil && len(st.members) > 0
+}
+
+// OnTree reports whether node n currently forwards or consumes group g.
+func (d *Domain) OnTree(n netsim.NodeID, g netsim.GroupID) bool {
+	st := d.lookup(n, g)
+	return st != nil && st.active()
+}

@@ -1,0 +1,116 @@
+package mcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// Property test: after an arbitrary sequence of joins and leaves followed
+// by quiescence (all prunes expired), the forwarding state is exactly the
+// minimal tree covering the current members — every member receives every
+// packet exactly once, and no link without downstream members carries
+// anything.
+
+func TestQuickTreeIsMinimalAfterQuiescence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		n := netsim.New(e)
+		cfg := netsim.LinkConfig{Bandwidth: 100e6, Delay: 5 * sim.Millisecond, QueueLimit: 1000}
+
+		// Random tree topology: node 0 is the source.
+		numNodes := rng.Intn(12) + 4
+		nodes := make([]*netsim.Node, numNodes)
+		nodes[0] = n.AddNode("src")
+		for i := 1; i < numNodes; i++ {
+			nodes[i] = n.AddNode("n")
+			n.Connect(nodes[i], nodes[rng.Intn(i)], cfg)
+		}
+		d := NewDomain(n)
+		d.LeaveLatency = 100 * sim.Millisecond
+		g := d.RegisterGroup(0, 1, nodes[0].ID)
+
+		// Random join/leave churn on the non-source nodes.
+		members := map[int]*memberRec{}
+		joined := map[int]bool{}
+		for op := 0; op < 40; op++ {
+			idx := rng.Intn(numNodes-1) + 1
+			m := members[idx]
+			if m == nil {
+				m = &memberRec{}
+				members[idx] = m
+			}
+			if joined[idx] {
+				d.Leave(nodes[idx].ID, g, m)
+				joined[idx] = false
+			} else {
+				d.Join(nodes[idx].ID, g, m)
+				joined[idx] = true
+			}
+			e.RunUntil(e.Now() + sim.Time(rng.Intn(300))*sim.Millisecond)
+		}
+		// Quiesce: all grafts and prunes settle.
+		e.RunUntil(e.Now() + 5*sim.Second)
+
+		// Reset link stats, clear member logs, send one packet.
+		for _, l := range n.Links() {
+			l.ResetStats()
+		}
+		for _, m := range members {
+			m.got = nil
+		}
+		nodes[0].SendMulticastLocal(&netsim.Packet{
+			Kind: netsim.Data, Src: nodes[0].ID, Dst: netsim.NoNode,
+			Group: g, Session: 0, Layer: 1, Seq: 1, Size: 100, Sent: e.Now(),
+		})
+		e.RunUntil(e.Now() + 5*sim.Second)
+
+		memberCount := 0
+		for idx, m := range members {
+			if joined[idx] {
+				memberCount++
+				if len(m.got) != 1 {
+					t.Fatalf("seed %d: member at node %d got %d copies, want 1", seed, idx, len(m.got))
+				}
+			} else if len(m.got) != 0 {
+				t.Fatalf("seed %d: departed member at node %d got %d packets", seed, idx, len(m.got))
+			}
+		}
+
+		// Minimality: links carried exactly the packets needed — each link
+		// carries at most one copy, and the number of transmitting links is
+		// exactly the number of edges of the Steiner tree (for a tree
+		// topology: the union of member-to-source paths).
+		needed := map[[2]netsim.NodeID]bool{}
+		for idx := range members {
+			if !joined[idx] {
+				continue
+			}
+			cur := nodes[idx].ID
+			for cur != nodes[0].ID {
+				up := n.NextHop(cur, nodes[0].ID)
+				needed[[2]netsim.NodeID{up, cur}] = true
+				cur = up
+			}
+		}
+		carrying := 0
+		for _, l := range n.Links() {
+			st := l.Stats()
+			if st.Enqueued > 1 {
+				t.Fatalf("seed %d: link %v carried %d copies", seed, l, st.Enqueued)
+			}
+			if st.Enqueued == 1 {
+				carrying++
+				if !needed[[2]netsim.NodeID{l.From, l.To}] {
+					t.Fatalf("seed %d: link %v carried traffic with no members behind it", seed, l)
+				}
+			}
+		}
+		if memberCount > 0 && carrying != len(needed) {
+			t.Fatalf("seed %d: %d links carried traffic, minimal tree needs %d", seed, carrying, len(needed))
+		}
+	}
+}

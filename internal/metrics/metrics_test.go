@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toposense/internal/sim"
+)
+
+func TestTraceLevelAt(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Set(10*sim.Second, 2)
+	tr.Set(20*sim.Second, 4)
+	cases := []struct {
+		at   sim.Time
+		want int
+	}{
+		{0, 1},
+		{5 * sim.Second, 1},
+		{10 * sim.Second, 2},
+		{15 * sim.Second, 2},
+		{20 * sim.Second, 4},
+		{100 * sim.Second, 4},
+		{-sim.Second, 1},
+	}
+	for _, c := range cases {
+		if got := tr.LevelAt(c.at); got != c.want {
+			t.Errorf("LevelAt(%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestTraceDedupsAndCollapses(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Set(5*sim.Second, 1) // no-op
+	if len(tr.Points()) != 1 {
+		t.Fatalf("no-op Set added a point: %v", tr.Points())
+	}
+	tr.Set(10*sim.Second, 2)
+	tr.Set(10*sim.Second, 3) // same-instant overwrite
+	pts := tr.Points()
+	if len(pts) != 2 || pts[1].Level != 3 {
+		t.Fatalf("same-instant overwrite failed: %v", pts)
+	}
+	tr.Set(10*sim.Second, 1) // collapses back to the initial level
+	if len(tr.Points()) != 1 {
+		t.Fatalf("collapse failed: %v", tr.Points())
+	}
+}
+
+func TestTraceOutOfOrderPanics(t *testing.T) {
+	tr := NewTrace(10*sim.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Set(5*sim.Second, 2)
+}
+
+func TestChanges(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Set(10*sim.Second, 2)
+	tr.Set(20*sim.Second, 3)
+	tr.Set(30*sim.Second, 2)
+	if got := tr.Changes(0, 40*sim.Second); got != 3 {
+		t.Errorf("Changes full = %d, want 3", got)
+	}
+	if got := tr.Changes(10*sim.Second, 25*sim.Second); got != 1 {
+		t.Errorf("Changes (10,25] = %d, want 1 (boundary excluded at from)", got)
+	}
+	if got := tr.Changes(35*sim.Second, 40*sim.Second); got != 0 {
+		t.Errorf("Changes empty window = %d", got)
+	}
+}
+
+func TestMeanTimeBetweenChanges(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Set(10*sim.Second, 2)
+	tr.Set(16*sim.Second, 3)
+	tr.Set(30*sim.Second, 2)
+	mean, ok := tr.MeanTimeBetweenChanges(0, 40*sim.Second)
+	if !ok {
+		t.Fatal("expected ok with 3 changes")
+	}
+	if mean != 10*sim.Second { // gaps 6 and 14 -> mean 10
+		t.Errorf("mean = %v, want 10s", mean)
+	}
+	// Fewer than 2 changes: window length, not ok.
+	flat := NewTrace(0, 2)
+	mean, ok = flat.MeanTimeBetweenChanges(0, 40*sim.Second)
+	if ok || mean != 40*sim.Second {
+		t.Errorf("flat trace mean = %v ok=%v", mean, ok)
+	}
+}
+
+func TestRelativeDeviationExact(t *testing.T) {
+	// Optimal 4. Trace: level 2 for 10s, level 4 for 30s.
+	tr := NewTrace(0, 2)
+	tr.Set(10*sim.Second, 4)
+	// integral |x-4| = 2*10 = 20; optimal integral = 4*40 = 160.
+	want := 20.0 / 160.0
+	if got := tr.RelativeDeviation(4, 0, 40*sim.Second); math.Abs(got-want) > 1e-12 {
+		t.Errorf("deviation = %g, want %g", got, want)
+	}
+}
+
+func TestRelativeDeviationPerfect(t *testing.T) {
+	tr := NewTrace(0, 4)
+	if got := tr.RelativeDeviation(4, 0, 100*sim.Second); got != 0 {
+		t.Errorf("perfect trace deviation = %g", got)
+	}
+}
+
+func TestRelativeDeviationWindowed(t *testing.T) {
+	tr := NewTrace(0, 1)
+	tr.Set(600*sim.Second, 4)
+	// Window [600, 1200]: always at optimal.
+	if got := tr.RelativeDeviation(4, 600*sim.Second, 1200*sim.Second); got != 0 {
+		t.Errorf("second-window deviation = %g", got)
+	}
+	// Window [0, 600]: always 3 away from 4.
+	want := 3.0 / 4.0
+	if got := tr.RelativeDeviation(4, 0, 600*sim.Second); math.Abs(got-want) > 1e-12 {
+		t.Errorf("first-window deviation = %g, want %g", got, want)
+	}
+}
+
+func TestRelativeDeviationOverSubscription(t *testing.T) {
+	// Deviation is symmetric: being above optimal also counts.
+	tr := NewTrace(0, 6)
+	want := 2.0 / 4.0
+	if got := tr.RelativeDeviation(4, 0, 10*sim.Second); math.Abs(got-want) > 1e-12 {
+		t.Errorf("deviation = %g, want %g", got, want)
+	}
+}
+
+func TestRelativeDeviationPanics(t *testing.T) {
+	tr := NewTrace(0, 1)
+	for _, f := range []func(){
+		func() { tr.RelativeDeviation(0, 0, sim.Second) },
+		func() { tr.RelativeDeviation(4, sim.Second, sim.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanRelativeDeviation(t *testing.T) {
+	a := NewTrace(0, 4) // perfect vs 4
+	b := NewTrace(0, 2) // 0.5 off vs 4
+	got := MeanRelativeDeviation([]*Trace{a, b}, []int{4, 4}, 0, 10*sim.Second)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("mean deviation = %g, want 0.25", got)
+	}
+	if MeanRelativeDeviation(nil, nil, 0, sim.Second) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestMeanRelativeDeviationMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanRelativeDeviation([]*Trace{NewTrace(0, 1)}, nil, 0, sim.Second)
+}
+
+func TestMaxChangesAndBusiest(t *testing.T) {
+	quiet := NewTrace(0, 4)
+	busy := NewTrace(0, 1)
+	busy.Set(10*sim.Second, 2)
+	busy.Set(20*sim.Second, 3)
+	busy.Set(40*sim.Second, 2)
+	traces := []*Trace{quiet, busy}
+	if got := MaxChanges(traces, 0, 60*sim.Second); got != 3 {
+		t.Errorf("MaxChanges = %d, want 3", got)
+	}
+	mean := MeanTimeBetweenChangesOfBusiest(traces, 0, 60*sim.Second)
+	if mean != 15*sim.Second { // gaps 10, 20 -> mean 15
+		t.Errorf("busiest mean = %v, want 15s", mean)
+	}
+	if MeanTimeBetweenChangesOfBusiest(nil, 0, 60*sim.Second) != 60*sim.Second {
+		t.Error("empty busiest should return the window")
+	}
+}
+
+// Property: deviation is scale-invariant in time (stretching the trace and
+// window by the same factor leaves it unchanged) and zero iff the trace
+// equals the optimal everywhere in the window.
+func TestQuickDeviationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		optimal := rng.Intn(5) + 1
+		tr := NewTrace(0, rng.Intn(7))
+		tr2 := NewTrace(0, tr.LevelAt(0))
+		at := sim.Time(0)
+		for i := 0; i < rng.Intn(10); i++ {
+			at += sim.Time(rng.Intn(1000)+1) * sim.Millisecond
+			lvl := rng.Intn(7)
+			tr.Set(at, lvl)
+			tr2.Set(at*3, lvl)
+		}
+		end := at + sim.Time(rng.Intn(1000)+1)*sim.Millisecond
+		d1 := tr.RelativeDeviation(optimal, 0, end)
+		d2 := tr2.RelativeDeviation(optimal, 0, end*3)
+		if math.Abs(d1-d2) > 1e-9 {
+			return false
+		}
+		return d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LevelAt is consistent with the points sequence.
+func TestQuickLevelAtConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace(0, 1)
+		at := sim.Time(0)
+		for i := 0; i < 20; i++ {
+			at += sim.Time(rng.Intn(100)+1) * sim.Millisecond
+			tr.Set(at, rng.Intn(6)+1)
+		}
+		pts := tr.Points()
+		for i, p := range pts {
+			if tr.LevelAt(p.At) != p.Level {
+				return false
+			}
+			if i > 0 && tr.LevelAt(p.At-1) != pts[i-1].Level {
+				return false
+			}
+			if i > 0 && pts[i].Level == pts[i-1].Level {
+				return false // consecutive duplicates must be merged
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

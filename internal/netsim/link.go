@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+
+	"toposense/internal/sim"
+)
+
+// DefaultQueueLimit is the drop-tail queue capacity in packets, matching the
+// ns-2 default DropTail queue length the paper's simulations used.
+const DefaultQueueLimit = 20
+
+// DropPolicy selects what a full queue discards.
+type DropPolicy uint8
+
+const (
+	// DropTail discards the arriving packet — the paper's policy ("a
+	// drop-tail policy was used at all nodes").
+	DropTail DropPolicy = iota
+	// DropPriority discards the queued or arriving packet with the highest
+	// layer number, protecting base layers — the router-based priority
+	// dropping of Bajaj/Breslau/Shenker that the paper cites as effective
+	// but hard to deploy. Non-media packets (control) count as layer 0 and
+	// are therefore protected.
+	DropPriority
+)
+
+// LinkStats accumulates per-link counters for the lifetime of a run.
+type LinkStats struct {
+	Enqueued  int64 // packets accepted into the queue (or straight to the wire)
+	Delivered int64 // packets that finished serialization and were handed on
+	Dropped   int64 // packets lost to drop-tail overflow
+	TxBytes   int64 // bytes fully serialized onto the wire
+	PeakQueue int   // high-water mark of queue occupancy (excluding in-flight)
+}
+
+// DropRate returns the fraction of offered packets lost on this link.
+func (s LinkStats) DropRate() float64 {
+	offered := s.Enqueued + s.Dropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(offered)
+}
+
+// Link is a unidirectional channel between two nodes with a fixed bandwidth
+// (bits/s), propagation delay, and a drop-tail FIFO queue of queueLimit
+// packets. A bidirectional connection is a pair of Links.
+type Link struct {
+	net        *Network
+	From, To   NodeID
+	Bandwidth  float64 // bits per second
+	Delay      sim.Time
+	QueueLimit int
+	Policy     DropPolicy
+
+	queue   []*Packet
+	busy    bool
+	stats   LinkStats
+	dropFn  func(*Packet) // optional drop observer (tracing, tests)
+	deliver func(*Packet, *Link)
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of packets waiting (not counting the one being
+// serialized).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Busy reports whether a packet is currently being serialized.
+func (l *Link) Busy() bool { return l.busy }
+
+// OnDrop registers an observer invoked for every packet the link drops.
+func (l *Link) OnDrop(fn func(*Packet)) { l.dropFn = fn }
+
+// ResetStats zeroes the counters (used between measurement intervals).
+func (l *Link) ResetStats() { l.stats = LinkStats{} }
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link %d->%d %.0fbps %v", l.From, l.To, l.Bandwidth, l.Delay)
+}
+
+// Send offers a packet to the link. If the transmitter is idle the packet
+// goes straight to the wire; otherwise it queues, and when the queue is at
+// its limit the Policy picks the victim: the arrival (drop-tail) or the
+// highest-layer packet in queue (priority dropping).
+func (l *Link) Send(p *Packet) {
+	if !l.busy {
+		l.stats.Enqueued++
+		l.transmit(p)
+		return
+	}
+	if len(l.queue) >= l.QueueLimit {
+		victim := p
+		if l.Policy == DropPriority {
+			// Highest layer among queued packets and the arrival loses;
+			// ties favour dropping the arrival (cheapest).
+			vIdx := -1
+			for i, q := range l.queue {
+				if q.Layer > victim.Layer {
+					victim, vIdx = q, i
+				}
+			}
+			if vIdx >= 0 {
+				// Replace the queued victim with the arrival; the victim's
+				// Enqueued count transfers to the arrival, which delivers
+				// in its place.
+				l.queue[vIdx] = p
+			}
+		}
+		l.stats.Dropped++
+		if l.dropFn != nil {
+			l.dropFn(victim)
+		}
+		return
+	}
+	l.stats.Enqueued++
+	l.queue = append(l.queue, p)
+	if len(l.queue) > l.stats.PeakQueue {
+		l.stats.PeakQueue = len(l.queue)
+	}
+}
+
+// transmit serializes p, then schedules its arrival after the propagation
+// delay and starts on the next queued packet.
+func (l *Link) transmit(p *Packet) {
+	l.busy = true
+	txTime := sim.TransmitTime(p.Size, l.Bandwidth)
+	l.net.engine.Schedule(txTime, func() {
+		l.stats.Delivered++
+		l.stats.TxBytes += int64(p.Size)
+		l.net.engine.Schedule(l.Delay, func() { l.deliver(p, l) })
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			copy(l.queue, l.queue[1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+	})
+}

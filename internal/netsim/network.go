@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"fmt"
+
+	"toposense/internal/sim"
+)
+
+// Network owns the nodes and links of one simulated topology and the routing
+// tables between them. It is bound to a single sim.Engine.
+type Network struct {
+	engine *Engineish
+	nodes  []*Node
+
+	// nextHop[src][dst] is the neighbor of src on the shortest path to dst,
+	// or NoNode. Built lazily and invalidated on topology changes.
+	nextHop [][]NodeID
+
+	// Unroutable counts unicast packets dropped for lack of a route.
+	Unroutable int64
+
+	// OnAddNode, if set, observes every node created after it is
+	// installed. The multicast layer uses it to equip new nodes with a
+	// forwarding handler automatically.
+	OnAddNode func(*Node)
+}
+
+// Engineish is a thin alias so that netsim code reads naturally; it is the
+// simulation engine.
+type Engineish = sim.Engine
+
+// New creates an empty network on the given engine.
+func New(engine *sim.Engine) *Network {
+	return &Network{engine: engine}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// AddNode creates a node with a human-readable name and returns it.
+func (n *Network) AddNode(name string) *Node {
+	node := &Node{
+		ID:    NodeID(len(n.nodes)),
+		Name:  name,
+		net:   n,
+		links: make(map[NodeID]*Link),
+	}
+	n.nodes = append(n.nodes, node)
+	n.nextHop = nil // invalidate routes
+	if n.OnAddNode != nil {
+		n.OnAddNode(node)
+	}
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: no node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all nodes in ID order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// LinkConfig carries the parameters of one direction of a connection.
+type LinkConfig struct {
+	Bandwidth  float64  // bits per second; must be > 0
+	Delay      sim.Time // propagation delay
+	QueueLimit int      // drop-tail capacity in packets; 0 means DefaultQueueLimit
+	Policy     DropPolicy
+}
+
+// Connect creates a symmetric pair of links between a and b with identical
+// parameters in both directions and returns them (a->b, b->a).
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, *Link) {
+	return n.addLink(a, b, cfg), n.addLink(b, a, cfg)
+}
+
+// ConnectAsym creates one unidirectional link from a to b.
+func (n *Network) ConnectAsym(a, b *Node, cfg LinkConfig) *Link {
+	return n.addLink(a, b, cfg)
+}
+
+func (n *Network) addLink(from, to *Node, cfg LinkConfig) *Link {
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: link bandwidth must be positive")
+	}
+	if cfg.Delay < 0 {
+		panic("netsim: link delay must be nonnegative")
+	}
+	if _, dup := from.links[to.ID]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %v->%v", from, to))
+	}
+	ql := cfg.QueueLimit
+	if ql == 0 {
+		ql = DefaultQueueLimit
+	}
+	l := &Link{
+		net:        n,
+		From:       from.ID,
+		To:         to.ID,
+		Bandwidth:  cfg.Bandwidth,
+		Delay:      cfg.Delay,
+		QueueLimit: ql,
+		Policy:     cfg.Policy,
+	}
+	l.deliver = func(p *Packet, via *Link) { n.nodes[via.To].deliver(p, via) }
+	from.links[to.ID] = l
+	n.nextHop = nil
+	return l
+}
+
+// Links returns every link in the network in (From, To) order.
+func (n *Network) Links() []*Link {
+	var out []*Link
+	for _, node := range n.nodes {
+		out = append(out, node.Links()...)
+	}
+	return out
+}
+
+// NextHop returns the neighbor of src on a shortest path (hop count) to dst,
+// or NoNode if dst is unreachable. Routing tables are computed on first use
+// after any topology change.
+func (n *Network) NextHop(src, dst NodeID) NodeID {
+	if n.nextHop == nil {
+		n.computeRoutes()
+	}
+	return n.nextHop[src][dst]
+}
+
+// computeRoutes builds all-pairs next-hop tables with one BFS per
+// destination over reversed links, so paths follow link direction.
+func (n *Network) computeRoutes() {
+	num := len(n.nodes)
+	n.nextHop = make([][]NodeID, num)
+	for i := range n.nextHop {
+		n.nextHop[i] = make([]NodeID, num)
+		for j := range n.nextHop[i] {
+			n.nextHop[i][j] = NoNode
+		}
+	}
+	// reverse adjacency: rev[to] = list of (from) with a link from->to.
+	rev := make([][]NodeID, num)
+	for _, node := range n.nodes {
+		for _, nb := range node.Neighbors() {
+			rev[nb] = append(rev[nb], node.ID)
+		}
+	}
+	for dst := 0; dst < num; dst++ {
+		// BFS from dst along reversed links; first hop discovered from a
+		// node toward dst is recorded. Because rev lists are built in node
+		// order, ties break deterministically by node ID.
+		dist := make([]int, num)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue := []NodeID{NodeID(dst)}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, prev := range rev[cur] {
+				if dist[prev] == -1 {
+					dist[prev] = dist[cur] + 1
+					// prev's shortest path runs prev -> cur -> ... -> dst.
+					n.nextHop[prev][dst] = cur
+					queue = append(queue, prev)
+				}
+			}
+		}
+		n.nextHop[dst][dst] = NodeID(dst)
+	}
+}
+
+// PathDelay returns the sum of propagation delays along the unicast route
+// from src to dst, or -1 if unreachable. Useful for sanity checks ("max path
+// latency 600 ms" in the paper's Topology A).
+func (n *Network) PathDelay(src, dst NodeID) sim.Time {
+	if src == dst {
+		return 0
+	}
+	var total sim.Time
+	cur := src
+	for cur != dst {
+		next := n.NextHop(cur, dst)
+		if next == NoNode {
+			return -1
+		}
+		total += n.nodes[cur].links[next].Delay
+		cur = next
+	}
+	return total
+}
+
+// PathHops returns the hop count from src to dst, or -1 if unreachable.
+func (n *Network) PathHops(src, dst NodeID) int {
+	if src == dst {
+		return 0
+	}
+	hops := 0
+	cur := src
+	for cur != dst {
+		next := n.NextHop(cur, dst)
+		if next == NoNode {
+			return -1
+		}
+		hops++
+		cur = next
+		if hops > len(n.nodes) {
+			return -1 // routing loop guard; cannot happen with BFS tables
+		}
+	}
+	return hops
+}

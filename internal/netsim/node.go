@@ -1,0 +1,121 @@
+package netsim
+
+import "fmt"
+
+// Agent receives unicast packets addressed to the node it is attached to.
+// Receivers, sources and the controller all implement Agent.
+type Agent interface {
+	// Recv is called once for each unicast packet whose Dst is this node.
+	Recv(p *Packet)
+}
+
+// MulticastHandler is installed on every node by the multicast routing layer
+// (package mcast). It decides replication: which outgoing links a multicast
+// packet is forwarded on and which local agents receive it.
+type MulticastHandler interface {
+	// HandleMulticast is called when a multicast packet arrives at the node
+	// (or is originated locally, with from == nil).
+	HandleMulticast(n *Node, p *Packet, from *Link)
+}
+
+// Node is a network element: a router, a source host or a receiver host —
+// the distinction is only in which agents and handlers are attached.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	net    *Network
+	links  map[NodeID]*Link // outgoing links keyed by neighbor
+	agents []Agent
+	mcast  MulticastHandler
+
+	// RecvUnicast counts unicast packets delivered locally.
+	RecvUnicast int64
+}
+
+func (n *Node) String() string { return fmt.Sprintf("%s(#%d)", n.Name, n.ID) }
+
+// AttachAgent registers an agent for local unicast delivery.
+func (n *Node) AttachAgent(a Agent) { n.agents = append(n.agents, a) }
+
+// SetMulticastHandler installs the multicast forwarding logic.
+func (n *Node) SetMulticastHandler(h MulticastHandler) { n.mcast = h }
+
+// LinkTo returns the outgoing link to neighbor, or nil.
+func (n *Node) LinkTo(neighbor NodeID) *Link { return n.links[neighbor] }
+
+// Neighbors returns the IDs of directly connected nodes in ascending order.
+func (n *Node) Neighbors() []NodeID {
+	out := make([]NodeID, 0, len(n.links))
+	for id := range n.links {
+		out = append(out, id)
+	}
+	// Deterministic order matters: replication order affects queueing.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Links returns the node's outgoing links in ascending neighbor order.
+func (n *Node) Links() []*Link {
+	ids := n.Neighbors()
+	out := make([]*Link, len(ids))
+	for i, id := range ids {
+		out[i] = n.links[id]
+	}
+	return out
+}
+
+// SendUnicast routes a unicast packet toward p.Dst using the network's
+// next-hop tables. If Dst is the node itself the packet is delivered locally
+// without touching a link.
+func (n *Node) SendUnicast(p *Packet) {
+	if p.Multicast() {
+		panic("netsim: SendUnicast called with a multicast packet")
+	}
+	n.route(p)
+}
+
+// SendMulticastLocal hands a locally originated multicast packet to the
+// multicast handler (which forwards it down the distribution tree).
+func (n *Node) SendMulticastLocal(p *Packet) {
+	if !p.Multicast() {
+		panic("netsim: SendMulticastLocal called with a unicast packet")
+	}
+	if n.mcast == nil {
+		panic(fmt.Sprintf("netsim: node %v has no multicast handler", n))
+	}
+	n.mcast.HandleMulticast(n, p, nil)
+}
+
+// deliver is the arrival point for packets coming off a link.
+func (n *Node) deliver(p *Packet, from *Link) {
+	if p.Multicast() {
+		if n.mcast != nil {
+			n.mcast.HandleMulticast(n, p, from)
+		}
+		return
+	}
+	n.route(p)
+}
+
+// route advances a unicast packet one step: local delivery or next hop.
+func (n *Node) route(p *Packet) {
+	if p.Dst == n.ID {
+		n.RecvUnicast++
+		for _, a := range n.agents {
+			a.Recv(p)
+		}
+		return
+	}
+	next := n.net.NextHop(n.ID, p.Dst)
+	if next == NoNode {
+		// Unroutable packets are silently dropped, like in a real network.
+		n.net.Unroutable++
+		return
+	}
+	n.links[next].Send(p)
+}

@@ -1,0 +1,81 @@
+// Package netsim models a packet-switched network on top of the sim engine:
+// nodes, unidirectional links with finite bandwidth, propagation delay and
+// drop-tail FIFO queues, and hop-by-hop unicast forwarding over shortest
+// paths. Multicast forwarding is layered on by package mcast through the
+// Node's MulticastHandler hook.
+//
+// The model matches what the paper's ns simulations relied on: packets
+// experience serialization delay (size/bandwidth), propagation delay
+// (200 ms per link in the experiments) and drop-tail loss when a queue
+// overflows. Nothing else — no link errors, no reordering within a link.
+package netsim
+
+import (
+	"fmt"
+
+	"toposense/internal/sim"
+)
+
+// NodeID identifies a node within one Network. IDs are dense, starting at 0,
+// in creation order; they double as indices into routing tables.
+type NodeID int
+
+// NoNode is the zero-value-adjacent sentinel for "no node".
+const NoNode NodeID = -1
+
+// GroupID identifies a multicast group (one session layer maps to one group).
+// Negative means "not a multicast packet".
+type GroupID int
+
+// NoGroup marks a unicast packet.
+const NoGroup GroupID = -1
+
+// PacketKind distinguishes media data from control traffic. Both kinds share
+// links and queues — the paper's controller traffic competes with data and
+// can be lost to congestion.
+type PacketKind uint8
+
+const (
+	// Data is layered media traffic addressed to a multicast group.
+	Data PacketKind = iota
+	// Control is unicast control traffic: receiver reports, controller
+	// suggestions, registration messages.
+	Control
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is a simulated packet. Packets are immutable once sent; forwarding
+// shares the same *Packet across all tree branches, so handlers must not
+// mutate one after sending.
+type Packet struct {
+	Kind    PacketKind
+	Src     NodeID  // originating node
+	Dst     NodeID  // unicast destination; NoNode for multicast packets
+	Group   GroupID // multicast group; NoGroup for unicast packets
+	Session int     // session the packet belongs to (media and reports)
+	Layer   int     // layer index (1-based) for media packets
+	Seq     int64   // per-(session,layer) sequence number for loss detection
+	Size    int     // bytes, including headers
+	Sent    sim.Time
+	Payload any // typed control payloads; nil for media
+}
+
+// Multicast reports whether the packet is addressed to a group.
+func (p *Packet) Multicast() bool { return p.Group != NoGroup }
+
+func (p *Packet) String() string {
+	if p.Multicast() {
+		return fmt.Sprintf("%s s%d/l%d seq%d grp%d %dB", p.Kind, p.Session, p.Layer, p.Seq, p.Group, p.Size)
+	}
+	return fmt.Sprintf("%s %d->%d %dB", p.Kind, p.Src, p.Dst, p.Size)
+}

@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+// Property tests for the routing tables on random connected graphs.
+
+// randConnected builds a random connected network of n nodes: a random
+// spanning tree plus extra random edges.
+func randConnected(rng *rand.Rand, n int) *Network {
+	e := sim.NewEngine(1)
+	net := New(e)
+	cfg := LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = net.AddNode("n")
+	}
+	for i := 1; i < n; i++ {
+		net.Connect(nodes[i], nodes[rng.Intn(i)], cfg)
+	}
+	// Extra edges (avoiding duplicates).
+	for k := 0; k < n/2; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || nodes[a].LinkTo(nodes[b].ID) != nil {
+			continue
+		}
+		net.Connect(nodes[a], nodes[b], cfg)
+	}
+	return net
+}
+
+func TestQuickRoutingReachesEveryPair(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		net := randConnected(rng, n)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				hops := net.PathHops(NodeID(src), NodeID(dst))
+				if hops < 0 {
+					t.Fatalf("seed %d: no route %d -> %d in a connected graph", seed, src, dst)
+				}
+				if hops >= n {
+					t.Fatalf("seed %d: path %d -> %d has %d hops in an %d-node graph", seed, src, dst, hops, n)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRoutingShortestConsistency(t *testing.T) {
+	// Next-hop consistency: hops(src,dst) == 1 + hops(nexthop,dst), the
+	// defining property of shortest-path next-hop tables.
+	for seed := int64(30); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 3
+		net := randConnected(rng, n)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				next := net.NextHop(NodeID(src), NodeID(dst))
+				if net.PathHops(NodeID(src), NodeID(dst)) != 1+net.PathHops(next, NodeID(dst)) {
+					t.Fatalf("seed %d: inconsistent next hop %d -> %d via %d", seed, src, dst, next)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRoutingSymmetricHopCounts(t *testing.T) {
+	// Links are created in symmetric pairs, so hop counts are symmetric
+	// even when tie-breaking picks different paths.
+	for seed := int64(60); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 3
+		net := randConnected(rng, n)
+		for src := 0; src < n; src++ {
+			for dst := src + 1; dst < n; dst++ {
+				a := net.PathHops(NodeID(src), NodeID(dst))
+				b := net.PathHops(NodeID(dst), NodeID(src))
+				if a != b {
+					t.Fatalf("seed %d: asymmetric hop counts %d vs %d", seed, a, b)
+				}
+			}
+		}
+	}
+}

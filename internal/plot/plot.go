@@ -1,0 +1,172 @@
+// Package plot renders time series and labeled values as ASCII charts, so
+// the benchmark harness can print figure-shaped output next to its tables —
+// the paper's exhibits are plots, and a subscription-level timeline is far
+// easier to read as one.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"toposense/internal/sim"
+	"toposense/internal/trace"
+)
+
+// symbols mark the different series in a multi-series chart.
+var symbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Line renders one or more series on a shared time axis as an ASCII chart
+// of the given width and height (plot area, excluding axes). Series are
+// sampled at column resolution (the value at the column's start time).
+// A legend line maps symbols to series names.
+func Line(series []*trace.Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	var t0, t1 sim.Time
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		first, _ := s.At(0)
+		last, _ := s.At(s.Len() - 1)
+		if !any || first < t0 {
+			t0 = first
+		}
+		if !any || last > t1 {
+			t1 = last
+		}
+		any = true
+		for i := 0; i < s.Len(); i++ {
+			_, v := s.At(i)
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		frac := (v - minV) / (maxV - minV)
+		r := int(math.Round(float64(height-1) * frac))
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		sym := symbols[si%len(symbols)]
+		for col := 0; col < width; col++ {
+			at := t0 + sim.Time(int64(span)*int64(col)/int64(width-1))
+			v, ok := valueAt(s, at)
+			if !ok {
+				continue
+			}
+			grid[row(v)][col] = sym
+		}
+	}
+
+	var b strings.Builder
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minV)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.2f ", (maxV+minV)/2)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("        %-*s%s\n", width-8, fmt.Sprintf("%.0fs", t0.Seconds()), fmt.Sprintf("%8.0fs", t1.Seconds())))
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[si%len(symbols)], s.Name))
+	}
+	if len(legend) > 0 {
+		b.WriteString("        " + strings.Join(legend, "  ") + "\n")
+	}
+	return b.String()
+}
+
+// valueAt returns the latest sample at or before `at`.
+func valueAt(s *trace.Series, at sim.Time) (float64, bool) {
+	// Series are time-sorted; binary search.
+	lo, hi := 0, s.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t, _ := s.At(mid)
+		if t <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	_, v := s.At(lo - 1)
+	return v, true
+}
+
+// Bar renders labeled values as a horizontal ASCII bar chart scaled to
+// width characters.
+func Bar(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("plot: labels and values length mismatch")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(float64(width) * v / maxV))
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3g\n", labelW, labels[i], strings.Repeat("=", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"toposense/internal/sim"
+	"toposense/internal/trace"
+)
+
+func mkSeries(name string, vals ...float64) *trace.Series {
+	s := trace.NewSeries(name)
+	for i, v := range vals {
+		s.Add(sim.Time(i)*sim.Second, v)
+	}
+	return s
+}
+
+func TestLineBasics(t *testing.T) {
+	s := mkSeries("level", 1, 2, 3, 4, 4, 4, 3)
+	out := Line([]*trace.Series{s}, 40, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no plot symbols:\n%s", out)
+	}
+	if !strings.Contains(out, "4.00") || !strings.Contains(out, "1.00") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=level") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// 6 plot rows + axis + time labels + legend = 9 lines.
+	if got := strings.Count(out, "\n"); got != 9 {
+		t.Errorf("line count = %d:\n%s", got, out)
+	}
+}
+
+func TestLineMultiSeries(t *testing.T) {
+	a := mkSeries("a", 1, 1, 1, 1)
+	b := mkSeries("b", 4, 4, 4, 4)
+	out := Line([]*trace.Series{a, b}, 30, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("symbols missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Flat series: 'b' (higher) must appear above 'a'.
+	var rowA, rowB int = -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "*") && !strings.Contains(ln, "*=") {
+			rowA = i
+		}
+		if strings.Contains(ln, "o") && !strings.Contains(ln, "o=") {
+			rowB = i
+		}
+	}
+	if rowB == -1 || rowA == -1 || rowB >= rowA {
+		t.Errorf("series rows: a=%d b=%d\n%s", rowA, rowB, out)
+	}
+}
+
+func TestLineEmptyAndDegenerate(t *testing.T) {
+	if got := Line(nil, 20, 5); got != "(no data)\n" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := Line([]*trace.Series{trace.NewSeries("x")}, 20, 5); got != "(no data)\n" {
+		t.Errorf("zero-length = %q", got)
+	}
+	// Constant series and single-point series must not divide by zero.
+	one := trace.NewSeries("one")
+	one.Add(0, 5)
+	out := Line([]*trace.Series{one}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	flat := mkSeries("flat", 2, 2, 2)
+	if out := Line([]*trace.Series{flat}, 20, 5); !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	s := mkSeries("s", 1, 2)
+	out := Line([]*trace.Series{s}, 1, 1)
+	if out == "" {
+		t.Fatal("no output at tiny dimensions")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"cbr", "vbr3", "vbr6"}, []float64{0.03, 0.18, 0.27}, 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Bars scale with value: vbr6's bar is the longest.
+	if strings.Count(lines[2], "=") <= strings.Count(lines[0], "=") {
+		t.Errorf("bars not scaled:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "cbr") || !strings.Contains(lines[0], "0.03") {
+		t.Errorf("labels/values missing:\n%s", out)
+	}
+	// Nonzero values always get at least one mark.
+	tiny := Bar([]string{"t"}, []float64{0.0001}, 10)
+	if !strings.Contains(tiny, "=") {
+		t.Errorf("tiny value invisible: %q", tiny)
+	}
+}
+
+func TestBarZeroAndMismatch(t *testing.T) {
+	if out := Bar([]string{"z"}, []float64{0}, 10); !strings.Contains(out, "z") {
+		t.Errorf("zero bar broken: %q", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatch")
+		}
+	}()
+	Bar([]string{"a"}, nil, 10)
+}

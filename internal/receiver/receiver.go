@@ -1,0 +1,297 @@
+// Package receiver implements the multicast receiver agent: it subscribes to
+// a prefix of a session's layers, measures packet loss and received bytes
+// from sequence numbers, periodically reports to the controller agent over
+// the (lossy) network, and obeys the controller's subscription suggestions.
+// When suggestions stop arriving for long enough — they are real packets and
+// can be lost — the receiver falls back to unilateral decisions, as the
+// paper prescribes.
+package receiver
+
+import (
+	"fmt"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/report"
+	"toposense/internal/sim"
+)
+
+// Defaults for the receiver's timers.
+const (
+	DefaultReportInterval = 500 * sim.Millisecond
+	// DefaultUnilateralAfter is how long without a suggestion before the
+	// receiver starts acting on its own.
+	DefaultUnilateralAfter = 6 * sim.Second
+	// DefaultUnilateralLoss is the loss rate that triggers a unilateral
+	// layer drop once suggestions have gone quiet. Deliberately low: when
+	// the control channel itself is congested (suggestions cross the same
+	// links as media), the receiver must shed load on its own or the
+	// system deadlocks over-subscribed.
+	DefaultUnilateralLoss = 0.10
+)
+
+// Change records one subscription-level change, for stability analysis
+// (paper Figures 6 and 7).
+type Change struct {
+	At       sim.Time
+	From, To int
+}
+
+// Config parameterizes a receiver.
+type Config struct {
+	Session         int
+	MaxLayers       int           // total layers in the session
+	InitialLevel    int           // layers joined at Start (>= 0)
+	Controller      netsim.NodeID // where to send reports; NoNode disables reporting
+	ReportInterval  sim.Time      // 0 means DefaultReportInterval
+	UnilateralAfter sim.Time      // 0 means DefaultUnilateralAfter; < 0 disables
+	UnilateralLoss  float64       // 0 means DefaultUnilateralLoss
+}
+
+// layerState tracks per-layer sequence accounting within one measurement
+// interval.
+type layerState struct {
+	joined   bool
+	haveSeq  bool  // whether lastSeq is valid
+	lastSeq  int64 // highest sequence seen overall
+	received int64 // packets received this interval
+	expected int64 // packets expected this interval (from seq gaps)
+	bytes    int64 // bytes received this interval
+}
+
+// Receiver is the receiver agent. It implements mcast.Member for data and
+// netsim.Agent for control packets.
+type Receiver struct {
+	cfg    Config
+	net    *netsim.Network
+	domain *mcast.Domain
+	node   *netsim.Node
+
+	level  int
+	layers []layerState // index 0 = layer 1
+
+	lastSuggestion sim.Time
+	changes        []Change
+	reportTicker   *sim.Ticker
+	started        bool
+	stopped        bool
+
+	// Counters for analysis.
+	ReportsSent     int64
+	SuggestionsRecv int64
+	UnilateralDrops int64
+
+	// LastLoss is the loss rate of the most recent completed interval.
+	LastLoss float64
+	// OnChange, if set, observes every subscription change as it happens.
+	OnChange func(Change)
+}
+
+// New creates a receiver at node. Call Start to join the initial layers and
+// begin reporting.
+func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, cfg Config) *Receiver {
+	if cfg.MaxLayers <= 0 {
+		panic("receiver: MaxLayers must be positive")
+	}
+	if cfg.InitialLevel < 0 || cfg.InitialLevel > cfg.MaxLayers {
+		panic(fmt.Sprintf("receiver: InitialLevel %d out of range 0..%d", cfg.InitialLevel, cfg.MaxLayers))
+	}
+	if cfg.ReportInterval == 0 {
+		cfg.ReportInterval = DefaultReportInterval
+	}
+	if cfg.UnilateralAfter == 0 {
+		cfg.UnilateralAfter = DefaultUnilateralAfter
+	}
+	if cfg.UnilateralLoss == 0 {
+		cfg.UnilateralLoss = DefaultUnilateralLoss
+	}
+	r := &Receiver{
+		cfg:    cfg,
+		net:    net,
+		domain: domain,
+		node:   node,
+		layers: make([]layerState, cfg.MaxLayers),
+	}
+	node.AttachAgent(r)
+	return r
+}
+
+// Node returns the node the receiver is attached to.
+func (r *Receiver) Node() *netsim.Node { return r.node }
+
+// Session returns the session this receiver subscribes to.
+func (r *Receiver) Session() int { return r.cfg.Session }
+
+// Level returns the current subscription level (number of layers).
+func (r *Receiver) Level() int { return r.level }
+
+// Changes returns the history of subscription changes.
+func (r *Receiver) Changes() []Change { return r.changes }
+
+// Start joins the initial layers, registers with the controller, and begins
+// the report/watchdog timers.
+func (r *Receiver) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	e := r.net.Engine()
+	r.lastSuggestion = e.Now()
+	r.setLevel(r.cfg.InitialLevel)
+	if r.cfg.Controller != netsim.NoNode {
+		reg := report.Register{Node: r.node.ID, Session: r.cfg.Session, Level: r.level}
+		r.node.SendUnicast(report.NewControlPacket(r.node.ID, r.cfg.Controller, report.RegisterSize, e.Now(), reg))
+		// Desynchronize report timers across receivers (RTCP randomizes
+		// report times for the same reason): starting every receiver at
+		// t=0 would otherwise fire all reports in the same instant, and
+		// the synchronized control burst itself perturbs queues.
+		offset := sim.Time(e.Rand().Int63n(int64(r.cfg.ReportInterval)))
+		e.Schedule(offset, func() {
+			if r.stopped {
+				return
+			}
+			r.reportTicker = e.Every(r.cfg.ReportInterval, r.tick)
+		})
+	}
+}
+
+// Stop leaves all layers and halts reporting. A stopped receiver ignores
+// any further controller suggestions (they may still be in flight, or keep
+// coming until the controller notices the silence); it cannot be restarted.
+func (r *Receiver) Stop() {
+	r.stopped = true
+	if r.reportTicker != nil {
+		r.reportTicker.Stop()
+		r.reportTicker = nil
+	}
+	r.setLevel(0)
+}
+
+// RecvMulticast implements mcast.Member: account the packet against the
+// layer's sequence stream.
+func (r *Receiver) RecvMulticast(p *netsim.Packet) {
+	if p.Session != r.cfg.Session || p.Layer < 1 || p.Layer > len(r.layers) {
+		return
+	}
+	ls := &r.layers[p.Layer-1]
+	if !ls.joined {
+		return // stale packet from the leave-latency window
+	}
+	ls.received++
+	ls.bytes += int64(p.Size)
+	if !ls.haveSeq {
+		ls.haveSeq = true
+		ls.lastSeq = p.Seq
+		ls.expected++
+		return
+	}
+	if p.Seq > ls.lastSeq {
+		ls.expected += p.Seq - ls.lastSeq
+		ls.lastSeq = p.Seq
+	}
+	// Out-of-order or duplicate packets (impossible on our FIFO links, but
+	// harmless): count as received without adjusting expectations.
+}
+
+// Recv implements netsim.Agent for unicast control packets: apply
+// controller suggestions addressed to this receiver+session.
+func (r *Receiver) Recv(p *netsim.Packet) {
+	sg, ok := p.Payload.(report.Suggestion)
+	if !ok || r.stopped || sg.Node != r.node.ID || sg.Session != r.cfg.Session {
+		return
+	}
+	r.SuggestionsRecv++
+	r.lastSuggestion = r.net.Engine().Now()
+	r.applySuggestion(sg.Level)
+}
+
+// applySuggestion moves the subscription toward target: drops happen all at
+// once (congestion wants a fast response), but layers are added one at a
+// time per suggestion, as the paper's model requires.
+func (r *Receiver) applySuggestion(target int) {
+	if target < 0 {
+		target = 0
+	}
+	if target > r.cfg.MaxLayers {
+		target = r.cfg.MaxLayers
+	}
+	switch {
+	case target < r.level:
+		r.setLevel(target)
+	case target > r.level:
+		r.setLevel(r.level + 1)
+	}
+}
+
+// setLevel joins/leaves groups to make the subscription exactly lvl layers.
+func (r *Receiver) setLevel(lvl int) {
+	if lvl == r.level {
+		return
+	}
+	from := r.level
+	for l := r.level + 1; l <= lvl; l++ {
+		g := r.domain.GroupOf(r.cfg.Session, l)
+		if g == netsim.NoGroup {
+			panic(fmt.Sprintf("receiver: no group for session %d layer %d", r.cfg.Session, l))
+		}
+		r.domain.Join(r.node.ID, g, r)
+		r.layers[l-1].joined = true
+		r.layers[l-1].haveSeq = false
+	}
+	for l := r.level; l > lvl; l-- {
+		g := r.domain.GroupOf(r.cfg.Session, l)
+		r.domain.Leave(r.node.ID, g, r)
+		r.layers[l-1].joined = false
+	}
+	r.level = lvl
+	ch := Change{At: r.net.Engine().Now(), From: from, To: lvl}
+	r.changes = append(r.changes, ch)
+	if r.OnChange != nil {
+		r.OnChange(ch)
+	}
+}
+
+// tick closes the measurement interval: compute the loss rate and received
+// bytes, send the report, run the unilateral watchdog, and reset counters.
+func (r *Receiver) tick() {
+	e := r.net.Engine()
+	var received, expected, bytes int64
+	for i := range r.layers {
+		ls := &r.layers[i]
+		received += ls.received
+		expected += ls.expected
+		bytes += ls.bytes
+		ls.received, ls.expected, ls.bytes = 0, 0, 0
+	}
+	loss := 0.0
+	if expected > 0 {
+		loss = float64(expected-received) / float64(expected)
+		if loss < 0 {
+			loss = 0
+		}
+	}
+	r.LastLoss = loss
+
+	rep := report.LossReport{
+		Node:     r.node.ID,
+		Session:  r.cfg.Session,
+		Level:    r.level,
+		LossRate: loss,
+		Bytes:    bytes,
+		Interval: r.cfg.ReportInterval,
+		Sent:     e.Now(),
+	}
+	r.node.SendUnicast(report.NewControlPacket(r.node.ID, r.cfg.Controller, report.LossReportSize, e.Now(), rep))
+	r.ReportsSent++
+
+	// Unilateral fallback: the controller has gone quiet and we are losing
+	// heavily — shed the top layer ourselves.
+	if r.cfg.UnilateralAfter > 0 &&
+		e.Now()-r.lastSuggestion > r.cfg.UnilateralAfter &&
+		loss > r.cfg.UnilateralLoss && r.level > 1 {
+		r.UnilateralDrops++
+		r.setLevel(r.level - 1)
+		// Back off before acting unilaterally again.
+		r.lastSuggestion = e.Now()
+	}
+}

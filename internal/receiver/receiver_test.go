@@ -1,0 +1,325 @@
+package receiver
+
+import (
+	"math"
+	"testing"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/report"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+)
+
+// ctrlStub collects control packets at the controller node.
+type ctrlStub struct {
+	node      *netsim.Node
+	registers []report.Register
+	reports   []report.LossReport
+}
+
+func (c *ctrlStub) Recv(p *netsim.Packet) {
+	switch pl := p.Payload.(type) {
+	case report.Register:
+		c.registers = append(c.registers, pl)
+	case report.LossReport:
+		c.reports = append(c.reports, pl)
+	}
+}
+
+func (c *ctrlStub) suggest(e *sim.Engine, rx *Receiver, level int) {
+	sg := report.Suggestion{Node: rx.Node().ID, Session: rx.Session(), Level: level, Sent: e.Now()}
+	c.node.SendUnicast(report.NewControlPacket(c.node.ID, rx.Node().ID, report.SuggestionSize, e.Now(), sg))
+}
+
+// rig: src(controller here too) --- mid --- rx with configurable bottleneck
+// on mid->rx.
+type rig struct {
+	e    *sim.Engine
+	n    *netsim.Network
+	d    *mcast.Domain
+	src  *source.Source
+	rx   *Receiver
+	ctrl *ctrlStub
+	mid  *netsim.Node
+}
+
+func newRig(t *testing.T, bottleneckBps float64, cfg Config) *rig {
+	t.Helper()
+	e := sim.NewEngine(11)
+	n := netsim.New(e)
+	srcNode := n.AddNode("src")
+	mid := n.AddNode("mid")
+	rxNode := n.AddNode("rx")
+	fat := netsim.LinkConfig{Bandwidth: 100e6, Delay: 10 * sim.Millisecond, QueueLimit: 100}
+	n.Connect(srcNode, mid, fat)
+	n.Connect(mid, rxNode, netsim.LinkConfig{Bandwidth: bottleneckBps, Delay: 10 * sim.Millisecond, QueueLimit: 10})
+	d := mcast.NewDomain(n)
+	d.LeaveLatency = 200 * sim.Millisecond
+	src := source.New(n, d, srcNode, source.Config{Session: 0})
+	ctrl := &ctrlStub{node: srcNode}
+	srcNode.AttachAgent(ctrl)
+	cfg.Session = 0
+	cfg.MaxLayers = 6
+	cfg.Controller = srcNode.ID
+	rx := New(n, d, rxNode, cfg)
+	return &rig{e: e, n: n, d: d, src: src, rx: rx, ctrl: ctrl, mid: mid}
+}
+
+func TestRegisterOnStart(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 2})
+	r.rx.Start()
+	r.e.RunUntil(sim.Second)
+	if len(r.ctrl.registers) != 1 {
+		t.Fatalf("registers = %d, want 1", len(r.ctrl.registers))
+	}
+	reg := r.ctrl.registers[0]
+	if reg.Node != r.rx.Node().ID || reg.Session != 0 || reg.Level != 2 {
+		t.Errorf("register = %+v", reg)
+	}
+	if reg.String() == "" {
+		t.Error("empty Register.String")
+	}
+}
+
+func TestLossFreeReports(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 2})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(10 * sim.Second)
+	if len(r.ctrl.reports) < 15 {
+		t.Fatalf("reports = %d, want ~20", len(r.ctrl.reports))
+	}
+	// Skip the first few reports (joins still propagating).
+	var rates []float64
+	for _, rep := range r.ctrl.reports[6:] {
+		if rep.LossRate != 0 {
+			t.Errorf("loss-free path reported loss %.3f", rep.LossRate)
+		}
+		rates = append(rates, rep.Rate())
+	}
+	mean := 0.0
+	for _, x := range rates {
+		mean += x
+	}
+	mean /= float64(len(rates))
+	if math.Abs(mean-96_000) > 0.1*96_000 {
+		t.Errorf("mean reported rate %.0f, want ~96000 (layers 1+2)", mean)
+	}
+	// The final report may still be in flight when the clock stops.
+	if diff := r.rx.ReportsSent - int64(len(r.ctrl.reports)); diff < 0 || diff > 1 {
+		t.Errorf("ReportsSent=%d, controller saw %d", r.rx.ReportsSent, len(r.ctrl.reports))
+	}
+}
+
+func TestLossDetectionOnBottleneck(t *testing.T) {
+	// Subscribe to 4 layers (480 Kbps) over a 128 Kbps bottleneck:
+	// sustained heavy loss must be reported.
+	r := newRig(t, 128e3, Config{InitialLevel: 4, UnilateralAfter: -1})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(20 * sim.Second)
+	late := r.ctrl.reports[len(r.ctrl.reports)-5:]
+	for _, rep := range late {
+		if rep.LossRate < 0.3 {
+			t.Errorf("report loss %.3f, want heavy (>0.3) at 4x oversubscription", rep.LossRate)
+		}
+	}
+	if r.rx.LastLoss < 0.3 {
+		t.Errorf("LastLoss = %.3f", r.rx.LastLoss)
+	}
+}
+
+func TestSuggestionDropIsImmediate(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 5})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(2 * sim.Second)
+	r.ctrl.suggest(r.e, r.rx, 1)
+	r.e.RunUntil(3 * sim.Second)
+	if r.rx.Level() != 1 {
+		t.Fatalf("Level = %d after drop suggestion, want 1", r.rx.Level())
+	}
+	if r.rx.SuggestionsRecv != 1 {
+		t.Errorf("SuggestionsRecv = %d", r.rx.SuggestionsRecv)
+	}
+}
+
+func TestSuggestionAddsOneLayerAtATime(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 1})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(sim.Second)
+	r.ctrl.suggest(r.e, r.rx, 4)
+	r.e.RunUntil(2 * sim.Second)
+	if r.rx.Level() != 2 {
+		t.Fatalf("Level = %d after one add suggestion, want 2", r.rx.Level())
+	}
+	r.ctrl.suggest(r.e, r.rx, 4)
+	r.ctrl.suggest(r.e, r.rx, 4)
+	r.e.RunUntil(3 * sim.Second)
+	if r.rx.Level() != 4 {
+		t.Fatalf("Level = %d after three suggestions, want 4", r.rx.Level())
+	}
+}
+
+func TestSuggestionClamped(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 1})
+	r.rx.Start()
+	r.e.RunUntil(sim.Second)
+	for i := 0; i < 10; i++ {
+		r.ctrl.suggest(r.e, r.rx, 99)
+		r.e.RunUntil(r.e.Now() + 100*sim.Millisecond)
+	}
+	if r.rx.Level() != 6 {
+		t.Errorf("Level = %d, want clamp at 6", r.rx.Level())
+	}
+	r.ctrl.suggest(r.e, r.rx, -5)
+	r.e.RunUntil(r.e.Now() + sim.Second)
+	if r.rx.Level() != 0 {
+		t.Errorf("Level = %d, want clamp at 0", r.rx.Level())
+	}
+}
+
+func TestSuggestionForOtherNodeIgnored(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 2})
+	r.rx.Start()
+	r.e.RunUntil(sim.Second)
+	// Addressed to the right node but wrong session.
+	sg := report.Suggestion{Node: r.rx.Node().ID, Session: 9, Level: 5}
+	r.ctrl.node.SendUnicast(report.NewControlPacket(r.ctrl.node.ID, r.rx.Node().ID, report.SuggestionSize, r.e.Now(), sg))
+	r.e.RunUntil(2 * sim.Second)
+	if r.rx.Level() != 2 || r.rx.SuggestionsRecv != 0 {
+		t.Errorf("wrong-session suggestion applied: lvl=%d recv=%d", r.rx.Level(), r.rx.SuggestionsRecv)
+	}
+}
+
+func TestUnilateralDropWhenControllerSilent(t *testing.T) {
+	r := newRig(t, 128e3, Config{
+		InitialLevel:    4,
+		UnilateralAfter: 3 * sim.Second,
+		UnilateralLoss:  0.2,
+	})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(30 * sim.Second)
+	if r.rx.UnilateralDrops == 0 {
+		t.Fatal("no unilateral drops despite silent controller and heavy loss")
+	}
+	if r.rx.Level() >= 4 {
+		t.Errorf("Level = %d, want < 4 after unilateral drops", r.rx.Level())
+	}
+	if r.rx.Level() < 1 {
+		t.Errorf("unilateral drops went below the base layer: %d", r.rx.Level())
+	}
+}
+
+func TestNoUnilateralDropWhileSuggestionsFlow(t *testing.T) {
+	r := newRig(t, 128e3, Config{
+		InitialLevel:    4,
+		UnilateralAfter: 3 * sim.Second,
+		UnilateralLoss:  0.2,
+	})
+	r.src.Start()
+	r.rx.Start()
+	// Inject suggestions directly every second (bypassing the congested
+	// bottleneck, which would lose them): the watchdog must never fire.
+	r.e.Every(sim.Second, func() {
+		r.rx.Recv(report.NewControlPacket(r.ctrl.node.ID, r.rx.Node().ID, report.SuggestionSize, r.e.Now(),
+			report.Suggestion{Node: r.rx.Node().ID, Session: 0, Level: 4, Sent: r.e.Now()}))
+	})
+	r.e.RunUntil(20 * sim.Second)
+	if r.rx.UnilateralDrops != 0 {
+		t.Errorf("UnilateralDrops = %d with live controller", r.rx.UnilateralDrops)
+	}
+}
+
+func TestChangesRecorded(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 2})
+	var observed []Change
+	r.rx.OnChange = func(c Change) { observed = append(observed, c) }
+	r.rx.Start()
+	r.e.RunUntil(sim.Second)
+	r.ctrl.suggest(r.e, r.rx, 3)
+	r.e.RunUntil(2 * sim.Second)
+	r.ctrl.suggest(r.e, r.rx, 1)
+	r.e.RunUntil(3 * sim.Second)
+	ch := r.rx.Changes()
+	if len(ch) != 3 { // 0->2 at start, 2->3, 3->1
+		t.Fatalf("changes = %v", ch)
+	}
+	if ch[0].From != 0 || ch[0].To != 2 || ch[1].To != 3 || ch[2].To != 1 {
+		t.Errorf("changes = %v", ch)
+	}
+	if len(observed) != len(ch) {
+		t.Errorf("OnChange observed %d, recorded %d", len(observed), len(ch))
+	}
+}
+
+func TestStopLeavesAllGroups(t *testing.T) {
+	r := newRig(t, 10e6, Config{InitialLevel: 3})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(2 * sim.Second)
+	r.rx.Stop()
+	r.e.RunUntil(5 * sim.Second) // leave latency + prunes complete
+	for l := 1; l <= 6; l++ {
+		g := r.d.GroupOf(0, l)
+		if r.d.HasLocalMembers(r.rx.Node().ID, g) {
+			t.Errorf("still a member of layer %d after Stop", l)
+		}
+	}
+	if r.rx.Level() != 0 {
+		t.Errorf("Level = %d after Stop", r.rx.Level())
+	}
+}
+
+func TestStalePacketsAfterLeaveNotCounted(t *testing.T) {
+	// Drop from 4 to 1: packets from the leave-latency window must not
+	// count as received traffic for layers 2..4.
+	r := newRig(t, 10e6, Config{InitialLevel: 4})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(2 * sim.Second)
+	r.ctrl.suggest(r.e, r.rx, 1)
+	r.e.RunUntil(4 * sim.Second)
+	// After the drop, reported rate should settle to layer 1 only.
+	last := r.ctrl.reports[len(r.ctrl.reports)-1]
+	if math.Abs(last.Rate()-32_000) > 0.25*32_000 {
+		t.Errorf("rate after drop = %.0f, want ~32000", last.Rate())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	node := n.AddNode("rx")
+	d := mcast.NewDomain(n)
+	for _, cfg := range []Config{
+		{MaxLayers: 0},
+		{MaxLayers: 6, InitialLevel: -1},
+		{MaxLayers: 6, InitialLevel: 7},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cfg %+v did not panic", cfg)
+				}
+			}()
+			New(n, d, node, cfg)
+		}()
+	}
+}
+
+func TestReportRateHelper(t *testing.T) {
+	rep := report.LossReport{Bytes: 12_000, Interval: sim.Second}
+	if got := rep.Rate(); got != 96_000 {
+		t.Errorf("Rate = %g, want 96000", got)
+	}
+	if (report.LossReport{}).Rate() != 0 {
+		t.Error("zero-interval Rate should be 0")
+	}
+	if rep.String() == "" || (report.Suggestion{}).String() == "" {
+		t.Error("empty payload String")
+	}
+}

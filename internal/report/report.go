@@ -1,0 +1,85 @@
+// Package report defines the control-plane message payloads exchanged
+// between receivers and the controller agent: registration, periodic
+// loss/byte reports (the RTCP-like feedback the paper assumes), and the
+// controller's subscription suggestions. These payloads ride in
+// netsim.Packet.Payload on Control packets, so they share links and queues
+// with media traffic and can be lost to congestion — as in the paper's
+// simulations.
+package report
+
+import (
+	"fmt"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// Wire sizes in bytes. Loss reports are small, like RTCP receiver reports.
+const (
+	RegisterSize   = 64
+	LossReportSize = 96
+	SuggestionSize = 64
+)
+
+// Register announces a receiver to the controller when it starts
+// subscribing to a session.
+type Register struct {
+	Node    netsim.NodeID // the receiver's node
+	Session int
+	Level   int // initial subscription level
+}
+
+func (r Register) String() string {
+	return fmt.Sprintf("register node=%d s=%d lvl=%d", r.Node, r.Session, r.Level)
+}
+
+// LossReport is a receiver's periodic feedback for one session over one
+// measurement interval.
+type LossReport struct {
+	Node     netsim.NodeID
+	Session  int
+	Level    int      // subscription level during the interval
+	LossRate float64  // fraction of expected packets missing, 0..1
+	Bytes    int64    // bytes received during the interval
+	Interval sim.Time // length of the measurement interval
+	Sent     sim.Time // when the receiver emitted the report
+}
+
+// Rate returns the received bandwidth in bits per second over the interval.
+func (r LossReport) Rate() float64 {
+	if r.Interval <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Interval.Seconds()
+}
+
+func (r LossReport) String() string {
+	return fmt.Sprintf("report node=%d s=%d lvl=%d loss=%.3f bytes=%d", r.Node, r.Session, r.Level, r.LossRate, r.Bytes)
+}
+
+// Suggestion is the controller's prescribed subscription level for one
+// receiver and session.
+type Suggestion struct {
+	Node    netsim.NodeID
+	Session int
+	Level   int
+	Sent    sim.Time
+}
+
+func (s Suggestion) String() string {
+	return fmt.Sprintf("suggest node=%d s=%d lvl=%d", s.Node, s.Session, s.Level)
+}
+
+// NewControlPacket wraps a payload in a unicast control packet from src to
+// dst with the given wire size.
+func NewControlPacket(src, dst netsim.NodeID, size int, now sim.Time, payload any) *netsim.Packet {
+	return &netsim.Packet{
+		Kind:    netsim.Control,
+		Src:     src,
+		Dst:     dst,
+		Group:   netsim.NoGroup,
+		Size:    size,
+		Sent:    now,
+		Payload: payload,
+	}
+}

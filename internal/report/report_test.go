@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+func TestLossReportRate(t *testing.T) {
+	cases := []struct {
+		bytes    int64
+		interval sim.Time
+		want     float64
+	}{
+		{12_000, sim.Second, 96_000},
+		{0, sim.Second, 0},
+		{1000, 0, 0},           // guard: zero interval
+		{1000, -sim.Second, 0}, // guard: negative interval
+		{250_000, 2 * sim.Second, 1e6},
+	}
+	for _, c := range cases {
+		r := LossReport{Bytes: c.bytes, Interval: c.interval}
+		if got := r.Rate(); got != c.want {
+			t.Errorf("Rate(%d bytes, %v) = %g, want %g", c.bytes, c.interval, got, c.want)
+		}
+	}
+}
+
+func TestPayloadStrings(t *testing.T) {
+	reg := Register{Node: 3, Session: 1, Level: 2}
+	if s := reg.String(); !strings.Contains(s, "node=3") || !strings.Contains(s, "lvl=2") {
+		t.Errorf("Register.String = %q", s)
+	}
+	lr := LossReport{Node: 4, Session: 2, Level: 3, LossRate: 0.125, Bytes: 999}
+	if s := lr.String(); !strings.Contains(s, "loss=0.125") || !strings.Contains(s, "bytes=999") {
+		t.Errorf("LossReport.String = %q", s)
+	}
+	sg := Suggestion{Node: 5, Session: 0, Level: 4}
+	if s := sg.String(); !strings.Contains(s, "lvl=4") {
+		t.Errorf("Suggestion.String = %q", s)
+	}
+}
+
+func TestNewControlPacket(t *testing.T) {
+	payload := Suggestion{Node: 7, Session: 1, Level: 3}
+	p := NewControlPacket(2, 7, SuggestionSize, 5*sim.Second, payload)
+	if p.Kind != netsim.Control {
+		t.Error("not a control packet")
+	}
+	if p.Src != 2 || p.Dst != 7 {
+		t.Errorf("addressing: %d -> %d", p.Src, p.Dst)
+	}
+	if p.Group != netsim.NoGroup || p.Multicast() {
+		t.Error("control packet must be unicast")
+	}
+	if p.Size != SuggestionSize || p.Sent != 5*sim.Second {
+		t.Errorf("size/time: %d, %v", p.Size, p.Sent)
+	}
+	if got, ok := p.Payload.(Suggestion); !ok || got != payload {
+		t.Errorf("payload round trip: %#v", p.Payload)
+	}
+}
+
+func TestWireSizesAreSmall(t *testing.T) {
+	// Control traffic must stay negligible next to 1000-byte media packets:
+	// the paper requires per-interval control traffic linear in receivers
+	// and small.
+	for name, size := range map[string]int{
+		"register":   RegisterSize,
+		"loss":       LossReportSize,
+		"suggestion": SuggestionSize,
+	} {
+		if size <= 0 || size > 200 {
+			t.Errorf("%s wire size %d out of sane range", name, size)
+		}
+	}
+}

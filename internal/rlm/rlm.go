@@ -1,0 +1,272 @@
+// Package rlm implements a receiver-driven layered multicast baseline in
+// the spirit of McCanne, Jacobson and Vetterli's RLM — the class of
+// "receiver-oriented approaches which only use end-to-end information" the
+// paper contrasts TopoSense against. Each receiver independently runs
+// join-experiments: when a per-layer join timer expires it subscribes to
+// the next layer; if loss above a threshold follows within the detection
+// window, the layer is dropped and that layer's join timer backs off
+// multiplicatively. There is no controller, no topology knowledge and no
+// coordination between receivers, so concurrent join-experiments interfere
+// — exactly the failure mode topology awareness removes.
+package rlm
+
+import (
+	"fmt"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// Defaults chosen per the published RLM design (scaled to this simulator's
+// decision cadence).
+const (
+	DefaultDetection     = 2 * sim.Second
+	DefaultLossThreshold = 0.10
+	DefaultJoinTimerMin  = 5 * sim.Second
+	DefaultJoinTimerMax  = 600 * sim.Second
+	DefaultBackoff       = 2.0
+	// DefaultRelax shrinks a layer's join timer after a sustained clean
+	// period, letting the receiver retry eventually.
+	DefaultRelax = 0.98
+)
+
+// Config parameterizes one RLM receiver.
+type Config struct {
+	Session       int
+	MaxLayers     int
+	Detection     sim.Time // loss measurement window; 0 = DefaultDetection
+	LossThreshold float64  // 0 = DefaultLossThreshold
+	JoinTimerMin  sim.Time // 0 = DefaultJoinTimerMin
+	JoinTimerMax  sim.Time // 0 = DefaultJoinTimerMax
+	Backoff       float64  // multiplicative join-timer backoff; 0 = DefaultBackoff
+}
+
+// Change mirrors receiver.Change for stability accounting.
+type Change struct {
+	At       sim.Time
+	From, To int
+}
+
+// Receiver is an autonomous RLM receiver.
+type Receiver struct {
+	cfg    Config
+	net    *netsim.Network
+	domain *mcast.Domain
+	node   *netsim.Node
+
+	level         int
+	joinTimers    []sim.Time // per layer index (0 = layer 1): current timer value
+	nextTry       sim.Time   // when the next join-experiment may start
+	probing       bool       // inside a join-experiment's detection window
+	probeLayer    int
+	probeDeadline sim.Time // the experiment runs until this time
+	deafUntil     sim.Time // post-drop deaf period: ignore drain losses
+
+	// per-layer sequence accounting for the current window
+	lastSeq  []int64
+	haveSeq  []bool
+	received int64
+	expected int64
+
+	changes []Change
+	ticker  *sim.Ticker
+
+	// Stats.
+	Experiments int64
+	Failures    int64
+	// OnChange observes subscription changes.
+	OnChange func(Change)
+}
+
+// New creates an RLM receiver at node. Call Start to join the base layer.
+func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, cfg Config) *Receiver {
+	if cfg.MaxLayers <= 0 {
+		panic("rlm: MaxLayers must be positive")
+	}
+	if cfg.Detection == 0 {
+		cfg.Detection = DefaultDetection
+	}
+	if cfg.LossThreshold == 0 {
+		cfg.LossThreshold = DefaultLossThreshold
+	}
+	if cfg.JoinTimerMin == 0 {
+		cfg.JoinTimerMin = DefaultJoinTimerMin
+	}
+	if cfg.JoinTimerMax == 0 {
+		cfg.JoinTimerMax = DefaultJoinTimerMax
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	r := &Receiver{
+		cfg:        cfg,
+		net:        net,
+		domain:     domain,
+		node:       node,
+		joinTimers: make([]sim.Time, cfg.MaxLayers),
+		lastSeq:    make([]int64, cfg.MaxLayers),
+		haveSeq:    make([]bool, cfg.MaxLayers),
+	}
+	for i := range r.joinTimers {
+		r.joinTimers[i] = cfg.JoinTimerMin
+	}
+	return r
+}
+
+// Node returns the attachment node.
+func (r *Receiver) Node() *netsim.Node { return r.node }
+
+// Level returns the current subscription level.
+func (r *Receiver) Level() int { return r.level }
+
+// Changes returns the subscription-change history.
+func (r *Receiver) Changes() []Change { return r.changes }
+
+// Start joins the base layer and begins the decision loop.
+func (r *Receiver) Start() {
+	if r.ticker != nil {
+		return
+	}
+	r.setLevel(1)
+	e := r.net.Engine()
+	// Small deterministic desynchronization so a fleet of RLM receivers
+	// does not run experiments in lockstep.
+	r.nextTry = e.Now() + r.joinTimers[0] + sim.Time(e.Rand().Int63n(int64(sim.Second)))
+	r.ticker = e.Every(r.cfg.Detection, r.tick)
+}
+
+// Stop leaves all layers and halts the loop.
+func (r *Receiver) Stop() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+		r.ticker = nil
+	}
+	r.setLevel(0)
+}
+
+// RecvMulticast implements mcast.Member.
+func (r *Receiver) RecvMulticast(p *netsim.Packet) {
+	if p.Session != r.cfg.Session || p.Layer < 1 || p.Layer > r.cfg.MaxLayers || p.Layer > r.level {
+		return
+	}
+	idx := p.Layer - 1
+	r.received++
+	if !r.haveSeq[idx] {
+		r.haveSeq[idx] = true
+		r.lastSeq[idx] = p.Seq
+		r.expected++
+		return
+	}
+	if p.Seq > r.lastSeq[idx] {
+		r.expected += p.Seq - r.lastSeq[idx]
+		r.lastSeq[idx] = p.Seq
+	}
+}
+
+// tick closes a detection window: evaluate loss, end or start experiments.
+func (r *Receiver) tick() {
+	e := r.net.Engine()
+	loss := 0.0
+	if r.expected > 0 {
+		loss = float64(r.expected-r.received) / float64(r.expected)
+		if loss < 0 {
+			loss = 0
+		}
+	}
+	r.received, r.expected = 0, 0
+	for i := range r.haveSeq {
+		r.haveSeq[i] = false
+	}
+
+	// Deaf period: right after a drop, the bottleneck queue is still
+	// draining and the pruned layer keeps flowing for the leave latency;
+	// acting on those losses would cascade drops below the sustainable
+	// level (a deaf period is part of the original RLM design).
+	if e.Now() < r.deafUntil {
+		return
+	}
+
+	if r.probing {
+		// The experiment spans two detection windows: join latency plus
+		// queue-fill delay mean the first losses can lag the join by more
+		// than one window.
+		idx := r.probeLayer - 1
+		if loss > r.cfg.LossThreshold {
+			// Failed experiment: drop the layer, back off its timer.
+			r.probing = false
+			r.Failures++
+			r.setLevel(r.probeLayer - 1)
+			r.joinTimers[idx] = sim.Time(float64(r.joinTimers[idx]) * r.cfg.Backoff)
+			if r.joinTimers[idx] > r.cfg.JoinTimerMax {
+				r.joinTimers[idx] = r.cfg.JoinTimerMax
+			}
+			r.deafUntil = e.Now() + 2*r.cfg.Detection
+			r.nextTry = r.deafUntil + r.joinTimers[minInt(r.level, r.cfg.MaxLayers-1)]
+		} else if e.Now() >= r.probeDeadline {
+			r.probing = false
+			r.nextTry = e.Now() + r.joinTimers[minInt(r.level, r.cfg.MaxLayers-1)]
+		}
+		return
+	}
+
+	if loss > r.cfg.LossThreshold && r.level > 1 {
+		// Congestion outside an experiment (someone else's, or shared):
+		// shed a layer and hold off.
+		r.setLevel(r.level - 1)
+		r.deafUntil = e.Now() + 2*r.cfg.Detection
+		r.nextTry = r.deafUntil + r.joinTimers[minInt(r.level, r.cfg.MaxLayers-1)]
+		return
+	}
+
+	if loss <= r.cfg.LossThreshold/2 && r.level < r.cfg.MaxLayers {
+		// Clean period: relax the next layer's timer slightly.
+		idx := r.level // next layer's index
+		r.joinTimers[idx] = sim.Time(float64(r.joinTimers[idx]) * DefaultRelax)
+		if r.joinTimers[idx] < r.cfg.JoinTimerMin {
+			r.joinTimers[idx] = r.cfg.JoinTimerMin
+		}
+	}
+
+	if r.level < r.cfg.MaxLayers && e.Now() >= r.nextTry {
+		// Start a join-experiment on the next layer.
+		r.Experiments++
+		r.probing = true
+		r.probeLayer = r.level + 1
+		// Three windows: graft latency + bottleneck queue-fill delay can
+		// put the first visible losses past the second window.
+		r.probeDeadline = e.Now() + 3*r.cfg.Detection
+		r.setLevel(r.probeLayer)
+	}
+}
+
+func (r *Receiver) setLevel(lvl int) {
+	if lvl == r.level {
+		return
+	}
+	from := r.level
+	for l := r.level + 1; l <= lvl; l++ {
+		g := r.domain.GroupOf(r.cfg.Session, l)
+		if g == netsim.NoGroup {
+			panic(fmt.Sprintf("rlm: no group for session %d layer %d", r.cfg.Session, l))
+		}
+		r.domain.Join(r.node.ID, g, r)
+		r.haveSeq[l-1] = false
+	}
+	for l := r.level; l > lvl; l-- {
+		r.domain.Leave(r.node.ID, r.domain.GroupOf(r.cfg.Session, l), r)
+	}
+	r.level = lvl
+	ch := Change{At: r.net.Engine().Now(), From: from, To: lvl}
+	r.changes = append(r.changes, ch)
+	if r.OnChange != nil {
+		r.OnChange(ch)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package rlm
+
+import (
+	"testing"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+)
+
+// rig: src --fat-- mid --bottleneck-- rx nodes (n receivers share the
+// bottleneck subtree).
+type rig struct {
+	e   *sim.Engine
+	n   *netsim.Network
+	d   *mcast.Domain
+	src *source.Source
+	rxs []*Receiver
+}
+
+func newRig(t *testing.T, bottleneck float64, receivers int, seed int64) *rig {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	n := netsim.New(e)
+	srcNode := n.AddNode("src")
+	mid := n.AddNode("mid")
+	gw := n.AddNode("gw")
+	fat := netsim.LinkConfig{Bandwidth: 100e6, Delay: 200 * sim.Millisecond}
+	n.Connect(srcNode, mid, fat)
+	n.Connect(mid, gw, netsim.LinkConfig{Bandwidth: bottleneck, Delay: 200 * sim.Millisecond})
+	d := mcast.NewDomain(n)
+	src := source.New(n, d, srcNode, source.Config{Session: 0})
+	r := &rig{e: e, n: n, d: d, src: src}
+	for i := 0; i < receivers; i++ {
+		rxNode := n.AddNode("rx")
+		n.Connect(gw, rxNode, fat)
+		r.rxs = append(r.rxs, New(n, d, rxNode, Config{Session: 0, MaxLayers: 6}))
+	}
+	return r
+}
+
+func (r *rig) start() {
+	r.src.Start()
+	for _, rx := range r.rxs {
+		rx.Start()
+	}
+}
+
+func TestRLMStartsAtBaseLayer(t *testing.T) {
+	r := newRig(t, 10e6, 1, 1)
+	r.start()
+	r.e.RunUntil(sim.Second)
+	if r.rxs[0].Level() != 1 {
+		t.Fatalf("level = %d, want 1", r.rxs[0].Level())
+	}
+}
+
+func TestRLMClimbsWhenClean(t *testing.T) {
+	r := newRig(t, 10e6, 1, 2)
+	r.start()
+	r.e.RunUntil(300 * sim.Second)
+	if got := r.rxs[0].Level(); got < 5 {
+		t.Errorf("level after 300s on a clean path = %d, want >= 5", got)
+	}
+	if r.rxs[0].Failures != 0 {
+		t.Errorf("failures on a clean path: %d", r.rxs[0].Failures)
+	}
+}
+
+func TestRLMConvergesNearBottleneck(t *testing.T) {
+	r := newRig(t, 500e3, 1, 3)
+	r.start()
+	r.e.RunUntil(600 * sim.Second)
+	got := r.rxs[0].Level()
+	if got < 3 || got > 5 {
+		t.Errorf("level = %d, want ~4 at a 500 Kbps bottleneck", got)
+	}
+	if r.rxs[0].Failures == 0 {
+		t.Error("no failed experiments despite a bottleneck")
+	}
+}
+
+func TestRLMBacksOffAfterFailures(t *testing.T) {
+	r := newRig(t, 100e3, 1, 4)
+	r.start()
+	r.e.RunUntil(600 * sim.Second)
+	rx := r.rxs[0]
+	if got := rx.Level(); got < 1 || got > 3 {
+		t.Errorf("level = %d, want ~2 at 100 Kbps", got)
+	}
+	// Join timer for the failing layer must have grown past the minimum.
+	if rx.joinTimers[2] <= DefaultJoinTimerMin {
+		t.Errorf("layer-3 join timer = %v, want backed off", rx.joinTimers[2])
+	}
+}
+
+func TestRLMChangesRecorded(t *testing.T) {
+	r := newRig(t, 500e3, 1, 5)
+	var observed int
+	r.rxs[0].OnChange = func(Change) { observed++ }
+	r.start()
+	r.e.RunUntil(120 * sim.Second)
+	if len(r.rxs[0].Changes()) == 0 || observed == 0 {
+		t.Error("no changes recorded")
+	}
+	if r.rxs[0].Changes()[0].To != 1 {
+		t.Error("first change should join the base layer")
+	}
+}
+
+func TestRLMUncoordinatedReceiversInterfere(t *testing.T) {
+	// Several RLM receivers behind one bottleneck: failed experiments by
+	// one inflict losses on all. Total experiments grow with the receiver
+	// count — the scaling problem TopoSense's coordination removes.
+	r := newRig(t, 500e3, 4, 6)
+	r.start()
+	r.e.RunUntil(600 * sim.Second)
+	var fails int64
+	for _, rx := range r.rxs {
+		fails += rx.Failures
+	}
+	if fails == 0 {
+		t.Error("no failed experiments among 4 competing receivers")
+	}
+}
+
+func TestRLMStop(t *testing.T) {
+	r := newRig(t, 10e6, 1, 7)
+	r.start()
+	r.e.RunUntil(10 * sim.Second)
+	r.rxs[0].Stop()
+	r.e.RunUntil(20 * sim.Second)
+	if r.rxs[0].Level() != 0 {
+		t.Errorf("level after Stop = %d", r.rxs[0].Level())
+	}
+}
+
+func TestRLMInvalidConfigPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	node := n.AddNode("x")
+	d := mcast.NewDomain(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(n, d, node, Config{MaxLayers: 0})
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Its fields are managed by the Engine; user
+// code holds *Event only to Cancel it.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same timestamp
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether Cancel was called on the event before it fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// When returns the simulated time the event is (or was) scheduled for.
+func (e *Event) When() Time { return e.at }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the same
+// goroutine, which is what makes the simulation deterministic.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// stream is seeded with seed. Every stochastic model component must draw from
+// Engine.Rand() so a run is fully reproducible from the seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn after delay. A negative delay panics: models must never
+// schedule into the past.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes the event from the queue if it has not fired yet. It is
+// safe to cancel an event that already fired or was already cancelled.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and fires the earliest event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Every schedules fn to run every period, starting after the first period,
+// until the returned Ticker is stopped or the engine drains. Period must be
+// positive.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeats a callback at a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. The callback never runs again after Stop.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}

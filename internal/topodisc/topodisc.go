@@ -1,0 +1,267 @@
+// Package topodisc models the multicast topology discovery tool the paper
+// assumes (an mtrace/MHealth-class tool). It periodically snapshots each
+// session's distribution tree — the overlay of the per-layer multicast trees
+// — from the routing state, and serves those snapshots to the controller
+// with a configurable staleness lag. Staleness is the experimental variable
+// of the paper's Figure 10: the controller acts on a picture of the network
+// that is Staleness seconds old.
+package topodisc
+
+import (
+	"sort"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// DefaultPeriod is how often the tool re-discovers each tree.
+const DefaultPeriod = 1 * sim.Second
+
+// Snapshot is one session's discovered topology at one instant. Because
+// layers are cumulative, the session topology equals the base layer's tree;
+// MaxLayer records the highest layer flowing to each on-tree node.
+type Snapshot struct {
+	At      sim.Time
+	Session int
+	Root    netsim.NodeID
+	// Parent maps each on-tree node (except the root) to its parent.
+	Parent map[netsim.NodeID]netsim.NodeID
+	// Children maps each on-tree node to its children, sorted.
+	Children map[netsim.NodeID][]netsim.NodeID
+	// MaxLayer is the highest layer whose tree includes the node, i.e. the
+	// layers traversing the link from its parent.
+	MaxLayer map[netsim.NodeID]int
+	// Receivers marks nodes with locally attached members of the base layer.
+	Receivers map[netsim.NodeID]bool
+}
+
+// Nodes returns all on-tree nodes (root included), sorted by ID.
+func (s *Snapshot) Nodes() []netsim.NodeID {
+	out := []netsim.NodeID{s.Root}
+	for n := range s.Parent {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns the on-tree nodes with no children, sorted by ID.
+func (s *Snapshot) Leaves() []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, n := range s.Nodes() {
+		if len(s.Children[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the tree has no receivers at all.
+func (s *Snapshot) Empty() bool { return len(s.Parent) == 0 && len(s.Receivers) == 0 }
+
+// Tool periodically discovers session topologies and serves them with a
+// staleness lag.
+type Tool struct {
+	net    *netsim.Network
+	domain *mcast.Domain
+
+	// Staleness is the age of the snapshot served by Discover: the newest
+	// snapshot taken at or before now-Staleness is returned.
+	Staleness sim.Time
+	// Period is the discovery interval.
+	Period sim.Time
+	// Scope restricts discovery to one administrative domain: only nodes
+	// in the set are visible, and the discovered tree is rooted at the
+	// domain's ingress (the first scoped node on the path down from the
+	// source). nil means the whole network — a single global domain.
+	// This is the paper's multi-controller architecture (its Figure 3):
+	// "Since the controller agent is concerned only with the topology in
+	// its domain, discovering the local tree topology efficiently may be
+	// more tractable than discovering the entire tree topology."
+	Scope map[netsim.NodeID]bool
+
+	// ProbeMode switches discovery from an instantaneous oracle read of
+	// routing state to an mtrace-style trace: one query per receiver walks
+	// hop-by-hop up the tree, reading each router's state when the probe
+	// visits it (one link propagation delay per hop), and the snapshot
+	// completes only when the slowest trace returns. Snapshots are then
+	// inherently old ("discovering the tree topology is dependent on this
+	// latency") and can be torn — different hops observed at different
+	// instants — which is exactly what a real mtrace/MHealth deployment
+	// produces. ProbePackets counts the control messages this costs.
+	ProbeMode    bool
+	ProbePackets int64
+
+	sessions []int
+	history  map[int][]*Snapshot
+	ticker   *sim.Ticker
+
+	// Discoveries counts snapshot operations (control-plane load).
+	Discoveries int64
+}
+
+// NewTool creates a discovery tool for the given sessions.
+func NewTool(net *netsim.Network, domain *mcast.Domain, sessions []int) *Tool {
+	t := &Tool{
+		net:      net,
+		domain:   domain,
+		Period:   DefaultPeriod,
+		sessions: append([]int(nil), sessions...),
+		history:  make(map[int][]*Snapshot),
+	}
+	return t
+}
+
+// Start begins periodic discovery. An immediate first snapshot is taken so
+// Discover works from time zero.
+func (t *Tool) Start() {
+	if t.ticker != nil {
+		return
+	}
+	t.snapshotAll()
+	t.ticker = t.net.Engine().Every(t.Period, t.snapshotAll)
+}
+
+// Stop halts periodic discovery.
+func (t *Tool) Stop() {
+	if t.ticker != nil {
+		t.ticker.Stop()
+		t.ticker = nil
+	}
+}
+
+func (t *Tool) snapshotAll() {
+	for _, s := range t.sessions {
+		if t.ProbeMode {
+			session := s
+			t.probeSnapshot(session, func(snap *Snapshot) { t.record(session, snap) })
+			continue
+		}
+		t.record(s, t.SnapshotNow(s))
+	}
+}
+
+// record appends a completed snapshot and trims history that can never be
+// served again: older than the staleness horizon (with a generous margin
+// of 2x plus a few periods).
+func (t *Tool) record(session int, snap *Snapshot) {
+	h := append(t.history[session], snap)
+	horizon := t.Staleness*2 + 5*t.Period
+	cut := 0
+	for cut < len(h)-1 && snap.At-h[cut].At > horizon {
+		cut++
+	}
+	t.history[session] = h[cut:]
+}
+
+// SnapshotNow discovers the current topology of a session directly from
+// routing state (no staleness). It walks the base-layer tree from the
+// source and overlays the higher layers' trees to get per-node MaxLayer.
+func (t *Tool) SnapshotNow(session int) *Snapshot {
+	t.Discoveries++
+	e := t.net.Engine()
+	base := t.domain.GroupOf(session, 1)
+	snap := &Snapshot{
+		At:        e.Now(),
+		Session:   session,
+		Root:      netsim.NoNode,
+		Parent:    make(map[netsim.NodeID]netsim.NodeID),
+		Children:  make(map[netsim.NodeID][]netsim.NodeID),
+		MaxLayer:  make(map[netsim.NodeID]int),
+		Receivers: make(map[netsim.NodeID]bool),
+	}
+	if base == netsim.NoGroup {
+		return snap
+	}
+	source := t.domain.Source(base)
+	root := source
+	if t.Scope != nil && !t.Scope[source] {
+		// Find the domain ingress: descend the tree until a scoped node
+		// appears. A domain is assumed contiguous with a single ingress
+		// per session (the shape of real administrative domains); if the
+		// session does not enter the domain, the snapshot stays empty.
+		root = t.findIngress(session, source)
+		if root == netsim.NoNode {
+			return snap
+		}
+	}
+	snap.Root = root
+	// BFS down the base-layer tree, confined to the scope.
+	queue := []netsim.NodeID{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		snap.MaxLayer[n] = t.maxLayerAt(session, n)
+		if t.domain.HasLocalMembers(n, base) {
+			snap.Receivers[n] = true
+		}
+		var kids []netsim.NodeID
+		for _, c := range t.domain.ForwardingChildren(n, base) {
+			if t.Scope == nil || t.Scope[c] {
+				kids = append(kids, c)
+			}
+		}
+		snap.Children[n] = kids
+		for _, c := range kids {
+			snap.Parent[c] = n
+			queue = append(queue, c)
+		}
+	}
+	return snap
+}
+
+// findIngress walks the base-layer tree from `from` and returns the first
+// scoped node, breadth-first, or NoNode.
+func (t *Tool) findIngress(session int, from netsim.NodeID) netsim.NodeID {
+	base := t.domain.GroupOf(session, 1)
+	queue := []netsim.NodeID{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if t.Scope[n] {
+			return n
+		}
+		queue = append(queue, t.domain.ForwardingChildren(n, base)...)
+	}
+	return netsim.NoNode
+}
+
+// maxLayerAt returns the highest layer whose tree covers node n.
+func (t *Tool) maxLayerAt(session int, n netsim.NodeID) int {
+	max := 0
+	for l := 1; ; l++ {
+		g := t.domain.GroupOf(session, l)
+		if g == netsim.NoGroup {
+			break
+		}
+		if t.domain.OnTree(n, g) || t.domain.HasLocalMembers(n, g) {
+			max = l
+		}
+	}
+	return max
+}
+
+// Discover returns the session topology as the controller sees it: the
+// newest snapshot taken at or before now-Staleness. With Staleness 0 this
+// is simply the latest snapshot. Returns nil when no snapshot is old
+// enough yet (early in a run with a large staleness).
+func (t *Tool) Discover(session int) *Snapshot {
+	h := t.history[session]
+	if len(h) == 0 {
+		return nil
+	}
+	cutoff := t.net.Engine().Now() - t.Staleness
+	var best *Snapshot
+	for _, s := range h {
+		if s.At <= cutoff {
+			best = s
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// Sessions returns the sessions the tool tracks.
+func (t *Tool) Sessions() []int { return t.sessions }

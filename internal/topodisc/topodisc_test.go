@@ -1,0 +1,308 @@
+package topodisc
+
+import (
+	"testing"
+
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// fixture topology:
+//
+//	src - r1 - r2 - leafA (layers 1..3)
+//	       |    `-- leafB (layers 1..2)
+//	     leafC (layer 1)
+type fixture struct {
+	e                   *sim.Engine
+	n                   *netsim.Network
+	d                   *mcast.Domain
+	tool                *Tool
+	src, r1, r2         *netsim.Node
+	leafA, leafB, leafC *netsim.Node
+	members             map[netsim.NodeID]*member
+}
+
+type member struct{}
+
+func (m *member) RecvMulticast(p *netsim.Packet) {}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	f := &fixture{e: e, n: n, members: map[netsim.NodeID]*member{}}
+	f.src = n.AddNode("src")
+	f.r1 = n.AddNode("r1")
+	f.r2 = n.AddNode("r2")
+	f.leafA = n.AddNode("leafA")
+	f.leafB = n.AddNode("leafB")
+	f.leafC = n.AddNode("leafC")
+	cfg := netsim.LinkConfig{Bandwidth: 10e6, Delay: 10 * sim.Millisecond}
+	n.Connect(f.src, f.r1, cfg)
+	n.Connect(f.r1, f.r2, cfg)
+	n.Connect(f.r2, f.leafA, cfg)
+	n.Connect(f.r2, f.leafB, cfg)
+	n.Connect(f.r1, f.leafC, cfg)
+	f.d = mcast.NewDomain(n)
+	for l := 1; l <= 6; l++ {
+		f.d.RegisterGroup(0, l, f.src.ID)
+	}
+	f.tool = NewTool(n, f.d, []int{0})
+	return f
+}
+
+func (f *fixture) join(node *netsim.Node, layers int) {
+	m := f.members[node.ID]
+	if m == nil {
+		m = &member{}
+		f.members[node.ID] = m
+	}
+	for l := 1; l <= layers; l++ {
+		f.d.Join(node.ID, f.d.GroupOf(0, l), m)
+	}
+}
+
+func (f *fixture) joinAll() {
+	f.join(f.leafA, 3)
+	f.join(f.leafB, 2)
+	f.join(f.leafC, 1)
+	f.e.RunUntil(200 * sim.Millisecond) // grafts settle
+}
+
+func TestSnapshotTreeShape(t *testing.T) {
+	f := newFixture(t)
+	f.joinAll()
+	s := f.tool.SnapshotNow(0)
+	if s.Root != f.src.ID {
+		t.Fatalf("root = %d", s.Root)
+	}
+	if s.Parent[f.leafA.ID] != f.r2.ID || s.Parent[f.leafB.ID] != f.r2.ID {
+		t.Errorf("leaf parents wrong: %v", s.Parent)
+	}
+	if s.Parent[f.r2.ID] != f.r1.ID || s.Parent[f.r1.ID] != f.src.ID {
+		t.Errorf("router parents wrong: %v", s.Parent)
+	}
+	if s.Parent[f.leafC.ID] != f.r1.ID {
+		t.Errorf("leafC parent = %d", s.Parent[f.leafC.ID])
+	}
+	kids := s.Children[f.r1.ID]
+	if len(kids) != 2 || kids[0] != f.r2.ID || kids[1] != f.leafC.ID {
+		t.Errorf("r1 children = %v", kids)
+	}
+	nodes := s.Nodes()
+	if len(nodes) != 6 {
+		t.Errorf("Nodes = %v, want all 6", nodes)
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 3 {
+		t.Errorf("Leaves = %v", leaves)
+	}
+	if s.Empty() {
+		t.Error("non-empty tree reported Empty")
+	}
+}
+
+func TestSnapshotMaxLayer(t *testing.T) {
+	f := newFixture(t)
+	f.joinAll()
+	s := f.tool.SnapshotNow(0)
+	want := map[netsim.NodeID]int{
+		f.leafA.ID: 3,
+		f.leafB.ID: 2,
+		f.leafC.ID: 1,
+		f.r2.ID:    3, // carries A's layer 3
+		f.r1.ID:    3,
+		f.src.ID:   3,
+	}
+	for n, w := range want {
+		if got := s.MaxLayer[n]; got != w {
+			t.Errorf("MaxLayer[%d] = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSnapshotReceivers(t *testing.T) {
+	f := newFixture(t)
+	f.joinAll()
+	s := f.tool.SnapshotNow(0)
+	for _, leaf := range []netsim.NodeID{f.leafA.ID, f.leafB.ID, f.leafC.ID} {
+		if !s.Receivers[leaf] {
+			t.Errorf("leaf %d not marked receiver", leaf)
+		}
+	}
+	if s.Receivers[f.r1.ID] || s.Receivers[f.src.ID] {
+		t.Error("transit node marked receiver")
+	}
+}
+
+func TestSnapshotEmptySession(t *testing.T) {
+	f := newFixture(t)
+	s := f.tool.SnapshotNow(0) // nobody joined
+	if !s.Empty() {
+		t.Errorf("snapshot not empty: %+v", s)
+	}
+	// Unregistered session is also empty with no root.
+	s2 := f.tool.SnapshotNow(42)
+	if !s2.Empty() || s2.Root != netsim.NoNode {
+		t.Errorf("unregistered session snapshot: %+v", s2)
+	}
+}
+
+func TestDiscoverFreshness(t *testing.T) {
+	f := newFixture(t)
+	f.tool.Period = sim.Second
+	f.tool.Start()
+	f.e.RunUntil(500 * sim.Millisecond)
+	f.joinAll() // joins at ~0.5-0.7s
+	f.e.RunUntil(3 * sim.Second)
+	s := f.tool.Discover(0)
+	if s == nil || s.Empty() {
+		t.Fatal("fresh Discover missed the joined tree")
+	}
+}
+
+func TestDiscoverStaleness(t *testing.T) {
+	f := newFixture(t)
+	f.tool.Period = sim.Second
+	f.tool.Staleness = 5 * sim.Second
+	f.tool.Start()
+	// Join at t=2s; with 5s staleness, the controller must not see the
+	// tree until t>=7s.
+	f.e.RunUntil(2 * sim.Second)
+	f.joinAll()
+	f.e.RunUntil(6 * sim.Second)
+	if s := f.tool.Discover(0); s != nil && !s.Empty() {
+		t.Fatalf("stale Discover at 6s already sees the 2s join (snapshot at %v)", s.At)
+	}
+	f.e.RunUntil(9 * sim.Second)
+	s := f.tool.Discover(0)
+	if s == nil || s.Empty() {
+		t.Fatal("stale Discover at 9s still blind to the 2s join")
+	}
+	if age := f.e.Now() - s.At; age < f.tool.Staleness {
+		t.Errorf("served snapshot only %v old, want >= %v", age, f.tool.Staleness)
+	}
+}
+
+func TestDiscoverBeforeAnySnapshot(t *testing.T) {
+	f := newFixture(t)
+	f.tool.Staleness = 10 * sim.Second
+	f.tool.Start()
+	f.e.RunUntil(2 * sim.Second)
+	if s := f.tool.Discover(0); s != nil {
+		t.Errorf("Discover returned a snapshot younger than the staleness horizon: %v", s.At)
+	}
+}
+
+func TestHistoryTrimmed(t *testing.T) {
+	f := newFixture(t)
+	f.tool.Period = 100 * sim.Millisecond
+	f.tool.Staleness = sim.Second
+	f.tool.Start()
+	f.e.RunUntil(60 * sim.Second)
+	if n := len(f.tool.history[0]); n > 40 {
+		t.Errorf("history grew unbounded: %d snapshots", n)
+	}
+	// Discover still works after trimming.
+	if s := f.tool.Discover(0); s == nil {
+		t.Error("Discover broken after trim")
+	}
+}
+
+func TestSnapshotReflectsLeave(t *testing.T) {
+	f := newFixture(t)
+	f.d.LeaveLatency = 100 * sim.Millisecond
+	f.joinAll()
+	// leafA drops to 1 layer: r2/r1 MaxLayer falls to 2 after prune.
+	m := f.members[f.leafA.ID]
+	f.d.Leave(f.leafA.ID, f.d.GroupOf(0, 3), m)
+	f.d.Leave(f.leafA.ID, f.d.GroupOf(0, 2), m)
+	f.e.RunUntil(2 * sim.Second)
+	s := f.tool.SnapshotNow(0)
+	if got := s.MaxLayer[f.leafA.ID]; got != 1 {
+		t.Errorf("leafA MaxLayer = %d, want 1", got)
+	}
+	if got := s.MaxLayer[f.r2.ID]; got != 2 {
+		t.Errorf("r2 MaxLayer = %d, want 2 (leafB still at 2)", got)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	f := newFixture(t)
+	f.tool.Start()
+	f.tool.Start()
+	f.e.RunUntil(3 * sim.Second)
+	before := f.tool.Discoveries
+	f.tool.Stop()
+	f.tool.Stop()
+	f.e.RunUntil(6 * sim.Second)
+	if f.tool.Discoveries != before {
+		t.Error("discoveries continued after Stop")
+	}
+	if got := f.tool.Sessions(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Sessions = %v", got)
+	}
+}
+
+func TestScopedDiscovery(t *testing.T) {
+	f := newFixture(t)
+	f.joinAll()
+	// Domain = the subtree under r2 (r2, leafA, leafB).
+	f.tool.Scope = map[netsim.NodeID]bool{
+		f.r2.ID: true, f.leafA.ID: true, f.leafB.ID: true,
+	}
+	s := f.tool.SnapshotNow(0)
+	if s.Root != f.r2.ID {
+		t.Fatalf("scoped root = %d, want r2 %d", s.Root, f.r2.ID)
+	}
+	nodes := s.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("scoped nodes = %v", nodes)
+	}
+	for _, n := range nodes {
+		if !f.tool.Scope[n] {
+			t.Errorf("unscoped node %d in snapshot", n)
+		}
+	}
+	// leafC (outside the domain) is invisible.
+	if s.Receivers[f.leafC.ID] {
+		t.Error("out-of-domain receiver visible")
+	}
+	if !s.Receivers[f.leafA.ID] || !s.Receivers[f.leafB.ID] {
+		t.Error("in-domain receivers missing")
+	}
+	// MaxLayer still reflects the layers flowing through the domain.
+	if s.MaxLayer[f.r2.ID] != 3 {
+		t.Errorf("scoped MaxLayer[r2] = %d, want 3", s.MaxLayer[f.r2.ID])
+	}
+}
+
+func TestScopedDiscoverySessionNotInDomain(t *testing.T) {
+	f := newFixture(t)
+	// Only leafC joins; the domain is the r2 subtree, which the session
+	// never enters.
+	f.join(f.leafC, 2)
+	f.e.RunUntil(200 * sim.Millisecond)
+	f.tool.Scope = map[netsim.NodeID]bool{
+		f.r2.ID: true, f.leafA.ID: true, f.leafB.ID: true,
+	}
+	s := f.tool.SnapshotNow(0)
+	if !s.Empty() {
+		t.Errorf("session outside the domain produced a tree: %+v", s)
+	}
+}
+
+func TestScopedDiscoverySourceInside(t *testing.T) {
+	f := newFixture(t)
+	f.joinAll()
+	// Scope covering everything including the source: behaves like global.
+	f.tool.Scope = map[netsim.NodeID]bool{
+		f.src.ID: true, f.r1.ID: true, f.r2.ID: true,
+		f.leafA.ID: true, f.leafB.ID: true, f.leafC.ID: true,
+	}
+	s := f.tool.SnapshotNow(0)
+	if s.Root != f.src.ID || len(s.Nodes()) != 6 {
+		t.Errorf("full-scope snapshot wrong: root %d, %d nodes", s.Root, len(s.Nodes()))
+	}
+}

@@ -1,0 +1,277 @@
+// Package topology builds the evaluation topologies of the paper's Figure 5
+// — Topology A (one session, two receiver sets with different bandwidth
+// constraints) and Topology B (N sessions, one receiver each, competing on
+// a shared bottleneck link) — plus a tiered-Internet generator in the shape
+// of the paper's Figure 2 for broader testing.
+//
+// All links default to the paper's parameters: 200 ms propagation delay and
+// drop-tail queues. Every built topology keeps the source-to-receiver path
+// at three hops, giving the 600 ms maximum path latency the paper quotes
+// for its simulations.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+)
+
+// Paper-standard link parameters.
+const (
+	DefaultDelay      = 200 * sim.Millisecond
+	DefaultQueueLimit = netsim.DefaultQueueLimit
+	// FatBandwidth is "not the bottleneck": used for backbone and leaf
+	// access links.
+	FatBandwidth = 100e6
+)
+
+// Build is the result of constructing an evaluation topology: the network
+// plus the handles experiments need.
+type Build struct {
+	Net *netsim.Network
+	// Sources holds the source node of each session (session i at index i).
+	Sources []*netsim.Node
+	// Controller is the node hosting the controller agent (a source node,
+	// as in the paper, so control traffic shares the congested paths).
+	Controller *netsim.Node
+	// Receivers[i] lists the receiver nodes of session i.
+	Receivers [][]*netsim.Node
+	// Optimal[i][j] is the optimal subscription level of Receivers[i][j],
+	// derived from the configured capacities.
+	Optimal [][]int
+	// Bottlenecks lists the constrained links, for instrumentation.
+	Bottlenecks []*netsim.Link
+}
+
+// AllReceivers flattens the per-session receiver lists.
+func (b *Build) AllReceivers() []*netsim.Node {
+	var out []*netsim.Node
+	for _, rs := range b.Receivers {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// AConfig parameterizes Topology A: one session; receiver set 1 sits behind
+// a slow access link, set 2 behind a faster one.
+type AConfig struct {
+	ReceiversPerSet int
+	Set1Bandwidth   float64  // bits/s; 0 means 100 Kbps (optimal: 2 layers)
+	Set2Bandwidth   float64  // bits/s; 0 means 500 Kbps (optimal: 4 layers)
+	Delay           sim.Time // 0 means DefaultDelay
+	QueueLimit      int      // 0 means DefaultQueueLimit
+	Layers          int      // 0 means source.DefaultLayers
+}
+
+func (c *AConfig) normalize() {
+	if c.ReceiversPerSet <= 0 {
+		c.ReceiversPerSet = 1
+	}
+	if c.Set1Bandwidth == 0 {
+		c.Set1Bandwidth = 100e3
+	}
+	if c.Set2Bandwidth == 0 {
+		c.Set2Bandwidth = 500e3
+	}
+	if c.Delay == 0 {
+		c.Delay = DefaultDelay
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.Layers == 0 {
+		c.Layers = source.DefaultLayers
+	}
+}
+
+// BuildA constructs Topology A:
+//
+//	src ── hub ──(set1 bottleneck)── g1 ── set-1 receivers
+//	            └(set2 bottleneck)── g2 ── set-2 receivers
+//
+// The set access links are the bottlenecks; the multicast stream crosses
+// each once, so every receiver in a set shares the set's constraint — the
+// paper's "two sets of receivers, each having different bandwidth
+// constraints".
+func BuildA(e *sim.Engine, cfg AConfig) *Build {
+	cfg.normalize()
+	n := netsim.New(e)
+	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
+	src := n.AddNode("src")
+	hub := n.AddNode("hub")
+	n.Connect(src, hub, fat)
+
+	rates := source.Rates(cfg.Layers)
+	b := &Build{
+		Net:        n,
+		Sources:    []*netsim.Node{src},
+		Controller: src,
+		Receivers:  [][]*netsim.Node{nil},
+		Optimal:    [][]int{nil},
+	}
+	addSet := func(name string, bw float64) {
+		gw := n.AddNode(name)
+		down, _ := n.Connect(hub, gw, netsim.LinkConfig{Bandwidth: bw, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit})
+		b.Bottlenecks = append(b.Bottlenecks, down)
+		opt := source.LevelForBandwidth(rates, bw)
+		for i := 0; i < cfg.ReceiversPerSet; i++ {
+			rx := n.AddNode(fmt.Sprintf("%s-rx%d", name, i))
+			n.Connect(gw, rx, fat)
+			b.Receivers[0] = append(b.Receivers[0], rx)
+			b.Optimal[0] = append(b.Optimal[0], opt)
+		}
+	}
+	addSet("set1", cfg.Set1Bandwidth)
+	addSet("set2", cfg.Set2Bandwidth)
+	return b
+}
+
+// BConfig parameterizes Topology B: Sessions independent sessions, one
+// receiver each, all crossing one shared link sized PerSession × Sessions.
+type BConfig struct {
+	Sessions   int
+	PerSession float64  // bits/s of shared capacity per session; 0 means 500 Kbps
+	Delay      sim.Time // 0 means DefaultDelay
+	QueueLimit int      // 0 means DefaultQueueLimit
+	Layers     int      // 0 means source.DefaultLayers
+}
+
+func (c *BConfig) normalize() {
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.PerSession == 0 {
+		c.PerSession = 500e3
+	}
+	if c.Delay == 0 {
+		c.Delay = DefaultDelay
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.Layers == 0 {
+		c.Layers = source.DefaultLayers
+	}
+}
+
+// BuildB constructs Topology B:
+//
+//	src_i ── X ══(shared link, Sessions × PerSession)══ Y ── rx_i
+//
+// The shared link's capacity is scaled with the number of sessions so each
+// session can ideally receive PerSession (4 layers at the default 500 Kbps),
+// exactly as in the paper's inter-session fairness experiments.
+func BuildB(e *sim.Engine, cfg BConfig) *Build {
+	cfg.normalize()
+	n := netsim.New(e)
+	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
+	x := n.AddNode("X")
+	y := n.AddNode("Y")
+	shared := cfg.PerSession * float64(cfg.Sessions)
+	// The shared queue scales with session count so that per-session
+	// buffering stays comparable as competition grows.
+	sharedQ := cfg.QueueLimit * cfg.Sessions
+	down, _ := n.Connect(x, y, netsim.LinkConfig{Bandwidth: shared, Delay: cfg.Delay, QueueLimit: sharedQ})
+
+	rates := source.Rates(cfg.Layers)
+	opt := source.LevelForBandwidth(rates, cfg.PerSession)
+	b := &Build{Net: n, Bottlenecks: []*netsim.Link{down}}
+	for s := 0; s < cfg.Sessions; s++ {
+		src := n.AddNode(fmt.Sprintf("src%d", s))
+		n.Connect(src, x, fat)
+		rx := n.AddNode(fmt.Sprintf("rx%d", s))
+		n.Connect(y, rx, fat)
+		b.Sources = append(b.Sources, src)
+		b.Receivers = append(b.Receivers, []*netsim.Node{rx})
+		b.Optimal = append(b.Optimal, []int{opt})
+	}
+	b.Controller = b.Sources[0]
+	return b
+}
+
+// TieredConfig parameterizes the tiered-Internet generator (Figure 2): a
+// national backbone tier fanning out into regional, local and institutional
+// tiers with decreasing bandwidth — the "last mile" shape TopoSense
+// exploits.
+type TieredConfig struct {
+	Seed int64
+	// FanOut[i] is how many tier-i+1 nodes hang off each tier-i node.
+	FanOut []int
+	// Bandwidth[i] is the capacity of links from tier i to tier i+1.
+	Bandwidth []float64
+	// ReceiversPerLeaf attaches receivers at the deepest tier.
+	ReceiversPerLeaf int
+	Delay            sim.Time
+	QueueLimit       int
+	Layers           int
+}
+
+// BuildTiered constructs a random tiered topology with one session rooted
+// at the top tier. The optimal level of each receiver is the min bandwidth
+// along its path.
+func BuildTiered(e *sim.Engine, cfg TieredConfig) *Build {
+	if len(cfg.FanOut) == 0 || len(cfg.FanOut) != len(cfg.Bandwidth) {
+		panic("topology: FanOut and Bandwidth must be non-empty and equal length")
+	}
+	if cfg.ReceiversPerLeaf <= 0 {
+		cfg.ReceiversPerLeaf = 1
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = DefaultDelay
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = source.DefaultLayers
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := netsim.New(e)
+	rates := source.Rates(cfg.Layers)
+	src := n.AddNode("src")
+	b := &Build{
+		Net:        n,
+		Sources:    []*netsim.Node{src},
+		Controller: src,
+		Receivers:  [][]*netsim.Node{nil},
+		Optimal:    [][]int{nil},
+	}
+	type tiered struct {
+		node  *netsim.Node
+		minBW float64
+	}
+	frontier := []tiered{{node: src, minBW: FatBandwidth}}
+	for tier := 0; tier < len(cfg.FanOut); tier++ {
+		var next []tiered
+		for _, parent := range frontier {
+			for k := 0; k < cfg.FanOut[tier]; k++ {
+				child := n.AddNode(fmt.Sprintf("t%d-%d", tier+1, len(next)))
+				// Jitter capacity ±25% around the tier's nominal value.
+				bw := cfg.Bandwidth[tier] * (0.75 + 0.5*rng.Float64())
+				down, _ := n.Connect(parent.node, child, netsim.LinkConfig{
+					Bandwidth: bw, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit,
+				})
+				minBW := parent.minBW
+				if bw < minBW {
+					minBW = bw
+					b.Bottlenecks = append(b.Bottlenecks, down)
+				}
+				next = append(next, tiered{node: child, minBW: minBW})
+			}
+		}
+		frontier = next
+	}
+	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
+	for _, leaf := range frontier {
+		for k := 0; k < cfg.ReceiversPerLeaf; k++ {
+			rx := n.AddNode(fmt.Sprintf("%s-rx%d", leaf.node.Name, k))
+			n.Connect(leaf.node, rx, fat)
+			b.Receivers[0] = append(b.Receivers[0], rx)
+			b.Optimal[0] = append(b.Optimal[0], source.LevelForBandwidth(rates, leaf.minBW))
+		}
+	}
+	return b
+}

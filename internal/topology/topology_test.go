@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+func TestBuildADefaults(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildA(e, AConfig{ReceiversPerSet: 3})
+	if len(b.Sources) != 1 || b.Controller != b.Sources[0] {
+		t.Fatal("source/controller wiring wrong")
+	}
+	if got := len(b.Receivers[0]); got != 6 {
+		t.Fatalf("receivers = %d, want 6", got)
+	}
+	// Set 1 (100 Kbps) optimal 2 layers; set 2 (500 Kbps) optimal 4.
+	for i := 0; i < 3; i++ {
+		if b.Optimal[0][i] != 2 {
+			t.Errorf("set1 optimal[%d] = %d, want 2", i, b.Optimal[0][i])
+		}
+		if b.Optimal[0][3+i] != 4 {
+			t.Errorf("set2 optimal[%d] = %d, want 4", i, b.Optimal[0][3+i])
+		}
+	}
+	if len(b.Bottlenecks) != 2 {
+		t.Errorf("bottlenecks = %d, want 2", len(b.Bottlenecks))
+	}
+	// Path latency src -> receiver = 3 hops x 200ms = 600ms, the paper's
+	// quoted maximum.
+	for _, rx := range b.AllReceivers() {
+		if d := b.Net.PathDelay(b.Sources[0].ID, rx.ID); d != 600*sim.Millisecond {
+			t.Errorf("path delay to %v = %v, want 600ms", rx, d)
+		}
+	}
+}
+
+func TestBuildACustomBandwidths(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildA(e, AConfig{ReceiversPerSet: 1, Set1Bandwidth: 32e3, Set2Bandwidth: 2100e3})
+	if b.Optimal[0][0] != 1 {
+		t.Errorf("32 Kbps optimal = %d, want 1", b.Optimal[0][0])
+	}
+	if b.Optimal[0][1] != 6 {
+		t.Errorf("2.1 Mbps optimal = %d, want 6", b.Optimal[0][1])
+	}
+}
+
+func TestBuildB(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildB(e, BConfig{Sessions: 4})
+	if len(b.Sources) != 4 || len(b.Receivers) != 4 {
+		t.Fatalf("sessions = %d/%d", len(b.Sources), len(b.Receivers))
+	}
+	for s := 0; s < 4; s++ {
+		if len(b.Receivers[s]) != 1 {
+			t.Fatalf("session %d receivers = %d", s, len(b.Receivers[s]))
+		}
+		if b.Optimal[s][0] != 4 {
+			t.Errorf("session %d optimal = %d, want 4", s, b.Optimal[s][0])
+		}
+		if d := b.Net.PathDelay(b.Sources[s].ID, b.Receivers[s][0].ID); d != 600*sim.Millisecond {
+			t.Errorf("session %d path delay = %v", s, d)
+		}
+	}
+	// Shared link capacity = 4 x 500 Kbps.
+	if got := b.Bottlenecks[0].Bandwidth; got != 2e6 {
+		t.Errorf("shared capacity = %g, want 2e6", got)
+	}
+	if len(b.AllReceivers()) != 4 {
+		t.Errorf("AllReceivers = %d", len(b.AllReceivers()))
+	}
+}
+
+func TestBuildBSharedQueueScales(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildB(e, BConfig{Sessions: 8})
+	if got := b.Bottlenecks[0].QueueLimit; got != 8*DefaultQueueLimit {
+		t.Errorf("shared queue = %d, want %d", got, 8*DefaultQueueLimit)
+	}
+}
+
+func TestBuildTiered(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildTiered(e, TieredConfig{
+		Seed:             7,
+		FanOut:           []int{2, 3},
+		Bandwidth:        []float64{10e6, 400e3},
+		ReceiversPerLeaf: 2,
+	})
+	if got := len(b.Receivers[0]); got != 2*3*2 {
+		t.Fatalf("receivers = %d, want 12", got)
+	}
+	for i, opt := range b.Optimal[0] {
+		if opt < 1 || opt > 6 {
+			t.Errorf("optimal[%d] = %d out of range", i, opt)
+		}
+	}
+	// The 400 Kbps ±25% tier caps everyone at 3 or 4 layers.
+	for i, opt := range b.Optimal[0] {
+		if opt > 4 {
+			t.Errorf("optimal[%d] = %d, want <= 4 given the 400k tier", i, opt)
+		}
+	}
+	if len(b.Bottlenecks) == 0 {
+		t.Error("no bottleneck links recorded")
+	}
+}
+
+func TestBuildTieredDeterministic(t *testing.T) {
+	build := func() []int {
+		e := sim.NewEngine(1)
+		b := BuildTiered(e, TieredConfig{Seed: 42, FanOut: []int{2, 2}, Bandwidth: []float64{5e6, 300e3}, ReceiversPerLeaf: 1})
+		return b.Optimal[0]
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different topologies: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestBuildTieredValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched config")
+		}
+	}()
+	BuildTiered(e, TieredConfig{FanOut: []int{2}, Bandwidth: nil})
+}
+
+func TestBuildsAreRoutable(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := BuildB(e, BConfig{Sessions: 3})
+	// Every receiver can reach every source (for reports) and back.
+	for s, src := range b.Sources {
+		for _, rx := range b.Receivers[s] {
+			if b.Net.NextHop(rx.ID, src.ID) == netsim.NoNode {
+				t.Errorf("no route rx %v -> src %v", rx, src)
+			}
+			if b.Net.NextHop(src.ID, rx.ID) == netsim.NoNode {
+				t.Errorf("no route src %v -> rx %v", src, rx)
+			}
+		}
+	}
+}

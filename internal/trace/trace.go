@@ -1,0 +1,188 @@
+// Package trace provides lightweight time-series recording for experiment
+// output — the subscription-level and loss-rate traces behind the paper's
+// Figure 9 — plus a typed event log useful when debugging simulations.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"toposense/internal/sim"
+)
+
+// Series is a named sequence of (time, value) samples in time order.
+type Series struct {
+	Name    string
+	Times   []sim.Time
+	Values  []float64
+	clipped bool
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample; time must be nondecreasing.
+func (s *Series) Add(at sim.Time, v float64) {
+	if n := len(s.Times); n > 0 && at < s.Times[n-1] {
+		panic(fmt.Sprintf("trace: out-of-order sample at %v in %q", at, s.Name))
+	}
+	s.Times = append(s.Times, at)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) (sim.Time, float64) { return s.Times[i], s.Values[i] }
+
+// Window returns a new series restricted to samples in [from, to].
+func (s *Series) Window(from, to sim.Time) *Series {
+	lo := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] >= from })
+	hi := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > to })
+	out := NewSeries(s.Name)
+	out.Times = append(out.Times, s.Times[lo:hi]...)
+	out.Values = append(out.Values, s.Values[lo:hi]...)
+	return out
+}
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := 0.0
+	for i, v := range s.Values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.Values {
+		total += v
+	}
+	return total / float64(len(s.Values))
+}
+
+// WriteTSV emits "time<TAB>value" lines, suitable for plotting tools.
+func (s *Series) WriteTSV(w io.Writer) error {
+	for i := range s.Times {
+		if _, err := fmt.Fprintf(w, "%.3f\t%g\n", s.Times[i].Seconds(), s.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sampler periodically samples named probes into Series.
+type Sampler struct {
+	engine *sim.Engine
+	period sim.Time
+	probes []func() (name string, v float64)
+	series map[string]*Series
+	ticker *sim.Ticker
+}
+
+// NewSampler creates a sampler on the engine with the given period.
+func NewSampler(engine *sim.Engine, period sim.Time) *Sampler {
+	return &Sampler{engine: engine, period: period, series: make(map[string]*Series)}
+}
+
+// Probe registers a named value source sampled every period.
+func (sp *Sampler) Probe(name string, fn func() float64) {
+	sp.probes = append(sp.probes, func() (string, float64) { return name, fn() })
+	if sp.series[name] == nil {
+		sp.series[name] = NewSeries(name)
+	}
+}
+
+// Start begins sampling.
+func (sp *Sampler) Start() {
+	if sp.ticker != nil {
+		return
+	}
+	sp.ticker = sp.engine.Every(sp.period, func() {
+		now := sp.engine.Now()
+		for _, probe := range sp.probes {
+			name, v := probe()
+			sp.series[name].Add(now, v)
+		}
+	})
+}
+
+// Stop halts sampling.
+func (sp *Sampler) Stop() {
+	if sp.ticker != nil {
+		sp.ticker.Stop()
+		sp.ticker = nil
+	}
+}
+
+// Series returns the series recorded under name, or nil.
+func (sp *Sampler) Series(name string) *Series { return sp.series[name] }
+
+// Names returns all recorded series names, sorted.
+func (sp *Sampler) Names() []string {
+	out := make([]string, 0, len(sp.series))
+	for n := range sp.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Event is one entry of the event log.
+type Event struct {
+	At   sim.Time
+	Kind string
+	Msg  string
+}
+
+// Log is an append-only event log.
+type Log struct {
+	engine *sim.Engine
+	events []Event
+	// KindFilter, when non-empty, records only these kinds.
+	KindFilter map[string]bool
+}
+
+// NewLog creates a log bound to the engine's clock.
+func NewLog(engine *sim.Engine) *Log { return &Log{engine: engine} }
+
+// Addf records a formatted event.
+func (l *Log) Addf(kind, format string, args ...any) {
+	if l.KindFilter != nil && !l.KindFilter[kind] {
+		return
+	}
+	l.events = append(l.events, Event{At: l.engine.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Events returns all recorded events.
+func (l *Log) Events() []Event { return l.events }
+
+// OfKind returns the events of one kind.
+func (l *Log) OfKind(kind string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the log, one event per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%10.3f  %-10s %s\n", e.At.Seconds(), e.Kind, e.Msg)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+// Package toposense is a from-scratch reproduction of "Using Tree Topology
+// for Multicast Congestion Control" (Jagannathan & Almeroth, ICPP 2001): an
+// application-layer congestion-control system for layered multicast, built
+// on a deterministic packet-level network simulator.
+//
+// This package is the public facade over the implementation packages in
+// internal/: it re-exports the types a downstream user composes — the
+// simulation engine, the network and multicast models, layered sources,
+// receivers, the TopoSense controller, and the evaluation harness — and
+// provides a high-level Scenario builder for the common case.
+//
+// # Quick start
+//
+//	sc := toposense.NewScenario(42)
+//	src := sc.AddNode("source")
+//	rtr := sc.AddNode("router")
+//	rx := sc.AddNode("receiver")
+//	sc.Connect(src, rtr, 100e6)           // 100 Mbps
+//	sc.Connect(rtr, rx, 500e3)            // 500 Kbps bottleneck
+//	sc.Source(src)                        // 6-layer session 0
+//	sc.Controller(src)                    // TopoSense agent at the source
+//	r := sc.Receiver(rx)                  // managed receiver
+//	sc.Run(120 * toposense.Second)
+//	fmt.Println(r.Level())                // 4 — what 500 Kbps carries
+//
+// For full control use the re-exported subsystem types directly; the
+// examples/ directory shows both styles, and cmd/topobench regenerates the
+// paper's published evaluation.
+package toposense
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toposense/internal/controller"
+	"toposense/internal/core"
+	"toposense/internal/mcast"
+	"toposense/internal/netsim"
+	"toposense/internal/receiver"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+	"toposense/internal/topodisc"
+)
+
+// Re-exported foundation types. Each alias is the canonical type; see the
+// internal package's documentation for full details.
+type (
+	// Engine is the deterministic discrete-event scheduler.
+	Engine = sim.Engine
+	// Time is simulated time in integer microseconds.
+	Time = sim.Time
+	// Network is the packet network: nodes, links, routing.
+	Network = netsim.Network
+	// Node is a network element (router or host).
+	Node = netsim.Node
+	// LinkConfig parameterizes one link direction.
+	LinkConfig = netsim.LinkConfig
+	// MulticastDomain manages groups, trees and join/leave processing.
+	MulticastDomain = mcast.Domain
+	// Source is a layered media source.
+	Source = source.Source
+	// SourceConfig parameterizes a source.
+	SourceConfig = source.Config
+	// Receiver is the controller-managed multicast receiver agent.
+	Receiver = receiver.Receiver
+	// ReceiverConfig parameterizes a receiver.
+	ReceiverConfig = receiver.Config
+	// Controller is the per-domain TopoSense controller agent.
+	Controller = controller.Controller
+	// DiscoveryTool is the multicast topology discovery tool.
+	DiscoveryTool = topodisc.Tool
+	// Algorithm is the TopoSense decision algorithm.
+	Algorithm = core.Algorithm
+	// AlgorithmConfig parameterizes the algorithm.
+	AlgorithmConfig = core.Config
+)
+
+// Re-exported time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// DefaultLayerRates returns the paper's 6-layer rate ladder: 32 Kbps base,
+// doubling per layer.
+func DefaultLayerRates() []float64 { return source.Rates(source.DefaultLayers) }
+
+// Scenario is a convenience builder assembling the full system — engine,
+// network, multicast, discovery, controller — with the paper's defaults.
+// Zero-value fields follow the published parameters (200 ms links,
+// drop-tail queues, 6 layers, 4 s decision interval).
+type Scenario struct {
+	engine     *sim.Engine
+	network    *netsim.Network
+	domain     *mcast.Domain
+	seed       int64
+	sources    []*source.Source
+	receivers  []*receiver.Receiver
+	controller *controller.Controller
+	started    bool
+}
+
+// NewScenario creates an empty scenario with a seeded engine.
+func NewScenario(seed int64) *Scenario {
+	e := sim.NewEngine(seed)
+	n := netsim.New(e)
+	return &Scenario{
+		engine:  e,
+		network: n,
+		domain:  mcast.NewDomain(n),
+		seed:    seed,
+	}
+}
+
+// Engine exposes the scenario's simulation engine.
+func (s *Scenario) Engine() *sim.Engine { return s.engine }
+
+// Network exposes the scenario's network.
+func (s *Scenario) Network() *netsim.Network { return s.network }
+
+// Domain exposes the scenario's multicast domain.
+func (s *Scenario) Domain() *mcast.Domain { return s.domain }
+
+// AddNode adds a named node.
+func (s *Scenario) AddNode(name string) *netsim.Node { return s.network.AddNode(name) }
+
+// Connect links two nodes symmetrically at the given bandwidth (bits/s)
+// with the paper's 200 ms latency and default drop-tail queue.
+func (s *Scenario) Connect(a, b *netsim.Node, bps float64) {
+	s.network.Connect(a, b, netsim.LinkConfig{Bandwidth: bps, Delay: 200 * sim.Millisecond})
+}
+
+// ConnectWith links two nodes with explicit parameters.
+func (s *Scenario) ConnectWith(a, b *netsim.Node, cfg netsim.LinkConfig) {
+	s.network.Connect(a, b, cfg)
+}
+
+// Source attaches a 6-layer CBR session source at the node. The session
+// number is the number of sources added so far.
+func (s *Scenario) Source(at *netsim.Node) *source.Source {
+	return s.SourceWith(at, source.Config{Session: len(s.sources)})
+}
+
+// SourceWith attaches a source with an explicit config.
+func (s *Scenario) SourceWith(at *netsim.Node, cfg source.Config) *source.Source {
+	src := source.New(s.network, s.domain, at, cfg)
+	s.sources = append(s.sources, src)
+	return src
+}
+
+// Controller places the TopoSense controller agent at the node, managing
+// every session added so far. Call after the sources.
+func (s *Scenario) Controller(at *netsim.Node) *controller.Controller {
+	if s.controller != nil {
+		panic("toposense: scenario already has a controller")
+	}
+	sessions := make([]int, len(s.sources))
+	layers := source.DefaultLayers
+	for i, src := range s.sources {
+		sessions[i] = src.Session()
+		layers = src.Layers()
+	}
+	tool := topodisc.NewTool(s.network, s.domain, sessions)
+	alg := core.New(core.NewConfig(source.Rates(layers)), rand.New(rand.NewSource(s.seed+1)))
+	s.controller = controller.New(s.network, s.domain, at, tool, alg)
+	return s.controller
+}
+
+// Receiver attaches a managed receiver for session 0 at the node, reporting
+// to the scenario's controller. Use ReceiverWith for other sessions.
+func (s *Scenario) Receiver(at *netsim.Node) *receiver.Receiver {
+	return s.ReceiverWith(at, receiver.Config{Session: 0})
+}
+
+// ReceiverWith attaches a receiver with an explicit config; the Controller
+// and MaxLayers fields are filled from the scenario when zero.
+func (s *Scenario) ReceiverWith(at *netsim.Node, cfg receiver.Config) *receiver.Receiver {
+	if s.controller == nil {
+		panic("toposense: add the Controller before receivers")
+	}
+	if cfg.MaxLayers == 0 {
+		cfg.MaxLayers = source.DefaultLayers
+	}
+	if cfg.InitialLevel == 0 {
+		cfg.InitialLevel = 1
+	}
+	if cfg.Controller == 0 {
+		cfg.Controller = s.controller.Node().ID
+	}
+	rx := receiver.New(s.network, s.domain, at, cfg)
+	s.receivers = append(s.receivers, rx)
+	return rx
+}
+
+// Run starts every component (once) and advances simulated time to `until`.
+func (s *Scenario) Run(until sim.Time) {
+	if !s.started {
+		s.started = true
+		if s.controller == nil {
+			panic("toposense: scenario has no controller")
+		}
+		for _, src := range s.sources {
+			src.Start()
+		}
+		s.controller.Start()
+		for _, rx := range s.receivers {
+			rx.Start()
+		}
+	}
+	s.engine.RunUntil(until)
+}
+
+// String summarizes the scenario.
+func (s *Scenario) String() string {
+	return fmt.Sprintf("scenario: %d nodes, %d sessions, %d receivers",
+		s.network.NumNodes(), len(s.sources), len(s.receivers))
+}

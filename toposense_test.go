@@ -1,0 +1,109 @@
+package toposense
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioQuickstartConverges(t *testing.T) {
+	sc := NewScenario(42)
+	src := sc.AddNode("source")
+	rtr := sc.AddNode("router")
+	rxNode := sc.AddNode("receiver")
+	sc.Connect(src, rtr, 100e6)
+	sc.Connect(rtr, rxNode, 500e3)
+	sc.Source(src)
+	sc.Controller(src)
+	rx := sc.Receiver(rxNode)
+	sc.Run(120 * Second)
+	if got := rx.Level(); got < 3 || got > 5 {
+		t.Fatalf("level = %d, want ~4 for a 500 Kbps bottleneck", got)
+	}
+	if !strings.Contains(sc.String(), "3 nodes") {
+		t.Errorf("String = %q", sc.String())
+	}
+	// Run is resumable.
+	sc.Run(180 * Second)
+	if sc.Engine().Now() != 180*Second {
+		t.Errorf("Now = %v", sc.Engine().Now())
+	}
+}
+
+func TestScenarioMultiSession(t *testing.T) {
+	sc := NewScenario(7)
+	x := sc.AddNode("X")
+	y := sc.AddNode("Y")
+	sc.Connect(x, y, 1e6) // two sessions x ~4 layers
+	var rxs []*Receiver
+	for i := 0; i < 2; i++ {
+		srcNode := sc.AddNode("src")
+		sc.Connect(srcNode, x, 100e6)
+		sc.SourceWith(srcNode, SourceConfig{Session: i})
+	}
+	sc.Controller(sc.Network().Nodes()[2]) // first source node
+	for i := 0; i < 2; i++ {
+		rxNode := sc.AddNode("rx")
+		sc.Connect(y, rxNode, 100e6)
+		rxs = append(rxs, sc.ReceiverWith(rxNode, ReceiverConfig{Session: i}))
+	}
+	sc.Run(240 * Second)
+	for i, rx := range rxs {
+		if got := rx.Level(); got < 2 || got > 5 {
+			t.Errorf("session %d level = %d", i, got)
+		}
+	}
+}
+
+func TestScenarioPanics(t *testing.T) {
+	t.Run("receiver before controller", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		sc := NewScenario(1)
+		n := sc.AddNode("n")
+		sc.Receiver(n)
+	})
+	t.Run("double controller", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		sc := NewScenario(1)
+		n := sc.AddNode("n")
+		sc.Source(n)
+		sc.Controller(n)
+		sc.Controller(n)
+	})
+	t.Run("run without controller", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		sc := NewScenario(1)
+		sc.Run(Second)
+	})
+}
+
+func TestDefaultLayerRates(t *testing.T) {
+	r := DefaultLayerRates()
+	if len(r) != 6 || r[0] != 32e3 || r[5] != 1024e3 {
+		t.Errorf("DefaultLayerRates = %v", r)
+	}
+}
+
+func TestScenarioAccessors(t *testing.T) {
+	sc := NewScenario(1)
+	if sc.Engine() == nil || sc.Network() == nil || sc.Domain() == nil {
+		t.Fatal("nil accessors")
+	}
+	a := sc.AddNode("a")
+	b := sc.AddNode("b")
+	sc.ConnectWith(a, b, LinkConfig{Bandwidth: 1e6, Delay: Millisecond})
+	if a.LinkTo(b.ID) == nil {
+		t.Error("ConnectWith did not link")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-json repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -13,12 +13,19 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # Full benchmark suite (one benchmark per paper table/figure + substrate
 # microbenchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick sweep with machine-readable results: wall time, events/s and
+# packet counts per run land in BENCH_quick.json for cross-commit
+# comparison.
+bench-json:
+	$(GO) run ./cmd/topobench -quick -json BENCH_quick.json
 
 # Regenerate the paper's evaluation at full scale (~2 minutes).
 repro:

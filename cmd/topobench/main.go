@@ -2,173 +2,114 @@
 // "Using Tree Topology for Multicast Congestion Control" (Jagannathan &
 // Almeroth, ICPP 2001), plus a TopoSense-vs-RLM baseline comparison.
 //
+// Each figure enumerates its sweep as independent experiments.Spec runs;
+// a bounded worker pool (internal/runner) fans them out across cores and
+// reassembles results in sweep order, so the report is byte-identical
+// whatever the parallelism.
+//
 // Usage:
 //
-//	topobench                  # all figures at paper scale (1200 s runs)
-//	topobench -fig 8           # just Figure 8
-//	topobench -quick           # scaled-down sweep (~20x faster)
-//	topobench -seed 7          # different random seed
+//	topobench                       # all figures at paper scale (1200 s runs)
+//	topobench -fig 8                # just Figure 8
+//	topobench -quick                # scaled-down sweep (~20x faster)
+//	topobench -seed 7               # different random seed
+//	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)
+//	topobench -json BENCH_full.json # machine-readable results + run metadata
+//	topobench -timeout 10m         # per-run wall-clock budget
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"toposense/internal/experiments"
-	"toposense/internal/sim"
+	"toposense/internal/runner"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to run: 6, 7, 8, 9, 10, baseline, ablation, churn, convergence, domains, extensions, lastmile, queues, variance or all")
+	fig := flag.String("fig", "all", "which experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
 	quick := flag.Bool("quick", false, "scaled-down runs (shorter duration, fewer points)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+	progress := flag.Bool("progress", true, "report per-run completion on stderr")
 	flag.Parse()
 
-	dur := experiments.PaperDuration
-	perSet := []int(nil)   // defaults
-	sessions := []int(nil) // defaults
-	staleness := []sim.Time(nil)
-	if *quick {
-		dur = 240 * sim.Second
-		perSet = []int{1, 2}
-		sessions = []int{2, 4}
-		staleness = []sim.Time{0, 4 * sim.Second, 8 * sim.Second}
+	var selected []experiments.Experiment
+	if *fig == "all" {
+		selected = experiments.Registry()
+	} else {
+		ex, ok := experiments.Lookup(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; valid names: all, %s\n",
+				*fig, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{ex}
 	}
 
-	runAll := *fig == "all"
-	ran := false
+	// Enumerate every selected experiment's specs into one flat work list,
+	// remembering each experiment's slice so results can be rendered per
+	// experiment afterwards.
+	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick}
+	var specs []experiments.Spec
+	type slice struct{ lo, hi int }
+	slices := make([]slice, len(selected))
+	for i, ex := range selected {
+		s := ex.Specs(cfg)
+		slices[i] = slice{len(specs), len(specs) + len(s)}
+		specs = append(specs, s...)
+	}
+
+	opts := runner.Options{Parallelism: *parallel, Timeout: *timeout}
+	if *progress {
+		opts.OnProgress = func(done, total int, r experiments.Result) {
+			status := fmt.Sprintf("%.1fs", r.WallSeconds)
+			if r.Failed() {
+				status = "FAILED: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", done, total, r.Name, status)
+		}
+	}
+
 	start := time.Now()
+	results := runner.Run(specs, opts)
+	wall := time.Since(start)
 
-	if runAll || *fig == "6" {
-		ran = true
-		rows := experiments.RunFig6(experiments.Fig6Config{Seed: *seed, Duration: dur, PerSet: perSet})
-		fmt.Print(experiments.StabilityTable(
-			"Figure 6: stability in Topology A (busiest receiver over the full run)",
-			"receivers", rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "7" {
-		ran = true
-		rows := experiments.RunFig7(experiments.Fig7Config{Seed: *seed, Duration: dur, Sessions: sessions})
-		fmt.Print(experiments.StabilityTable(
-			"Figure 7: stability in Topology B (busiest session over the full run)",
-			"sessions", rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "8" {
-		ran = true
-		rows := experiments.RunFig8(experiments.Fig8Config{Seed: *seed, Duration: dur, Sessions: sessions})
-		fmt.Print(experiments.FairnessTable(rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "9" {
-		ran = true
-		res := experiments.RunFig9(experiments.Fig9Config{Seed: *seed, Duration: dur})
-		fmt.Println("Figure 9 (full run, subscription levels):")
-		fmt.Print(res.Plot(100, 9))
-		fmt.Println()
-		fmt.Print(res.WindowTable())
-		fmt.Println()
-		fmt.Print(res.Summary())
-		fmt.Println()
-	}
-	if runAll || *fig == "10" {
-		ran = true
-		rows := experiments.RunFig10(experiments.Fig10Config{Seed: *seed, Duration: dur, PerSet: perSet, Staleness: staleness})
-		fmt.Print(experiments.StaleTable(rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "baseline" {
-		ran = true
-		rows := experiments.RunBaseline(experiments.BaselineConfig{Seed: *seed, Duration: dur})
-		fmt.Print(experiments.BaselineTable(rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "ablation" {
-		ran = true
-		rows := experiments.RunAblation(experiments.AblationConfig{Seed: *seed, Duration: dur})
-		fmt.Print(experiments.AblationTable(rows))
-		fmt.Println()
-	}
-	if runAll || *fig == "convergence" {
-		ran = true
-		cc := experiments.ConvergenceConfig{Seed: *seed}
-		if *quick {
-			cc.Duration = 240 * sim.Second
+	exitCode := 0
+	for i, ex := range selected {
+		out, err := ex.Render(results[slices[i].lo:slices[i].hi])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", ex.Name, err)
+			exitCode = 1
+			continue
 		}
-		for _, tr := range []experiments.Traffic{experiments.CBR, experiments.VBR3} {
-			cc.Traffic = tr
-			fmt.Println(tr.Name + ":")
-			fmt.Print(experiments.ConvergenceTable(experiments.RunConvergence(cc)))
-			fmt.Println()
+		fmt.Print(out)
+	}
+	fmt.Printf("total wall time: %v\n", wall.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		export := experiments.Export{
+			Tool:        "topobench",
+			GeneratedAt: start.UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Parallelism: runner.Workers(*parallel, len(specs)),
+			Seed:        *seed,
+			Quick:       *quick,
+			WallSeconds: wall.Seconds(),
+			Results:     results,
+		}
+		if err := experiments.WriteJSONFile(*jsonPath, export); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			exitCode = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), *jsonPath)
 		}
 	}
-	if runAll || *fig == "churn" {
-		ran = true
-		cc := experiments.ChurnConfig{Seed: *seed}
-		if *quick {
-			cc.Duration = 240 * sim.Second
-		}
-		fmt.Print(experiments.ChurnTable(experiments.RunChurn(cc)))
-		fmt.Println()
-	}
-	if runAll || *fig == "domains" {
-		ran = true
-		dc := experiments.DomainsConfig{Seed: *seed}
-		if *quick {
-			dc.Duration = 240 * sim.Second
-			dc.Seeds = 1
-		}
-		fmt.Print(experiments.DomainsTable(experiments.RunDomains(dc)))
-		fmt.Println()
-	}
-	if runAll || *fig == "queues" {
-		ran = true
-		qc := experiments.QueueConfig{Seed: *seed}
-		if *quick {
-			qc.Duration = 240 * sim.Second
-		}
-		fmt.Print(experiments.QueueTable(experiments.RunQueuePolicies(qc)))
-		fmt.Println()
-	}
-	if runAll || *fig == "lastmile" {
-		ran = true
-		lc := experiments.LastMileConfig{Seed: *seed}
-		if *quick {
-			lc.Duration = 240 * sim.Second
-		}
-		fmt.Print(experiments.LastMileTable(experiments.RunLastMile(lc)))
-		fmt.Println()
-	}
-	if runAll || *fig == "variance" {
-		ran = true
-		vc := experiments.VarianceConfig{Seed: *seed}
-		if *quick {
-			vc.Duration = 240 * sim.Second
-			vc.Seeds = 3
-		}
-		fmt.Print(experiments.VarianceTable(experiments.RunVariance(vc)))
-		fmt.Println()
-	}
-	if runAll || *fig == "extensions" {
-		ran = true
-		ext := experiments.ExtensionConfig{Seed: *seed}
-		if *quick {
-			ext.Duration = 240 * sim.Second
-			ext.Seeds = 1
-		}
-		fmt.Print(experiments.ExtensionTable("Extension: layer granularity (Section V)", "scheme", experiments.RunGranularity(ext)))
-		fmt.Println()
-		fmt.Print(experiments.ExtensionTable("Extension: group-leave latency (Section V, VBR)", "leave latency", experiments.RunLeaveLatency(ext)))
-		fmt.Println()
-		fmt.Print(experiments.ExtensionTable("Extension: decision interval (Section V)", "interval", experiments.RunIntervalSize(ext)))
-		fmt.Println()
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 6, 7, 8, 9, 10, baseline, ablation, churn, convergence, domains, extensions, lastmile, queues, variance or all)\n", *fig)
-		os.Exit(2)
-	}
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	os.Exit(exitCode)
 }

@@ -3,21 +3,27 @@
 // deviation, change count and loss summary. Useful for exploring parameter
 // choices interactively.
 //
+// The run executes as one experiments.Spec, so it gets the same panic
+// containment and run metadata (wall time, events, packets) as the
+// topobench sweeps, and -json writes the same BENCH_*.json schema.
+//
 // Usage:
 //
 //	toposim -topology A -receivers 4 -traffic vbr3 -duration 600
 //	toposim -topology B -sessions 8 -staleness 6
 //	toposim -topology tiered -seed 3
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
+//	toposim -topology A -json BENCH_simA.json    # machine-readable result
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
-
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"toposense/internal/controller"
 	"toposense/internal/core"
@@ -27,6 +33,22 @@ import (
 	"toposense/internal/topology"
 	"toposense/internal/trace"
 )
+
+// receiverRow is one receiver's outcome — the typed rows the run's Result
+// carries (and -json exports).
+type receiverRow struct {
+	Receiver  string  `json:"receiver"`
+	Level     int     `json:"final_level"`
+	Optimal   int     `json:"optimal"`
+	Deviation float64 `json:"rel_deviation"`
+	Changes   int     `json:"changes"`
+}
+
+// simResult is the run's full payload: per-receiver rows plus the headline.
+type simResult struct {
+	Rows    []receiverRow `json:"rows"`
+	MeanDev float64       `json:"mean_rel_deviation"`
+}
 
 func main() {
 	topo := flag.String("topology", "A", "A, B or tiered")
@@ -41,6 +63,7 @@ func main() {
 	billing := flag.Bool("billing", false, "print the controller's billing ledger (toposense only)")
 	tsvDir := flag.String("tsv", "", "directory to write per-receiver level/loss time series as TSV")
 	explain := flag.Bool("explain", false, "print the algorithm's per-node decisions for the final interval")
+	jsonPath := flag.String("json", "", "write the result + run metadata to this file (e.g. BENCH_sim.json)")
 	flag.Parse()
 
 	var tr experiments.Traffic
@@ -55,6 +78,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
 		os.Exit(2)
 	}
+	topoName := strings.ToUpper(*topo)
+	switch topoName {
+	case "A", "B", "TIERED":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	algoName := strings.ToLower(*algo)
+	switch algoName {
+	case "toposense", "rlm":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algo %q\n", *algo)
+		os.Exit(2)
+	}
 
 	cfg := experiments.WorldConfig{
 		Seed:           *seed,
@@ -62,112 +99,149 @@ func main() {
 		Staleness:      sim.FromSeconds(*staleness),
 		ProbeDiscovery: *probe,
 	}
-	e := sim.NewEngine(*seed)
-	var b *topology.Build
-	switch strings.ToUpper(*topo) {
-	case "A":
-		b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
-	case "B":
-		b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
-	case "TIERED":
-		b = topology.BuildTiered(e, topology.TieredConfig{
-			Seed:             *seed,
-			FanOut:           []int{2, 3},
-			Bandwidth:        []float64{10e6, 600e3},
-			ReceiversPerLeaf: *receivers,
-		})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
-		os.Exit(2)
-	}
-
 	dur := sim.FromSeconds(*duration)
-	var traces []*metrics.Trace
-	var optima []int
-	var levels []int
-	var names []string
 
-	var sampler *trace.Sampler
-	switch strings.ToLower(*algo) {
-	case "toposense":
-		w := experiments.NewWorld(e, b, cfg)
-		if *billing {
-			w.Controller.EnableBilling()
-		}
-		if *explain {
-			w.Controller.Algorithm().EnableExplain()
-		}
-		if *tsvDir != "" {
-			sampler = trace.NewSampler(e, 500*sim.Millisecond)
-			for s := range w.Receivers {
-				for _, rx := range w.Receivers[s] {
-					rx := rx
-					name := fmt.Sprintf("s%d-%s", s, rx.Node().Name)
-					sampler.Probe(name+".level", func() float64 { return float64(rx.Level()) })
-					sampler.Probe(name+".loss", func() float64 { return rx.LastLoss })
+	spec := experiments.NewSpec("toposim",
+		fmt.Sprintf("toposim/topo=%s/%s/%s", topoName, tr.Name, algoName),
+		*seed, dur,
+		func(m *experiments.Meter) (any, error) {
+			e := sim.NewEngine(*seed)
+			var b *topology.Build
+			switch topoName {
+			case "A":
+				b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
+			case "B":
+				b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
+			case "TIERED":
+				b = topology.BuildTiered(e, topology.TieredConfig{
+					Seed:             *seed,
+					FanOut:           []int{2, 3},
+					Bandwidth:        []float64{10e6, 600e3},
+					ReceiversPerLeaf: *receivers,
+				})
+			}
+			m.Observe(e, b.Net)
+
+			var traces []*metrics.Trace
+			var optima []int
+			var levels []int
+			var names []string
+			var sampler *trace.Sampler
+			if algoName == "toposense" {
+				w := experiments.NewWorld(e, b, cfg)
+				if *billing {
+					w.Controller.EnableBilling()
+				}
+				if *explain {
+					w.Controller.Algorithm().EnableExplain()
+				}
+				if *tsvDir != "" {
+					sampler = trace.NewSampler(e, 500*sim.Millisecond)
+					for s := range w.Receivers {
+						for _, rx := range w.Receivers[s] {
+							rx := rx
+							name := fmt.Sprintf("s%d-%s", s, rx.Node().Name)
+							sampler.Probe(name+".level", func() float64 { return float64(rx.Level()) })
+							sampler.Probe(name+".loss", func() float64 { return rx.LastLoss })
+						}
+					}
+					sampler.Start()
+				}
+				w.Run(dur)
+				traces, optima = w.AllTraces()
+				for s := range w.Receivers {
+					for _, rx := range w.Receivers[s] {
+						levels = append(levels, rx.Level())
+						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+					}
+				}
+				fmt.Printf("controller: %d steps, %d suggestions sent, %d reports received\n",
+					w.Controller.StepsRun, w.Controller.SuggestionsSent, w.Controller.ReportsRecv)
+				if *probe {
+					fmt.Printf("discovery: %d probe packets over %d discoveries\n", w.Tool.ProbePackets, w.Tool.Discoveries)
+				}
+				if *billing {
+					fmt.Println("\nbilling ledger:")
+					fmt.Print(controller.FormatBillingReport(w.Controller.BillingReport()))
+				}
+				if *explain {
+					fmt.Println("\nfinal interval decisions:")
+					fmt.Print(core.FormatDecisions(w.Controller.Algorithm().LastDecisions()))
+				}
+			} else {
+				w := experiments.NewRLMWorld(e, b, cfg)
+				w.Run(dur)
+				traces, optima = w.AllTraces()
+				for s := range w.Receivers {
+					for _, rx := range w.Receivers[s] {
+						levels = append(levels, rx.Level())
+						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+					}
 				}
 			}
-			sampler.Start()
-		}
-		w.Run(dur)
-		traces, optima = w.AllTraces()
-		for s := range w.Receivers {
-			for _, rx := range w.Receivers[s] {
-				levels = append(levels, rx.Level())
-				names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
-			}
-		}
-		fmt.Printf("controller: %d steps, %d suggestions sent, %d reports received\n",
-			w.Controller.StepsRun, w.Controller.SuggestionsSent, w.Controller.ReportsRecv)
-		if *probe {
-			fmt.Printf("discovery: %d probe packets over %d discoveries\n", w.Tool.ProbePackets, w.Tool.Discoveries)
-		}
-		if *billing {
-			fmt.Println("\nbilling ledger:")
-			fmt.Print(controller.FormatBillingReport(w.Controller.BillingReport()))
-		}
-		if *explain {
-			fmt.Println("\nfinal interval decisions:")
-			fmt.Print(core.FormatDecisions(w.Controller.Algorithm().LastDecisions()))
-		}
-	case "rlm":
-		w := experiments.NewRLMWorld(e, b, cfg)
-		w.Run(dur)
-		traces, optima = w.AllTraces()
-		for s := range w.Receivers {
-			for _, rx := range w.Receivers[s] {
-				levels = append(levels, rx.Level())
-				names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
-			}
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algo %q\n", *algo)
-		os.Exit(2)
-	}
 
-	if sampler != nil {
-		if err := writeTSVs(*tsvDir, sampler); err != nil {
-			fmt.Fprintf(os.Stderr, "tsv: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d series to %s\n", len(sampler.Names()), *tsvDir)
+			if sampler != nil {
+				if err := writeTSVs(*tsvDir, sampler); err != nil {
+					return nil, fmt.Errorf("tsv: %w", err)
+				}
+				fmt.Printf("wrote %d series to %s\n", len(sampler.Names()), *tsvDir)
+			}
+
+			res := simResult{MeanDev: metrics.MeanRelativeDeviation(traces, optima, 0, dur)}
+			for i, trc := range traces {
+				res.Rows = append(res.Rows, receiverRow{
+					Receiver:  names[i],
+					Level:     levels[i],
+					Optimal:   optima[i],
+					Deviation: trc.RelativeDeviation(optima[i], 0, dur),
+					Changes:   trc.Changes(0, dur),
+				})
+			}
+			return res, nil
+		})
+
+	start := time.Now()
+	result := spec.Execute(0)
+	if result.Failed() {
+		fmt.Fprintf(os.Stderr, "run failed: %s\n", result.Err)
+		os.Exit(1)
 	}
+	res := result.Rows.(simResult)
 
 	t := &experiments.Table{
-		Title:  fmt.Sprintf("Topology %s, %s, %s, %.0f s", strings.ToUpper(*topo), tr.Name, strings.ToLower(*algo), *duration),
+		Title:  fmt.Sprintf("Topology %s, %s, %s, %.0f s", topoName, tr.Name, algoName, *duration),
 		Header: []string{"receiver", "final level", "optimal", "rel deviation", "changes"},
 	}
-	for i, trc := range traces {
+	for _, r := range res.Rows {
 		t.AddRow(
-			names[i],
-			fmt.Sprintf("%d", levels[i]),
-			fmt.Sprintf("%d", optima[i]),
-			fmt.Sprintf("%.3f", trc.RelativeDeviation(optima[i], 0, dur)),
-			fmt.Sprintf("%d", trc.Changes(0, dur)),
+			r.Receiver,
+			fmt.Sprintf("%d", r.Level),
+			fmt.Sprintf("%d", r.Optimal),
+			fmt.Sprintf("%.3f", r.Deviation),
+			fmt.Sprintf("%d", r.Changes),
 		)
 	}
 	fmt.Print(t)
-	fmt.Printf("mean relative deviation: %.3f\n", metrics.MeanRelativeDeviation(traces, optima, 0, dur))
+	fmt.Printf("mean relative deviation: %.3f\n", res.MeanDev)
+	fmt.Printf("run: %.2fs wall, %d events (%.0f events/s), %d packets forwarded\n",
+		result.WallSeconds, result.Events, result.EventsPerSecond, result.Packets)
+
+	if *jsonPath != "" {
+		export := experiments.Export{
+			Tool:        "toposim",
+			GeneratedAt: start.UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Parallelism: 1,
+			Seed:        *seed,
+			WallSeconds: time.Since(start).Seconds(),
+			Results:     []experiments.Result{result},
+		}
+		if err := experiments.WriteJSONFile(*jsonPath, export); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote result to %s\n", *jsonPath)
+	}
 }
 
 // writeTSVs dumps every sampled series as <name>.tsv under dir.

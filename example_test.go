@@ -17,10 +17,10 @@ func ExampleScenario() {
 	sc.Connect(src, rtr, 100e6)    // backbone
 	sc.Connect(rtr, rxNode, 500e3) // 500 Kbps bottleneck
 	sc.Source(src)
-	sc.Controller(src)
-	rx := sc.Receiver(rxNode)
+	sc.MustController(src)
+	rx := sc.MustReceiver(rxNode)
 
-	sc.Run(120 * toposense.Second)
+	sc.MustRun(120 * toposense.Second)
 	fmt.Printf("subscribed layers: %d\n", rx.Level())
 	fmt.Printf("cumulative rate of 4 layers: %.0f Kbps\n", toposense.DefaultLayerRates()[0]/1000*15)
 	// Output:

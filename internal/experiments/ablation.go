@@ -28,14 +28,12 @@ type AblationConfig struct {
 }
 
 func (c *AblationConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
+	d := PaperDefaults()
+	d.Traffic = VBR3
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.Sessions == 0 {
 		c.Sessions = 4
-	}
-	if c.Traffic.Name == "" {
-		c.Traffic = VBR3
 	}
 }
 
@@ -46,15 +44,16 @@ type ablationVariant struct {
 	disableResend bool
 }
 
-// RunAblation quantifies the contribution of each engineering decision
-// documented in DESIGN.md by disabling them one at a time:
+// AblationSpecs quantifies the contribution of each engineering decision
+// documented in DESIGN.md by disabling them one at a time, one run per
+// variant:
 //
 //	full            — the complete system
 //	no-cooldown     — reductions may compound on stale drain feedback
 //	no-backoff      — dropped layers may be re-probed immediately
 //	pin-any-link    — capacity pinning without the two-observer guard
 //	no-resend       — suggestions sent once per interval only
-func RunAblation(cfg AblationConfig) []AblationRow {
+func AblationSpecs(cfg AblationConfig) []Spec {
 	cfg.normalize()
 	variants := []ablationVariant{
 		{name: "full"},
@@ -63,36 +62,46 @@ func RunAblation(cfg AblationConfig) []AblationRow {
 		{name: "pin-any-link", alg: func(c *core.Config) { c.PinSingleObserver = true }},
 		{name: "no-resend", disableResend: true},
 	}
-	var rows []AblationRow
+	var specs []Spec
 	for _, v := range variants {
-		algCfg := core.Config{}
-		if v.alg != nil {
-			v.alg(&algCfg)
-		}
-		e := sim.NewEngine(cfg.Seed)
-		b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
-		w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Alg: algCfg})
-		w.Controller.DisableResend = v.disableResend
-		lossSum, lossN := 0.0, 0
-		w.Engine.Every(sim.Second, func() {
-			for _, rxs := range w.Receivers {
-				lossSum += rxs[0].LastLoss
-				lossN++
-			}
-		})
-		w.Run(cfg.Duration)
-		traces, optima := w.AllTraces()
-		row := AblationRow{
-			Variant:    v.name,
-			Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-			MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
-		}
-		if lossN > 0 {
-			row.MeanLoss = lossSum / float64(lossN)
-		}
-		rows = append(rows, row)
+		specs = append(specs, NewSpec("ablation",
+			"ablation/"+v.name, cfg.Seed, cfg.Duration,
+			func(m *Meter) (any, error) {
+				algCfg := core.Config{}
+				if v.alg != nil {
+					v.alg(&algCfg)
+				}
+				e := sim.NewEngine(cfg.Seed)
+				b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+				w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Alg: algCfg})
+				m.ObserveWorld(w)
+				w.Controller.DisableResend = v.disableResend
+				lossSum, lossN := 0.0, 0
+				w.Engine.Every(sim.Second, func() {
+					for _, rxs := range w.Receivers {
+						lossSum += rxs[0].LastLoss
+						lossN++
+					}
+				})
+				w.Run(cfg.Duration)
+				traces, optima := w.AllTraces()
+				row := AblationRow{
+					Variant:    v.name,
+					Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+					MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+				}
+				if lossN > 0 {
+					row.MeanLoss = lossSum / float64(lossN)
+				}
+				return []AblationRow{row}, nil
+			}))
 	}
-	return rows
+	return specs
+}
+
+// RunAblation runs the ablation sweep by executing its specs serially.
+func RunAblation(cfg AblationConfig) []AblationRow {
+	return mustGather[AblationRow](ExecuteAll(AblationSpecs(cfg)))
 }
 
 // AblationTable renders the ablation sweep.

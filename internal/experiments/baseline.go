@@ -98,9 +98,8 @@ type BaselineConfig struct {
 }
 
 func (c *BaselineConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
+	d := PaperDefaults()
+	c.Duration = d.Dur(c.Duration)
 	if c.Traffics == nil {
 		c.Traffics = []Traffic{CBR, VBR3}
 	}
@@ -112,69 +111,70 @@ func (c *BaselineConfig) normalize() {
 	}
 }
 
-// RunBaseline runs TopoSense and the RLM baseline on Topologies A and B and
-// reports deviation-from-optimal and stability side by side. The shape the
+// BaselineSpecs enumerates the TopoSense-vs-RLM comparison as independent
+// runs, one per (topology, traffic, algorithm) combination. The shape the
 // paper argues for: topology-aware coordination tracks the optimum at least
 // as closely with fewer subscription changes, because receivers never probe
 // a bottleneck another receiver already mapped.
-func RunBaseline(cfg BaselineConfig) []BaselineRow {
+func BaselineSpecs(cfg BaselineConfig) []Spec {
 	cfg.normalize()
-	var rows []BaselineRow
-
-	run := func(scenario string, tr Traffic, topoSense bool) BaselineRow {
-		var traces []*metrics.Trace
-		var optima []int
-		wc := WorldConfig{Seed: cfg.Seed, Traffic: tr}
-		if scenario == "A" {
-			e := sim.NewEngine(cfg.Seed)
-			b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.PerSet})
-			if topoSense {
-				w := NewWorld(e, b, wc)
-				w.Run(cfg.Duration)
-				traces, optima = w.AllTraces()
-			} else {
-				w := NewRLMWorld(e, b, wc)
-				w.Run(cfg.Duration)
-				traces, optima = w.AllTraces()
-			}
-		} else {
-			e := sim.NewEngine(cfg.Seed)
-			b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
-			if topoSense {
-				w := NewWorld(e, b, wc)
-				w.Run(cfg.Duration)
-				traces, optima = w.AllTraces()
-			} else {
-				w := NewRLMWorld(e, b, wc)
-				w.Run(cfg.Duration)
-				traces, optima = w.AllTraces()
-			}
-		}
+	var specs []Spec
+	add := func(scenario string, tr Traffic, topoSense bool) {
 		algo := "RLM"
 		if topoSense {
 			algo = "TopoSense"
 		}
-		name := fmt.Sprintf("Topology %s", scenario)
+		scenarioName := fmt.Sprintf("Topology %s", scenario)
 		if scenario == "A" {
-			name += fmt.Sprintf(" (%d receivers)", 2*cfg.PerSet)
+			scenarioName += fmt.Sprintf(" (%d receivers)", 2*cfg.PerSet)
 		} else {
-			name += fmt.Sprintf(" (%d sessions)", cfg.Sessions)
+			scenarioName += fmt.Sprintf(" (%d sessions)", cfg.Sessions)
 		}
-		name += ", " + tr.Name
-		return BaselineRow{
-			Scenario:   name,
-			Algo:       algo,
-			Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-			MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
-		}
+		scenarioName += ", " + tr.Name
+		specs = append(specs, NewSpec("baseline",
+			fmt.Sprintf("baseline/topo=%s/%s/%s", scenario, tr.Name, algo),
+			cfg.Seed, cfg.Duration,
+			func(m *Meter) (any, error) {
+				e := sim.NewEngine(cfg.Seed)
+				var b *topology.Build
+				if scenario == "A" {
+					b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.PerSet})
+				} else {
+					b = topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+				}
+				m.Observe(e, b.Net)
+				var traces []*metrics.Trace
+				var optima []int
+				wc := WorldConfig{Seed: cfg.Seed, Traffic: tr}
+				if topoSense {
+					w := NewWorld(e, b, wc)
+					w.Run(cfg.Duration)
+					traces, optima = w.AllTraces()
+				} else {
+					w := NewRLMWorld(e, b, wc)
+					w.Run(cfg.Duration)
+					traces, optima = w.AllTraces()
+				}
+				return []BaselineRow{{
+					Scenario:   scenarioName,
+					Algo:       algo,
+					Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+					MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+				}}, nil
+			}))
 	}
-
 	for _, scenario := range []string{"A", "B"} {
 		for _, tr := range cfg.Traffics {
-			rows = append(rows, run(scenario, tr, true), run(scenario, tr, false))
+			add(scenario, tr, true)
+			add(scenario, tr, false)
 		}
 	}
-	return rows
+	return specs
+}
+
+// RunBaseline runs the comparison by executing its specs serially.
+func RunBaseline(cfg BaselineConfig) []BaselineRow {
+	return mustGather[BaselineRow](ExecuteAll(BaselineSpecs(cfg)))
 }
 
 // BaselineTable renders the comparison.

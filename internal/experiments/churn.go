@@ -38,39 +38,49 @@ type ChurnConfig struct {
 }
 
 func (c *ChurnConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
-	}
+	d := ShortDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.Slots == 0 {
 		c.Slots = 4
 	}
-	if c.Traffic.Name == "" {
-		c.Traffic = CBR
-	}
 }
 
-// RunChurn sweeps churn intensity on Topology A's fast set: one always-on
-// reference receiver plus Slots receivers cycling through exponential
-// on/off periods.
-func RunChurn(cfg ChurnConfig) []ChurnRow {
+// ChurnSpecs sweeps churn intensity on Topology A's fast set, one run per
+// intensity: one always-on reference receiver plus Slots receivers cycling
+// through exponential on/off periods.
+func ChurnSpecs(cfg ChurnConfig) []Spec {
 	cfg.normalize()
-	intensities := []struct{ on, off sim.Time }{
-		{180 * sim.Second, 90 * sim.Second}, // gentle
-		{90 * sim.Second, 45 * sim.Second},  // moderate
-		{45 * sim.Second, 20 * sim.Second},  // heavy
+	intensities := []struct {
+		name    string
+		on, off sim.Time
+	}{
+		{"gentle", 180 * sim.Second, 90 * sim.Second},
+		{"moderate", 90 * sim.Second, 45 * sim.Second},
+		{"heavy", 45 * sim.Second, 20 * sim.Second},
 	}
-	var rows []ChurnRow
+	var specs []Spec
 	for _, in := range intensities {
-		rows = append(rows, runChurnOnce(cfg, in.on, in.off))
+		specs = append(specs, NewSpec("churn",
+			"churn/"+in.name, cfg.Seed, cfg.Duration,
+			func(m *Meter) (any, error) {
+				return []ChurnRow{runChurnOnce(cfg, in.on, in.off, m)}, nil
+			}))
 	}
-	return rows
+	return specs
 }
 
-func runChurnOnce(cfg ChurnConfig, meanOn, meanOff sim.Time) ChurnRow {
+// RunChurn runs the churn sweep by executing its specs serially.
+func RunChurn(cfg ChurnConfig) []ChurnRow {
+	return mustGather[ChurnRow](ExecuteAll(ChurnSpecs(cfg)))
+}
+
+func runChurnOnce(cfg ChurnConfig, meanOn, meanOff sim.Time, m *Meter) ChurnRow {
 	e := sim.NewEngine(cfg.Seed)
 	// Fast set large enough for the reference + churners; slow set minimal.
 	b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.Slots + 1})
 	w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+	m.Observe(e, b.Net)
 
 	// The world wires receivers for every node; we run the slow set and
 	// the first fast receiver (the reference) as-is, and replace the other

@@ -45,25 +45,37 @@ type ConvergenceConfig struct {
 }
 
 func (c *ConvergenceConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
-	}
+	d := ShortDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.Sets == 0 {
 		c.Sets = 4
 	}
 	if c.PerSet == 0 {
 		c.PerSet = 2
 	}
-	if c.Traffic.Name == "" {
-		c.Traffic = CBR
-	}
+}
+
+// ConvergenceSpecs enumerates the heterogeneous convergence run as a single
+// spec for the configured traffic model (sweep traffic by building specs
+// from several configs).
+func ConvergenceSpecs(cfg ConvergenceConfig) []Spec {
+	cfg.normalize()
+	return []Spec{NewSpec("convergence",
+		"convergence/"+cfg.Traffic.Name, cfg.Seed, cfg.Duration,
+		func(m *Meter) (any, error) {
+			return runConvergence(cfg, m), nil
+		})}
 }
 
 // RunConvergence builds a K-set heterogeneous topology (set k's access link
 // sized for exactly k layers plus headroom) and measures convergence and
 // intra-session fairness per set.
 func RunConvergence(cfg ConvergenceConfig) []ConvergenceRow {
-	cfg.normalize()
+	return mustGather[ConvergenceRow](ExecuteAll(ConvergenceSpecs(cfg)))
+}
+
+func runConvergence(cfg ConvergenceConfig, m *Meter) []ConvergenceRow {
 	e := sim.NewEngine(cfg.Seed)
 	n := netsim.New(e)
 	fat := netsim.LinkConfig{Bandwidth: topology.FatBandwidth, Delay: topology.DefaultDelay}
@@ -94,6 +106,7 @@ func RunConvergence(cfg ConvergenceConfig) []ConvergenceRow {
 	}
 
 	w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+	m.Observe(e, n)
 	w.Run(cfg.Duration)
 
 	var rows []ConvergenceRow

@@ -1,0 +1,65 @@
+package experiments
+
+import "toposense/internal/sim"
+
+// QuickDuration is the scaled-down run length the -quick sweeps use.
+const QuickDuration = 240 * sim.Second
+
+// Defaults is the shared sweep vocabulary: the fallback values that every
+// figure config's normalize method used to re-implement by hand. A config
+// resolves its zero-valued fields through one Defaults instance so the
+// paper's parameters live in exactly one place.
+type Defaults struct {
+	Duration sim.Time  // fallback run length
+	Traffic  Traffic   // fallback single-run traffic model
+	Traffics []Traffic // fallback traffic sweep
+	Seeds    int       // fallback seed count for averaged studies
+}
+
+// PaperDefaults returns the paper's published sweep vocabulary: 1200 s
+// runs, CBR traffic, the CBR/VBR3/VBR6 sweep, and 3 seeds for averaged
+// studies.
+func PaperDefaults() Defaults {
+	return Defaults{Duration: PaperDuration, Traffic: CBR, Traffics: AllTraffic, Seeds: 3}
+}
+
+// ShortDefaults is PaperDefaults at the 600 s duration the secondary
+// studies (churn, convergence, domains, queues, last-mile, variance,
+// extensions) run at.
+func ShortDefaults() Defaults {
+	d := PaperDefaults()
+	d.Duration = 600 * sim.Second
+	return d
+}
+
+// Dur returns v, or the default duration when v is zero.
+func (d Defaults) Dur(v sim.Time) sim.Time {
+	if v == 0 {
+		return d.Duration
+	}
+	return v
+}
+
+// Tr returns v, or the default traffic model when v is unset.
+func (d Defaults) Tr(v Traffic) Traffic {
+	if v.Name == "" {
+		return d.Traffic
+	}
+	return v
+}
+
+// TrafficSweep returns v, or the default traffic sweep when v is nil.
+func (d Defaults) TrafficSweep(v []Traffic) []Traffic {
+	if v == nil {
+		return d.Traffics
+	}
+	return v
+}
+
+// SeedCount returns v, or the default seed count when v is not positive.
+func (d Defaults) SeedCount(v int) int {
+	if v <= 0 {
+		return d.Seeds
+	}
+	return v
+}

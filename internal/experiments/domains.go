@@ -42,17 +42,12 @@ type DomainsConfig struct {
 }
 
 func (c *DomainsConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
-	}
-	if c.Seeds <= 0 {
-		c.Seeds = 3
-	}
+	d := ShortDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
+	c.Seeds = d.SeedCount(c.Seeds)
 	if c.ReceiversPer == 0 {
 		c.ReceiversPer = 3
-	}
-	if c.Traffic.Name == "" {
-		c.Traffic = CBR
 	}
 }
 
@@ -144,56 +139,96 @@ func (w *domainsWorld) wire(cfg DomainsConfig, perDomain bool) {
 	}
 }
 
-// RunDomains runs both control architectures on the identical two-domain
-// topology and reports per-domain quality. The paper's scalability claim
-// holds if per-domain local controllers match the global one.
-func RunDomains(cfg DomainsConfig) []DomainRow {
+// DomainsSpecs enumerates both control architectures as one run per
+// (variant, seed); each run reports its own per-domain DomainRows with that
+// seed's deviation. ReduceDomains averages them back into the table the
+// report prints.
+func DomainsSpecs(cfg DomainsConfig) []Spec {
 	cfg.normalize()
-	var rows []DomainRow
+	var specs []Spec
 	for _, perDomain := range []bool{false, true} {
+		perDomain := perDomain
 		variant := "global"
 		if perDomain {
 			variant = "per-domain"
 		}
-		// Accumulate per-domain metrics across seeds.
-		devSum := [2]float64{}
-		maxChg := [2]int{}
-		allOK := [2]bool{true, true}
-		var domainName [2]string
 		for s := 0; s < cfg.Seeds; s++ {
 			runCfg := cfg
 			runCfg.Seed = cfg.Seed + int64(s)
-			w := buildDomainsWorld(runCfg)
-			w.wire(runCfg, perDomain)
-			w.engine.RunUntil(cfg.Duration)
-			for d := 0; d < 2; d++ {
-				domainName[d] = fmt.Sprintf("domain %d (opt %d)", d+1, w.optimal[d])
-				optima := make([]int, len(w.traces[d]))
-				for i := range optima {
-					optima[i] = w.optimal[d]
-				}
-				for _, rx := range w.receivers[d] {
-					if diff := rx.Level() - w.optimal[d]; diff < -1 || diff > 1 {
-						allOK[d] = false
+			specs = append(specs, NewSpec("domains",
+				fmt.Sprintf("domains/%s/seed=%d", variant, runCfg.Seed),
+				runCfg.Seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := buildDomainsWorld(runCfg)
+					w.wire(runCfg, perDomain)
+					m.Observe(w.engine, w.net)
+					w.engine.RunUntil(cfg.Duration)
+					var rows []DomainRow
+					for d := 0; d < 2; d++ {
+						optima := make([]int, len(w.traces[d]))
+						for i := range optima {
+							optima[i] = w.optimal[d]
+						}
+						ok := true
+						for _, rx := range w.receivers[d] {
+							if diff := rx.Level() - w.optimal[d]; diff < -1 || diff > 1 {
+								ok = false
+							}
+						}
+						rows = append(rows, DomainRow{
+							Variant:    variant,
+							Domain:     fmt.Sprintf("domain %d (opt %d)", d+1, w.optimal[d]),
+							Deviation:  metrics.MeanRelativeDeviation(w.traces[d], optima, 0, cfg.Duration),
+							FinalOK:    ok,
+							MaxChanges: metrics.MaxChanges(w.traces[d], 0, cfg.Duration),
+						})
 					}
-				}
-				devSum[d] += metrics.MeanRelativeDeviation(w.traces[d], optima, 0, cfg.Duration)
-				if c := metrics.MaxChanges(w.traces[d], 0, cfg.Duration); c > maxChg[d] {
-					maxChg[d] = c
-				}
-			}
-		}
-		for d := 0; d < 2; d++ {
-			rows = append(rows, DomainRow{
-				Variant:    variant,
-				Domain:     domainName[d],
-				Deviation:  devSum[d] / float64(cfg.Seeds),
-				FinalOK:    allOK[d],
-				MaxChanges: maxChg[d],
-			})
+					return rows, nil
+				}))
 		}
 	}
+	return specs
+}
+
+// ReduceDomains merges per-seed DomainRows into one row per
+// (variant, domain): deviations averaged, change counts maxed, and FinalOK
+// true only when every seed finished within one layer of optimal.
+func ReduceDomains(perSeed []DomainRow) []DomainRow {
+	type key struct{ variant, domain string }
+	var order []key
+	acc := map[key]*DomainRow{}
+	count := map[key]int{}
+	for _, r := range perSeed {
+		k := key{r.Variant, r.Domain}
+		a, seen := acc[k]
+		if !seen {
+			order = append(order, k)
+			cp := r
+			acc[k] = &cp
+			count[k] = 1
+			continue
+		}
+		a.Deviation += r.Deviation
+		a.FinalOK = a.FinalOK && r.FinalOK
+		if r.MaxChanges > a.MaxChanges {
+			a.MaxChanges = r.MaxChanges
+		}
+		count[k]++
+	}
+	var rows []DomainRow
+	for _, k := range order {
+		a := acc[k]
+		a.Deviation /= float64(count[k])
+		rows = append(rows, *a)
+	}
 	return rows
+}
+
+// RunDomains runs both control architectures on the identical two-domain
+// topology and reports per-domain quality. The paper's scalability claim
+// holds if per-domain local controllers match the global one.
+func RunDomains(cfg DomainsConfig) []DomainRow {
+	return ReduceDomains(mustGather[DomainRow](ExecuteAll(DomainsSpecs(cfg))))
 }
 
 // DomainsTable renders the comparison.

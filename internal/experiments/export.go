@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Export is the schema of the machine-readable result file the -json
+// flags write (conventionally BENCH_*.json): enough run metadata to
+// compare perf trajectories across commits, plus every per-run Result.
+// The schema is documented for consumers in EXPERIMENTS.md.
+type Export struct {
+	// Tool names the producer ("topobench" or "toposim").
+	Tool string `json:"tool"`
+	// GeneratedAt is the UTC RFC 3339 creation time.
+	GeneratedAt string `json:"generated_at"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) on the producing machine.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Parallelism is the -parallel setting the sweep ran with (0 =
+	// GOMAXPROCS).
+	Parallelism int   `json:"parallelism"`
+	Seed        int64 `json:"seed"`
+	Quick       bool  `json:"quick"`
+	// WallSeconds is the whole sweep's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Results holds one entry per executed Spec, in sweep order.
+	Results []Result `json:"results"`
+}
+
+// WriteJSON writes the export to w as indented JSON.
+func WriteJSON(w io.Writer, ex Export) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ex)
+}
+
+// WriteJSONFile writes the export to path, creating or truncating it.
+func WriteJSONFile(path string, ex Export) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, ex); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

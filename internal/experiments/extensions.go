@@ -41,15 +41,26 @@ type ExtensionConfig struct {
 }
 
 func (c *ExtensionConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
+	d := ShortDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
+	c.Seeds = d.SeedCount(c.Seeds)
+}
+
+// reduceExtension folds per-seed rows into one averaged row per parameter.
+// Rows for the same parameter are consecutive (spec enumeration order), so
+// a linear grouping pass suffices and keeps the sweep order.
+func reduceExtension(perSeed []ExtensionRow) []ExtensionRow {
+	var rows []ExtensionRow
+	for i := 0; i < len(perSeed); {
+		j := i
+		for j < len(perSeed) && perSeed[j].Param == perSeed[i].Param {
+			j++
+		}
+		rows = append(rows, average(perSeed[i:j]))
+		i = j
 	}
-	if c.Seeds <= 0 {
-		c.Seeds = 3
-	}
-	if c.Traffic.Name == "" {
-		c.Traffic = CBR
-	}
+	return rows
 }
 
 // average folds per-seed rows for the same parameter into one row.
@@ -80,119 +91,146 @@ type granularity struct {
 	bottle float64 // bottleneck sized so the optimum is mid-range
 }
 
-// RunGranularity sweeps layer granularity on a single-receiver bottleneck
-// chain: the paper's 6 doubling layers versus finer geometric layerings
-// covering a similar range. Finer layers bound the over-subscription
-// overshoot (each add risks less bandwidth) at the price of slower
-// convergence (adds happen one layer at a time).
-func RunGranularity(cfg ExtensionConfig) []ExtensionRow {
+// GranularitySpecs sweeps layer granularity on a single-receiver bottleneck
+// chain, one run per (scheme, seed): the paper's 6 doubling layers versus
+// finer geometric layerings covering a similar range. Finer layers bound
+// the over-subscription overshoot (each add risks less bandwidth) at the
+// price of slower convergence (adds happen one layer at a time).
+func GranularitySpecs(cfg ExtensionConfig) []Spec {
 	cfg.normalize()
 	schemes := []granularity{
 		{name: "6 layers x2.0 (paper)", rates: source.RatesGeometric(6, 32e3, 2), bottle: 500e3},
 		{name: "9 layers x1.5", rates: source.RatesGeometric(9, 32e3, 1.5), bottle: 500e3},
 		{name: "12 layers x1.35", rates: source.RatesGeometric(12, 24e3, 1.35), bottle: 500e3},
 	}
-	var rows []ExtensionRow
+	var specs []Spec
 	for _, g := range schemes {
-		var perSeed []ExtensionRow
 		for s := 0; s < cfg.Seeds; s++ {
 			seed := cfg.Seed + int64(s)
-			e := sim.NewEngine(seed)
-			b := topology.BuildA(e, topology.AConfig{
-				ReceiversPerSet: 2,
-				Set1Bandwidth:   g.bottle,
-				Set2Bandwidth:   g.bottle,
-				Layers:          len(g.rates),
-			})
-			w := NewWorld(e, b, WorldConfig{Seed: seed, Traffic: cfg.Traffic, Rates: g.rates})
-			optimal := source.LevelForBandwidth(g.rates, g.bottle)
-			w.Run(cfg.Duration)
-			traces, _ := w.AllTraces()
-			optima := make([]int, len(traces))
-			for i := range optima {
-				optima[i] = optimal
-			}
-			perSeed = append(perSeed, ExtensionRow{
-				Param:         g.name,
-				Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-				MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
-				TimeToOptimal: firstTimeAt(traces[0], optimal, cfg.Duration),
-			})
+			specs = append(specs, NewSpec("extensions",
+				fmt.Sprintf("extensions/granularity/%d-layers/seed=%d", len(g.rates), seed),
+				seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					e := sim.NewEngine(seed)
+					b := topology.BuildA(e, topology.AConfig{
+						ReceiversPerSet: 2,
+						Set1Bandwidth:   g.bottle,
+						Set2Bandwidth:   g.bottle,
+						Layers:          len(g.rates),
+					})
+					w := NewWorld(e, b, WorldConfig{Seed: seed, Traffic: cfg.Traffic, Rates: g.rates})
+					m.Observe(e, b.Net)
+					optimal := source.LevelForBandwidth(g.rates, g.bottle)
+					w.Run(cfg.Duration)
+					traces, _ := w.AllTraces()
+					optima := make([]int, len(traces))
+					for i := range optima {
+						optima[i] = optimal
+					}
+					return []ExtensionRow{{
+						Param:         g.name,
+						Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+						MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
+						TimeToOptimal: firstTimeAt(traces[0], optimal, cfg.Duration),
+					}}, nil
+				}))
 		}
-		rows = append(rows, average(perSeed))
 	}
-	return rows
+	return specs
 }
 
-// RunLeaveLatency sweeps the multicast group-leave latency on Topology B:
-// the longer pruning takes, the longer a dropped layer keeps congesting the
-// bottleneck after the decision, and the worse the post-drop transients.
-// LeaveLatency ~0 models the "expedited group-leaves" the paper proposes.
-// The sweep always runs VBR traffic: under CBR the system converges and
-// rarely drops layers, so there is nothing for the prune latency to act on.
-func RunLeaveLatency(cfg ExtensionConfig) []ExtensionRow {
+// RunGranularity runs the granularity sweep serially and averages seeds.
+func RunGranularity(cfg ExtensionConfig) []ExtensionRow {
+	return reduceExtension(mustGather[ExtensionRow](ExecuteAll(GranularitySpecs(cfg))))
+}
+
+// LeaveLatencySpecs sweeps the multicast group-leave latency on Topology B,
+// one run per (latency, seed): the longer pruning takes, the longer a
+// dropped layer keeps congesting the bottleneck after the decision, and the
+// worse the post-drop transients. LeaveLatency ~0 models the "expedited
+// group-leaves" the paper proposes. The sweep always runs VBR traffic:
+// under CBR the system converges and rarely drops layers, so there is
+// nothing for the prune latency to act on.
+func LeaveLatencySpecs(cfg ExtensionConfig) []Spec {
 	cfg.normalize()
 	traffic := cfg.Traffic
 	if traffic.PeakToMean <= 1 {
 		traffic = VBR3
 	}
-	var rows []ExtensionRow
+	var specs []Spec
 	for _, ll := range []sim.Time{1, 500 * sim.Millisecond, sim.Second, 2 * sim.Second, 4 * sim.Second} {
 		name := ll.String()
 		if ll == 1 {
 			name = "~0 (expedited)"
 		}
-		var perSeed []ExtensionRow
 		for s := 0; s < cfg.Seeds; s++ {
 			seed := cfg.Seed + int64(s)
-			w := worldBWithOverrides(seed, WorldConfig{Seed: seed, Traffic: traffic, LeaveLatency: ll})
-			w.Run(cfg.Duration)
-			traces, optima := w.AllTraces()
-			perSeed = append(perSeed, ExtensionRow{
-				Param:         name,
-				Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-				MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
-				TimeToOptimal: firstTimeAt(traces[0], optima[0], cfg.Duration),
-			})
+			specs = append(specs, NewSpec("extensions",
+				fmt.Sprintf("extensions/leave/%s/seed=%d", name, seed),
+				seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := worldBWithOverrides(seed, WorldConfig{Seed: seed, Traffic: traffic, LeaveLatency: ll}, m)
+					w.Run(cfg.Duration)
+					traces, optima := w.AllTraces()
+					return []ExtensionRow{{
+						Param:         name,
+						Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+						MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
+						TimeToOptimal: firstTimeAt(traces[0], optima[0], cfg.Duration),
+					}}, nil
+				}))
 		}
-		rows = append(rows, average(perSeed))
 	}
-	return rows
+	return specs
 }
 
-// RunIntervalSize sweeps the controller's decision interval: short
-// intervals react fast but see bursty noise and drain transients; long
-// intervals smooth the noise but react slowly — the trade-off of the
-// paper's final Section V bullet.
-func RunIntervalSize(cfg ExtensionConfig) []ExtensionRow {
+// RunLeaveLatency runs the leave-latency sweep serially and averages seeds.
+func RunLeaveLatency(cfg ExtensionConfig) []ExtensionRow {
+	return reduceExtension(mustGather[ExtensionRow](ExecuteAll(LeaveLatencySpecs(cfg))))
+}
+
+// IntervalSizeSpecs sweeps the controller's decision interval, one run per
+// (interval, seed): short intervals react fast but see bursty noise and
+// drain transients; long intervals smooth the noise but react slowly — the
+// trade-off of the paper's final Section V bullet.
+func IntervalSizeSpecs(cfg ExtensionConfig) []Spec {
 	cfg.normalize()
-	var rows []ExtensionRow
+	var specs []Spec
 	for _, iv := range []sim.Time{2 * sim.Second, 4 * sim.Second, 8 * sim.Second, 16 * sim.Second} {
-		var perSeed []ExtensionRow
 		for s := 0; s < cfg.Seeds; s++ {
 			seed := cfg.Seed + int64(s)
-			w := worldBWithOverrides(seed, WorldConfig{
-				Seed:    seed,
-				Traffic: cfg.Traffic,
-				Alg:     core.Config{Interval: iv},
-			})
-			w.Run(cfg.Duration)
-			traces, optima := w.AllTraces()
-			perSeed = append(perSeed, ExtensionRow{
-				Param:         iv.String(),
-				Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-				MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
-				TimeToOptimal: firstTimeAt(traces[0], optima[0], cfg.Duration),
-			})
+			specs = append(specs, NewSpec("extensions",
+				fmt.Sprintf("extensions/interval/%s/seed=%d", iv, seed),
+				seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := worldBWithOverrides(seed, WorldConfig{
+						Seed:    seed,
+						Traffic: cfg.Traffic,
+						Alg:     core.Config{Interval: iv},
+					}, m)
+					w.Run(cfg.Duration)
+					traces, optima := w.AllTraces()
+					return []ExtensionRow{{
+						Param:         iv.String(),
+						Deviation:     metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+						MaxChanges:    metrics.MaxChanges(traces, 0, cfg.Duration),
+						TimeToOptimal: firstTimeAt(traces[0], optima[0], cfg.Duration),
+					}}, nil
+				}))
 		}
-		rows = append(rows, average(perSeed))
 	}
-	return rows
+	return specs
 }
 
-func worldBWithOverrides(seed int64, wc WorldConfig) *World {
+// RunIntervalSize runs the interval sweep serially and averages seeds.
+func RunIntervalSize(cfg ExtensionConfig) []ExtensionRow {
+	return reduceExtension(mustGather[ExtensionRow](ExecuteAll(IntervalSizeSpecs(cfg))))
+}
+
+func worldBWithOverrides(seed int64, wc WorldConfig, m *Meter) *World {
 	e := sim.NewEngine(seed)
 	b := topology.BuildB(e, topology.BConfig{Sessions: 4})
+	m.Observe(e, b.Net)
 	return NewWorld(e, b, wc)
 }
 

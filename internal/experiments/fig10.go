@@ -32,12 +32,10 @@ type Fig10Config struct {
 }
 
 func (c *Fig10Config) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
-	if c.Traffic.Name == "" {
-		c.Traffic = VBR3
-	}
+	d := PaperDefaults()
+	d.Traffic = VBR3
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.PerSet == nil {
 		c.PerSet = []int{1, 2, 4}
 	}
@@ -48,39 +46,52 @@ func (c *Fig10Config) normalize() {
 	}
 }
 
-// RunFig10 reproduces Figure 10 ("Impact of stale information on Topology A
-// subscription with VBR traffic"): sweep the discovery tool's staleness and
-// measure the mean relative deviation from the optimal subscription.
-func RunFig10(cfg Fig10Config) []StaleRow {
+// Fig10Specs enumerates Figure 10 ("Impact of stale information on Topology
+// A subscription with VBR traffic") as independent runs, one per (set size,
+// staleness) point: sweep the discovery tool's staleness and measure the
+// mean relative deviation from the optimal subscription, plus the mean loss
+// rate and change count the deviation metric partially hides.
+func Fig10Specs(cfg Fig10Config) []Spec {
 	cfg.normalize()
-	var rows []StaleRow
+	var specs []Spec
 	for _, per := range cfg.PerSet {
 		for _, stale := range cfg.Staleness {
-			w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Staleness: stale})
-			sampler := trace.NewSampler(w.Engine, sim.Second)
-			for i, rx := range w.Receivers[0] {
-				rx := rx
-				sampler.Probe(fmt.Sprintf("loss%d", i), func() float64 { return rx.LastLoss })
-			}
-			sampler.Start()
-			w.Run(cfg.Duration)
-			sampler.Stop()
-			traces, optima := w.AllTraces()
-			meanLoss := 0.0
-			for i := range w.Receivers[0] {
-				meanLoss += sampler.Series(fmt.Sprintf("loss%d", i)).Mean()
-			}
-			meanLoss /= float64(len(w.Receivers[0]))
-			rows = append(rows, StaleRow{
-				Staleness:  stale,
-				Receivers:  2 * per,
-				Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-				MeanLoss:   meanLoss,
-				MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
-			})
+			specs = append(specs, NewSpec("10",
+				fmt.Sprintf("fig10/rx=%d/stale=%.0fs", 2*per, stale.Seconds()),
+				cfg.Seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Staleness: stale})
+					m.ObserveWorld(w)
+					sampler := trace.NewSampler(w.Engine, sim.Second)
+					for i, rx := range w.Receivers[0] {
+						rx := rx
+						sampler.Probe(fmt.Sprintf("loss%d", i), func() float64 { return rx.LastLoss })
+					}
+					sampler.Start()
+					w.Run(cfg.Duration)
+					sampler.Stop()
+					traces, optima := w.AllTraces()
+					meanLoss := 0.0
+					for i := range w.Receivers[0] {
+						meanLoss += sampler.Series(fmt.Sprintf("loss%d", i)).Mean()
+					}
+					meanLoss /= float64(len(w.Receivers[0]))
+					return []StaleRow{{
+						Staleness:  stale,
+						Receivers:  2 * per,
+						Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+						MeanLoss:   meanLoss,
+						MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+					}}, nil
+				}))
 		}
 	}
-	return rows
+	return specs
+}
+
+// RunFig10 reproduces Figure 10 by executing its specs serially.
+func RunFig10(cfg Fig10Config) []StaleRow {
+	return mustGather[StaleRow](ExecuteAll(Fig10Specs(cfg)))
 }
 
 // StaleTable renders Figure 10 rows.

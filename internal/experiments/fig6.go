@@ -27,40 +27,46 @@ type Fig6Config struct {
 }
 
 func (c *Fig6Config) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
+	d := PaperDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.TrafficSweep(c.Traffic)
 	if c.PerSet == nil {
 		c.PerSet = []int{1, 2, 4, 8}
 	}
-	if c.Traffic == nil {
-		c.Traffic = AllTraffic
-	}
 }
 
-// RunFig6 reproduces Figure 6 ("Stability in Topology A"): for each
-// receiver-set size and traffic model, run Topology A for the duration and
-// report the busiest receiver's change count and mean time between changes.
-func RunFig6(cfg Fig6Config) []StabilityRow {
+// Fig6Specs enumerates Figure 6 ("Stability in Topology A") as independent
+// runs, one per (receiver-set size, traffic model) point; each run yields
+// one StabilityRow for the busiest receiver.
+func Fig6Specs(cfg Fig6Config) []Spec {
 	cfg.normalize()
-	var rows []StabilityRow
-	for _, per := range c6order(cfg.PerSet) {
+	var specs []Spec
+	for _, per := range cfg.PerSet {
 		for _, tr := range cfg.Traffic {
-			w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: tr})
-			w.Run(cfg.Duration)
-			traces, _ := w.AllTraces()
-			rows = append(rows, StabilityRow{
-				X:           2 * per, // total receivers in the session
-				Traffic:     tr.Name,
-				MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
-				MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
-			})
+			specs = append(specs, NewSpec("6",
+				fmt.Sprintf("fig6/rx=%d/%s", 2*per, tr.Name),
+				cfg.Seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+					m.ObserveWorld(w)
+					w.Run(cfg.Duration)
+					traces, _ := w.AllTraces()
+					return []StabilityRow{{
+						X:           2 * per, // total receivers in the session
+						Traffic:     tr.Name,
+						MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
+						MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
+					}}, nil
+				}))
 		}
 	}
-	return rows
+	return specs
 }
 
-func c6order(xs []int) []int { return xs }
+// RunFig6 reproduces Figure 6 by executing its specs serially.
+func RunFig6(cfg Fig6Config) []StabilityRow {
+	return mustGather[StabilityRow](ExecuteAll(Fig6Specs(cfg)))
+}
 
 // StabilityTable renders stability rows as the two panels the paper plots.
 func StabilityTable(title, xLabel string, rows []StabilityRow) *Table {

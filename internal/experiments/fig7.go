@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"toposense/internal/metrics"
 	"toposense/internal/sim"
 )
@@ -14,35 +16,44 @@ type Fig7Config struct {
 }
 
 func (c *Fig7Config) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
+	d := PaperDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.TrafficSweep(c.Traffic)
 	if c.Sessions == nil {
 		c.Sessions = []int{2, 4, 8, 16}
 	}
-	if c.Traffic == nil {
-		c.Traffic = AllTraffic
-	}
 }
 
-// RunFig7 reproduces Figure 7 ("Stability in Topology B"): N sessions
-// share one link sized so each can take 4 layers; report the busiest
+// Fig7Specs enumerates Figure 7 ("Stability in Topology B") as independent
+// runs, one per (session count, traffic model) point: N sessions share one
+// link sized so each can take 4 layers; each run reports the busiest
 // session's subscription-change count and mean time between changes.
-func RunFig7(cfg Fig7Config) []StabilityRow {
+func Fig7Specs(cfg Fig7Config) []Spec {
 	cfg.normalize()
-	var rows []StabilityRow
+	var specs []Spec
 	for _, sessions := range cfg.Sessions {
 		for _, tr := range cfg.Traffic {
-			w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
-			w.Run(cfg.Duration)
-			traces, _ := w.AllTraces()
-			rows = append(rows, StabilityRow{
-				X:           sessions,
-				Traffic:     tr.Name,
-				MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
-				MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
-			})
+			specs = append(specs, NewSpec("7",
+				fmt.Sprintf("fig7/sessions=%d/%s", sessions, tr.Name),
+				cfg.Seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+					m.ObserveWorld(w)
+					w.Run(cfg.Duration)
+					traces, _ := w.AllTraces()
+					return []StabilityRow{{
+						X:           sessions,
+						Traffic:     tr.Name,
+						MaxChanges:  metrics.MaxChanges(traces, 0, cfg.Duration),
+						MeanBetween: metrics.MeanTimeBetweenChangesOfBusiest(traces, 0, cfg.Duration),
+					}}, nil
+				}))
 		}
 	}
-	return rows
+	return specs
+}
+
+// RunFig7 reproduces Figure 7 by executing its specs serially.
+func RunFig7(cfg Fig7Config) []StabilityRow {
+	return mustGather[StabilityRow](ExecuteAll(Fig7Specs(cfg)))
 }

@@ -31,42 +31,51 @@ type Fig8Config struct {
 }
 
 func (c *Fig8Config) normalize() {
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
-	}
+	d := PaperDefaults()
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.TrafficSweep(c.Traffic)
 	if c.Sessions == nil {
 		c.Sessions = []int{2, 4, 8, 16}
 	}
-	if c.Traffic == nil {
-		c.Traffic = AllTraffic
-	}
 }
 
-// RunFig8 reproduces Figure 8 ("Fairness in Topology B"): the mean relative
-// deviation from the optimal 4-layer subscription, per session count and
-// traffic model, over both halves of the run. Small values in both windows
-// mean TopoSense shares the link fairly regardless of when you look.
-func RunFig8(cfg Fig8Config) []FairnessRow {
+// Fig8Specs enumerates Figure 8 ("Fairness in Topology B") as independent
+// runs, one per (session count, traffic model) point: the mean relative
+// deviation from the optimal 4-layer subscription over both halves of the
+// run. Small values in both windows mean TopoSense shares the link fairly
+// regardless of when you look.
+func Fig8Specs(cfg Fig8Config) []Spec {
 	cfg.normalize()
 	half := cfg.Duration / 2
-	var rows []FairnessRow
+	var specs []Spec
 	for _, sessions := range cfg.Sessions {
 		for _, tr := range cfg.Traffic {
-			w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
-			w.Run(cfg.Duration)
-			traces, optima := w.AllTraces()
-			shared := w.Build.Bottlenecks[0]
-			capacityBits := shared.Bandwidth * cfg.Duration.Seconds()
-			rows = append(rows, FairnessRow{
-				Sessions:    sessions,
-				Traffic:     tr.Name,
-				DevFirst:    metrics.MeanRelativeDeviation(traces, optima, 0, half),
-				DevSecond:   metrics.MeanRelativeDeviation(traces, optima, half, cfg.Duration),
-				Utilization: float64(shared.Stats().TxBytes) * 8 / capacityBits,
-			})
+			specs = append(specs, NewSpec("8",
+				fmt.Sprintf("fig8/sessions=%d/%s", sessions, tr.Name),
+				cfg.Seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+					m.ObserveWorld(w)
+					w.Run(cfg.Duration)
+					traces, optima := w.AllTraces()
+					shared := w.Build.Bottlenecks[0]
+					capacityBits := shared.Bandwidth * cfg.Duration.Seconds()
+					return []FairnessRow{{
+						Sessions:    sessions,
+						Traffic:     tr.Name,
+						DevFirst:    metrics.MeanRelativeDeviation(traces, optima, 0, half),
+						DevSecond:   metrics.MeanRelativeDeviation(traces, optima, half, cfg.Duration),
+						Utilization: float64(shared.Stats().TxBytes) * 8 / capacityBits,
+					}}, nil
+				}))
 		}
 	}
-	return rows
+	return specs
+}
+
+// RunFig8 reproduces Figure 8 by executing its specs serially.
+func RunFig8(cfg Fig8Config) []FairnessRow {
+	return mustGather[FairnessRow](ExecuteAll(Fig8Specs(cfg)))
 }
 
 // FairnessTable renders Figure 8 rows.

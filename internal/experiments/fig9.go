@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -21,14 +22,12 @@ type Fig9Config struct {
 }
 
 func (c *Fig9Config) normalize() {
+	d := PaperDefaults()
+	d.Traffic = VBR3
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.Sessions == 0 {
 		c.Sessions = 4
-	}
-	if c.Traffic.Name == "" {
-		c.Traffic = VBR3
-	}
-	if c.Duration == 0 {
-		c.Duration = PaperDuration
 	}
 	if c.Sample == 0 {
 		c.Sample = 500 * sim.Millisecond
@@ -53,31 +52,46 @@ type Fig9Result struct {
 	}
 }
 
-// RunFig9 reproduces Figure 9 ("Layer Subscription and Loss History for 4
-// competing sessions with VBR traffic"): run Topology B and record each
-// session's subscription level and loss rate.
-func RunFig9(cfg Fig9Config) *Fig9Result {
+// Fig9Specs enumerates Figure 9 ("Layer Subscription and Loss History")
+// as a single run whose rows are the *Fig9Result sampled series.
+func Fig9Specs(cfg Fig9Config) []Spec {
 	cfg.normalize()
-	w := NewWorldB(cfg.Sessions, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
-	sampler := trace.NewSampler(w.Engine, cfg.Sample)
-	res := &Fig9Result{}
-	res.Window.From = cfg.WindowFrom
-	res.Window.To = cfg.WindowFrom + cfg.WindowLen
-	for s := range w.Receivers {
-		rx := w.Receivers[s][0]
-		lvl := fmt.Sprintf("session%d/level", s)
-		lss := fmt.Sprintf("session%d/loss", s)
-		sampler.Probe(lvl, func() float64 { return float64(rx.Level()) })
-		sampler.Probe(lss, func() float64 { return rx.LastLoss })
+	return []Spec{NewSpec("9",
+		fmt.Sprintf("fig9/sessions=%d/%s", cfg.Sessions, cfg.Traffic.Name),
+		cfg.Seed, cfg.Duration,
+		func(m *Meter) (any, error) {
+			w := NewWorldB(cfg.Sessions, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+			m.ObserveWorld(w)
+			sampler := trace.NewSampler(w.Engine, cfg.Sample)
+			res := &Fig9Result{}
+			res.Window.From = cfg.WindowFrom
+			res.Window.To = cfg.WindowFrom + cfg.WindowLen
+			for s := range w.Receivers {
+				rx := w.Receivers[s][0]
+				lvl := fmt.Sprintf("session%d/level", s)
+				lss := fmt.Sprintf("session%d/loss", s)
+				sampler.Probe(lvl, func() float64 { return float64(rx.Level()) })
+				sampler.Probe(lss, func() float64 { return rx.LastLoss })
+			}
+			sampler.Start()
+			w.Run(cfg.Duration)
+			sampler.Stop()
+			for s := 0; s < cfg.Sessions; s++ {
+				res.Levels = append(res.Levels, sampler.Series(fmt.Sprintf("session%d/level", s)))
+				res.Losses = append(res.Losses, sampler.Series(fmt.Sprintf("session%d/loss", s)))
+			}
+			return res, nil
+		})}
+}
+
+// RunFig9 reproduces Figure 9: run Topology B and record each session's
+// subscription level and loss rate.
+func RunFig9(cfg Fig9Config) *Fig9Result {
+	res := Fig9Specs(cfg)[0].Execute(0)
+	if res.Failed() {
+		panic("experiments: " + res.Err)
 	}
-	sampler.Start()
-	w.Run(cfg.Duration)
-	sampler.Stop()
-	for s := 0; s < cfg.Sessions; s++ {
-		res.Levels = append(res.Levels, sampler.Series(fmt.Sprintf("session%d/level", s)))
-		res.Losses = append(res.Losses, sampler.Series(fmt.Sprintf("session%d/loss", s)))
-	}
-	return res
+	return res.Rows.(*Fig9Result)
 }
 
 // WindowTable renders the paper's 10-second window sample by sample.
@@ -130,26 +144,57 @@ func (r *Fig9Result) PlotWindow(width, height int) string {
 		"loss rate:\n" + plot.Line(ls, width, height)
 }
 
+// Fig9Summary is the JSON-friendly reduction of one session's series —
+// what the Result export carries instead of the raw samples.
+type Fig9Summary struct {
+	Session    int     `json:"session"`
+	MeanLevel  float64 `json:"mean_level"`
+	MeanLoss   float64 `json:"mean_loss"`
+	OverSubPct float64 `json:"oversub_pct"` // % of samples at level >= 5
+}
+
+// SummaryRows reduces each session's series to its summary statistics.
+func (r *Fig9Result) SummaryRows() []Fig9Summary {
+	var rows []Fig9Summary
+	for s, lv := range r.Levels {
+		if lv == nil || lv.Len() == 0 {
+			continue
+		}
+		over := 0
+		for i := 0; i < lv.Len(); i++ {
+			_, v := lv.At(i)
+			if v >= 5 {
+				over++
+			}
+		}
+		rows = append(rows, Fig9Summary{
+			Session:    s,
+			MeanLevel:  lv.Mean(),
+			MeanLoss:   r.Losses[s].Mean(),
+			OverSubPct: 100 * float64(over) / float64(lv.Len()),
+		})
+	}
+	return rows
+}
+
+// MarshalJSON exports the window bounds and per-session summaries; the raw
+// sampled series stay out of the JSON (they are plot inputs, not results).
+func (r *Fig9Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		WindowFromS float64       `json:"window_from_s"`
+		WindowToS   float64       `json:"window_to_s"`
+		Sessions    []Fig9Summary `json:"sessions"`
+	}{r.Window.From.Seconds(), r.Window.To.Seconds(), r.SummaryRows()})
+}
+
 // Summary reports, per session, how much of the run was spent at each
 // level and whether over-subscription to layers 5/6 occurred (the paper's
 // observation about capacity re-estimation).
 func (r *Fig9Result) Summary() string {
 	var b strings.Builder
-	for s, lv := range r.Levels {
-		if lv == nil || lv.Len() == 0 {
-			continue
-		}
-		counts := map[int]int{}
-		over := 0
-		for i := 0; i < lv.Len(); i++ {
-			_, v := lv.At(i)
-			counts[int(v)]++
-			if v >= 5 {
-				over++
-			}
-		}
+	for _, s := range r.SummaryRows() {
 		fmt.Fprintf(&b, "session %d: mean level %.2f, loss mean %.3f, %.1f%% of samples over-subscribed (>=5)\n",
-			s, lv.Mean(), r.Losses[s].Mean(), 100*float64(over)/float64(lv.Len()))
+			s.Session, s.MeanLevel, s.MeanLoss, s.OverSubPct)
 	}
 	return b.String()
 }

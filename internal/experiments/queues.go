@@ -35,69 +35,77 @@ type QueueConfig struct {
 }
 
 func (c *QueueConfig) normalize() {
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
-	}
+	d := ShortDefaults()
+	d.Traffic = VBR3
+	c.Duration = d.Dur(c.Duration)
+	c.Traffic = d.Tr(c.Traffic)
 	if c.Sessions == 0 {
 		c.Sessions = 4
 	}
-	if c.Traffic.Name == "" {
-		c.Traffic = VBR3
-	}
 }
 
-// RunQueuePolicies compares drop-tail vs priority dropping, with and
-// without the TopoSense controller.
-func RunQueuePolicies(cfg QueueConfig) []QueueRow {
+// QueuePolicySpecs compares drop-tail vs priority dropping, with and
+// without the TopoSense controller — one run per configuration.
+func QueuePolicySpecs(cfg QueueConfig) []Spec {
 	cfg.normalize()
 	type variant struct {
-		name      string
+		key, name string
 		policy    netsim.DropPolicy
 		toposense bool
 	}
 	variants := []variant{
-		{"drop-tail + TopoSense (paper)", netsim.DropTail, true},
-		{"priority + TopoSense", netsim.DropPriority, true},
-		{"drop-tail + RLM", netsim.DropTail, false},
-		{"priority + RLM", netsim.DropPriority, false},
+		{"droptail+toposense", "drop-tail + TopoSense (paper)", netsim.DropTail, true},
+		{"priority+toposense", "priority + TopoSense", netsim.DropPriority, true},
+		{"droptail+rlm", "drop-tail + RLM", netsim.DropTail, false},
+		{"priority+rlm", "priority + RLM", netsim.DropPriority, false},
 	}
-	var rows []QueueRow
+	var specs []Spec
 	for _, v := range variants {
-		e := sim.NewEngine(cfg.Seed)
-		b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
-		for _, l := range b.Net.Links() {
-			l.Policy = v.policy
-		}
-		wc := WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic}
-		var traces []*metrics.Trace
-		var optima []int
-		lossSum, lossN := 0.0, 0
-		if v.toposense {
-			w := NewWorld(e, b, wc)
-			w.Engine.Every(sim.Second, func() {
-				for _, rxs := range w.Receivers {
-					lossSum += rxs[0].LastLoss
-					lossN++
+		specs = append(specs, NewSpec("queues",
+			"queues/"+v.key, cfg.Seed, cfg.Duration,
+			func(m *Meter) (any, error) {
+				e := sim.NewEngine(cfg.Seed)
+				b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+				m.Observe(e, b.Net)
+				for _, l := range b.Net.Links() {
+					l.Policy = v.policy
 				}
-			})
-			w.Run(cfg.Duration)
-			traces, optima = w.AllTraces()
-		} else {
-			w := NewRLMWorld(e, b, wc)
-			w.Run(cfg.Duration)
-			traces, optima = w.AllTraces()
-		}
-		row := QueueRow{
-			Config:     v.name,
-			Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
-			MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
-		}
-		if lossN > 0 {
-			row.MeanLoss = lossSum / float64(lossN)
-		}
-		rows = append(rows, row)
+				wc := WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic}
+				var traces []*metrics.Trace
+				var optima []int
+				lossSum, lossN := 0.0, 0
+				if v.toposense {
+					w := NewWorld(e, b, wc)
+					w.Engine.Every(sim.Second, func() {
+						for _, rxs := range w.Receivers {
+							lossSum += rxs[0].LastLoss
+							lossN++
+						}
+					})
+					w.Run(cfg.Duration)
+					traces, optima = w.AllTraces()
+				} else {
+					w := NewRLMWorld(e, b, wc)
+					w.Run(cfg.Duration)
+					traces, optima = w.AllTraces()
+				}
+				row := QueueRow{
+					Config:     v.name,
+					Deviation:  metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+					MaxChanges: metrics.MaxChanges(traces, 0, cfg.Duration),
+				}
+				if lossN > 0 {
+					row.MeanLoss = lossSum / float64(lossN)
+				}
+				return []QueueRow{row}, nil
+			}))
 	}
-	return rows
+	return specs
+}
+
+// RunQueuePolicies runs the comparison by executing its specs serially.
+func RunQueuePolicies(cfg QueueConfig) []QueueRow {
+	return mustGather[QueueRow](ExecuteAll(QueuePolicySpecs(cfg)))
 }
 
 // QueueTable renders the comparison.

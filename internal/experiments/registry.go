@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"toposense/internal/sim"
+)
+
+// SweepConfig is what a caller (cmd/topobench) knows when it asks the
+// registry for work: the seed and whether to scale the sweep down.
+type SweepConfig struct {
+	Seed  int64
+	Quick bool
+}
+
+// Experiment is one registry entry: a named sweep that can enumerate its
+// Specs for a SweepConfig and render its executed Results back into the
+// report text the tool prints.
+type Experiment struct {
+	// Name is the -fig key, e.g. "6" or "baseline".
+	Name string
+	// Title is a one-line description for help output.
+	Title string
+	// Specs enumerates the sweep, applying Quick scaling.
+	Specs func(cfg SweepConfig) []Spec
+	// Render turns the sweep's Results (in Specs order) into report text.
+	Render func(results []Result) (string, error)
+}
+
+// quickDur returns the quick-sweep duration or 0 (= figure default).
+func quickDur(cfg SweepConfig) sim.Time {
+	if cfg.Quick {
+		return QuickDuration
+	}
+	return 0
+}
+
+// table renders results as a single table via a typed gather.
+func table[T any](results []Result, render func([]T) *Table) (string, error) {
+	rows, err := GatherRows[T](results)
+	if err != nil {
+		return "", err
+	}
+	return render(rows).String() + "\n", nil
+}
+
+// Registry returns every experiment in report order. The slice is freshly
+// built per call, so callers may not mutate shared state through it.
+func Registry() []Experiment {
+	return []Experiment{
+		{
+			Name:  "6",
+			Title: "Figure 6: stability in Topology A",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := Fig6Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.PerSet = []int{1, 2}
+				}
+				return Fig6Specs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, func(rows []StabilityRow) *Table {
+					return StabilityTable(
+						"Figure 6: stability in Topology A (busiest receiver over the full run)",
+						"receivers", rows)
+				})
+			},
+		},
+		{
+			Name:  "7",
+			Title: "Figure 7: stability in Topology B",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := Fig7Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.Sessions = []int{2, 4}
+				}
+				return Fig7Specs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, func(rows []StabilityRow) *Table {
+					return StabilityTable(
+						"Figure 7: stability in Topology B (busiest session over the full run)",
+						"sessions", rows)
+				})
+			},
+		},
+		{
+			Name:  "8",
+			Title: "Figure 8: inter-session fairness in Topology B",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := Fig8Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.Sessions = []int{2, 4}
+				}
+				return Fig8Specs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, FairnessTable)
+			},
+		},
+		{
+			Name:  "9",
+			Title: "Figure 9: layer subscription and loss history",
+			Specs: func(cfg SweepConfig) []Spec {
+				return Fig9Specs(Fig9Config{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				if len(results) != 1 {
+					return "", fmt.Errorf("figure 9: want 1 result, got %d", len(results))
+				}
+				if results[0].Failed() {
+					return "", fmt.Errorf("run %s failed: %s", results[0].Name, results[0].Err)
+				}
+				res, ok := results[0].Rows.(*Fig9Result)
+				if !ok {
+					return "", fmt.Errorf("run %s: rows are %T, want *Fig9Result", results[0].Name, results[0].Rows)
+				}
+				var b strings.Builder
+				b.WriteString("Figure 9 (full run, subscription levels):\n")
+				b.WriteString(res.Plot(100, 9))
+				b.WriteString("\n")
+				b.WriteString(res.WindowTable().String())
+				b.WriteString("\n")
+				b.WriteString(res.Summary())
+				b.WriteString("\n")
+				return b.String(), nil
+			},
+		},
+		{
+			Name:  "10",
+			Title: "Figure 10: impact of stale information",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := Fig10Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.PerSet = []int{1, 2}
+					c.Staleness = []sim.Time{0, 4 * sim.Second, 8 * sim.Second}
+				}
+				return Fig10Specs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, StaleTable)
+			},
+		},
+		{
+			Name:  "baseline",
+			Title: "TopoSense vs receiver-driven (RLM-style) baseline",
+			Specs: func(cfg SweepConfig) []Spec {
+				return BaselineSpecs(BaselineConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, BaselineTable)
+			},
+		},
+		{
+			Name:  "ablation",
+			Title: "Each mechanism disabled in isolation",
+			Specs: func(cfg SweepConfig) []Spec {
+				return AblationSpecs(AblationConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, AblationTable)
+			},
+		},
+		{
+			Name:  "convergence",
+			Title: "Heterogeneous convergence and intra-session fairness",
+			Specs: func(cfg SweepConfig) []Spec {
+				var specs []Spec
+				for _, tr := range convergenceTraffics {
+					specs = append(specs, ConvergenceSpecs(ConvergenceConfig{
+						Seed: cfg.Seed, Duration: quickDur(cfg), Traffic: tr,
+					})...)
+				}
+				return specs
+			},
+			Render: func(results []Result) (string, error) {
+				var b strings.Builder
+				for _, tr := range convergenceTraffics {
+					var section []Result
+					for _, r := range results {
+						if r.Name == "convergence/"+tr.Name {
+							section = append(section, r)
+						}
+					}
+					rows, err := GatherRows[ConvergenceRow](section)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(tr.Name + ":\n")
+					b.WriteString(ConvergenceTable(rows).String())
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+		{
+			Name:  "churn",
+			Title: "Receiver churn on Topology A's fast set",
+			Specs: func(cfg SweepConfig) []Spec {
+				return ChurnSpecs(ChurnConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, ChurnTable)
+			},
+		},
+		{
+			Name:  "domains",
+			Title: "Per-domain controller agents vs one global agent",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := DomainsConfig{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.Seeds = 1
+				}
+				return DomainsSpecs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				rows, err := GatherRows[DomainRow](results)
+				if err != nil {
+					return "", err
+				}
+				return DomainsTable(ReduceDomains(rows)).String() + "\n", nil
+			},
+		},
+		{
+			Name:  "queues",
+			Title: "Drop-tail vs router-based priority dropping",
+			Specs: func(cfg SweepConfig) []Spec {
+				return QueuePolicySpecs(QueueConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, QueueTable)
+			},
+		},
+		{
+			Name:  "lastmile",
+			Title: "The same bottleneck at each tier of a tiered tree",
+			Specs: func(cfg SweepConfig) []Spec {
+				return LastMileSpecs(LastMileConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, LastMileTable)
+			},
+		},
+		{
+			Name:  "variance",
+			Title: "Across-seed variance of the Figure 8 headline",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := VarianceConfig{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.Seeds = 3
+				}
+				return VarianceSpecs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				rows, err := GatherRows[VarianceSample](results)
+				if err != nil {
+					return "", err
+				}
+				return VarianceTable(ReduceVariance(rows)).String() + "\n", nil
+			},
+		},
+		{
+			Name:  "extensions",
+			Title: "Section V sweeps: granularity, leave latency, interval",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := ExtensionConfig{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					c.Seeds = 1
+				}
+				var specs []Spec
+				specs = append(specs, GranularitySpecs(c)...)
+				specs = append(specs, LeaveLatencySpecs(c)...)
+				specs = append(specs, IntervalSizeSpecs(c)...)
+				return specs
+			},
+			Render: func(results []Result) (string, error) {
+				sections := []struct{ prefix, title, param string }{
+					{"extensions/granularity/", "Extension: layer granularity (Section V)", "scheme"},
+					{"extensions/leave/", "Extension: group-leave latency (Section V, VBR)", "leave latency"},
+					{"extensions/interval/", "Extension: decision interval (Section V)", "interval"},
+				}
+				var b strings.Builder
+				for _, sec := range sections {
+					var section []Result
+					for _, r := range results {
+						if strings.HasPrefix(r.Name, sec.prefix) {
+							section = append(section, r)
+						}
+					}
+					perSeed, err := GatherRows[ExtensionRow](section)
+					if err != nil {
+						return "", err
+					}
+					b.WriteString(ExtensionTable(sec.title, sec.param, reduceExtension(perSeed)).String())
+					b.WriteString("\n")
+				}
+				return b.String(), nil
+			},
+		},
+	}
+}
+
+// convergenceTraffics are the traffic models the convergence report
+// sections cover, in print order.
+var convergenceTraffics = []Traffic{CBR, VBR3}
+
+// Lookup finds a registry entry by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, ex := range Registry() {
+		if ex.Name == name {
+			return ex, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists the registry's experiment names in report order.
+func Names() []string {
+	var names []string
+	for _, ex := range Registry() {
+		names = append(names, ex.Name)
+	}
+	return names
+}

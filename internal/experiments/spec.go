@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// Spec is one independent, schedulable simulation run — the unit of work
+// the experiments layer hands to a runner. Every figure enumerates its
+// sweep as a []Spec; each Spec owns a fresh engine, network and RNG, so
+// runs are share-nothing and can execute concurrently (internal/runner)
+// or serially (ExecuteAll) with byte-identical results.
+type Spec struct {
+	// Name uniquely identifies the run within a sweep, e.g.
+	// "fig6/rx=4/VBR(P=3)".
+	Name string
+	// Figure is the sweep family the run belongs to — the registry key,
+	// e.g. "6" or "baseline".
+	Figure string
+	// Seed is the simulation seed the run's world is built from.
+	Seed int64
+	// Duration is the simulated run length.
+	Duration sim.Time
+	// Body builds the world, runs it, and returns the run's typed rows
+	// (conventionally a slice such as []StabilityRow). It must register
+	// its engine and network with the Meter so the runner can report run
+	// metadata and enforce wall-clock timeouts.
+	Body func(m *Meter) (any, error)
+}
+
+// NewSpec constructs a Spec, applying the shared Defaults: a zero duration
+// becomes the paper's 1200 s.
+func NewSpec(figure, name string, seed int64, duration sim.Time, body func(*Meter) (any, error)) Spec {
+	return Spec{
+		Figure:   figure,
+		Name:     name,
+		Seed:     seed,
+		Duration: PaperDefaults().Dur(duration),
+		Body:     body,
+	}
+}
+
+// Meter is handed to every Spec body. The body registers the engine(s) and
+// network(s) it builds; after the run the executor reads events fired and
+// packets forwarded from them, and — when a timeout is set — a watchdog
+// checks the wall clock as simulated time advances and stops the engine
+// cooperatively, keeping everything on the simulation goroutine.
+type Meter struct {
+	start    time.Time
+	deadline time.Duration // 0 = no timeout
+	timedOut bool
+	engines  []*sim.Engine
+	nets     []*netsim.Network
+}
+
+// Observe registers an engine and/or network with the meter. Either
+// argument may be nil; bodies that run several worlds call it once per
+// world.
+func (m *Meter) Observe(e *sim.Engine, n *netsim.Network) {
+	if e != nil {
+		m.engines = append(m.engines, e)
+		if m.deadline > 0 {
+			e.Every(sim.Second, func() {
+				if !m.timedOut && time.Since(m.start) > m.deadline {
+					m.timedOut = true
+					e.Stop()
+				}
+			})
+		}
+	}
+	if n != nil {
+		m.nets = append(m.nets, n)
+	}
+}
+
+// ObserveWorld registers a World's engine and network.
+func (m *Meter) ObserveWorld(w *World) { m.Observe(w.Engine, w.Net) }
+
+// TimedOut reports whether the watchdog stopped an observed engine.
+func (m *Meter) TimedOut() bool { return m.timedOut }
+
+// Result is the outcome of executing one Spec: the run's typed rows plus
+// machine-readable run metadata. Results marshal to the BENCH_*.json
+// schema documented in EXPERIMENTS.md.
+type Result struct {
+	Name   string `json:"name"`
+	Figure string `json:"figure"`
+	Seed   int64  `json:"seed"`
+	// SimSeconds is the simulated duration of the run.
+	SimSeconds float64 `json:"sim_seconds"`
+	// Rows holds the typed rows the body returned; nil when the run
+	// failed.
+	Rows any `json:"rows,omitempty"`
+	// Err is non-empty when the body returned an error, panicked, or hit
+	// the wall-clock timeout.
+	Err string `json:"error,omitempty"`
+	// WallSeconds is the host wall-clock time the run took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Events is the number of simulator events executed across the run's
+	// observed engines.
+	Events uint64 `json:"events"`
+	// Packets is the number of packets forwarded across all links of the
+	// run's observed networks.
+	Packets int64 `json:"packets_forwarded"`
+	// EventsPerSecond is Events / WallSeconds — the run's event
+	// throughput, the regression-tracking number.
+	EventsPerSecond float64 `json:"events_per_second"`
+}
+
+// Failed reports whether the run produced an error instead of rows.
+func (r Result) Failed() bool { return r.Err != "" }
+
+// Execute runs the Spec body with panic recovery and an optional
+// wall-clock timeout, then fills in run metadata. A panicking body yields
+// a failed Result, never a crashed process. The timeout is cooperative: a
+// watchdog on each observed engine checks the wall clock once per
+// simulated second, so a body that stops advancing simulated time is not
+// interrupted.
+func (s Spec) Execute(timeout time.Duration) Result {
+	res := Result{
+		Name:       s.Name,
+		Figure:     s.Figure,
+		Seed:       s.Seed,
+		SimSeconds: s.Duration.Seconds(),
+	}
+	m := &Meter{start: time.Now(), deadline: timeout}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				res.Err = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		rows, err := s.Body(m)
+		switch {
+		case m.timedOut:
+			res.Err = fmt.Sprintf("timeout after %v", timeout)
+		case err != nil:
+			res.Err = err.Error()
+		default:
+			res.Rows = rows
+		}
+	}()
+	res.WallSeconds = time.Since(m.start).Seconds()
+	for _, e := range m.engines {
+		res.Events += e.Fired()
+	}
+	for _, n := range m.nets {
+		for _, l := range n.Links() {
+			res.Packets += l.Stats().Delivered
+		}
+	}
+	if res.WallSeconds > 0 {
+		res.EventsPerSecond = float64(res.Events) / res.WallSeconds
+	}
+	return res
+}
+
+// ExecuteAll runs specs serially in order with no timeout. The concurrent
+// equivalent is internal/runner.Run; the two produce identical Rows for
+// the same specs (the runner's determinism test proves it).
+func ExecuteAll(specs []Spec) []Result {
+	out := make([]Result, len(specs))
+	for i, s := range specs {
+		out[i] = s.Execute(0)
+	}
+	return out
+}
+
+// GatherRows concatenates the typed rows of results, in order. It fails on
+// the first failed result or row-type mismatch.
+func GatherRows[T any](results []Result) ([]T, error) {
+	var out []T
+	for _, r := range results {
+		if r.Failed() {
+			return nil, fmt.Errorf("run %s failed: %s", r.Name, r.Err)
+		}
+		rows, ok := r.Rows.([]T)
+		if !ok {
+			return nil, fmt.Errorf("run %s: rows are %T, want []%T", r.Name, r.Rows, *new(T))
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// mustGather backs the legacy RunFigN entry points, which predate error
+// returns: their specs' bodies only fail by panicking, and ExecuteAll has
+// already converted any panic into a failed Result, so re-raising keeps
+// the old contract.
+func mustGather[T any](results []Result) []T {
+	rows, err := GatherRows[T](results)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return rows
+}

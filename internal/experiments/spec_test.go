@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	d := PaperDefaults()
+	if got := d.Dur(0); got != PaperDuration {
+		t.Errorf("Dur(0) = %v, want %v", got, PaperDuration)
+	}
+	if got := d.Dur(7 * sim.Second); got != 7*sim.Second {
+		t.Errorf("Dur(7s) = %v", got)
+	}
+	if got := d.Tr(Traffic{}); got.Name != CBR.Name {
+		t.Errorf("Tr(zero) = %q, want CBR", got.Name)
+	}
+	if got := d.Tr(VBR6); got.Name != VBR6.Name {
+		t.Errorf("Tr(VBR6) = %q", got.Name)
+	}
+	if got := d.TrafficSweep(nil); len(got) != len(AllTraffic) {
+		t.Errorf("TrafficSweep(nil) has %d entries", len(got))
+	}
+	if got := d.SeedCount(0); got != 3 {
+		t.Errorf("SeedCount(0) = %d, want 3", got)
+	}
+	if got := d.SeedCount(9); got != 9 {
+		t.Errorf("SeedCount(9) = %d", got)
+	}
+	if got := ShortDefaults().Duration; got != 600*sim.Second {
+		t.Errorf("ShortDefaults duration = %v", got)
+	}
+}
+
+func TestNewSpecAppliesDefaultDuration(t *testing.T) {
+	s := NewSpec("test", "t", 1, 0, func(m *Meter) (any, error) { return nil, nil })
+	if s.Duration != PaperDuration {
+		t.Errorf("zero duration not defaulted: %v", s.Duration)
+	}
+}
+
+func TestExecuteFillsMetadata(t *testing.T) {
+	spec := Fig6Specs(Fig6Config{
+		Seed: 1, Duration: 30 * sim.Second,
+		PerSet: []int{1}, Traffic: []Traffic{CBR},
+	})[0]
+	res := spec.Execute(0)
+	if res.Failed() {
+		t.Fatalf("run failed: %s", res.Err)
+	}
+	if res.Events == 0 {
+		t.Error("Events = 0; meter saw no engine")
+	}
+	if res.Packets == 0 {
+		t.Error("Packets = 0; meter saw no network")
+	}
+	if res.WallSeconds <= 0 || res.EventsPerSecond <= 0 {
+		t.Errorf("wall metadata missing: %+v", res)
+	}
+	if res.SimSeconds != 30 {
+		t.Errorf("SimSeconds = %v, want 30", res.SimSeconds)
+	}
+	if rows, ok := res.Rows.([]StabilityRow); !ok || len(rows) != 1 {
+		t.Errorf("rows: %#v", res.Rows)
+	}
+}
+
+func TestGatherRowsErrors(t *testing.T) {
+	failed := []Result{{Name: "x", Err: "boom"}}
+	if _, err := GatherRows[StabilityRow](failed); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("failed result not surfaced: %v", err)
+	}
+	mismatch := []Result{{Name: "y", Rows: []int{1}}}
+	if _, err := GatherRows[StabilityRow](mismatch); err == nil || !strings.Contains(err.Error(), "want") {
+		t.Errorf("type mismatch not surfaced: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate registry name %q", n)
+		}
+		seen[n] = true
+		ex, ok := Lookup(n)
+		if !ok || ex.Name != n {
+			t.Errorf("Lookup(%q) = %+v, %v", n, ex, ok)
+		}
+		if ex.Specs == nil || ex.Render == nil {
+			t.Errorf("entry %q incomplete", n)
+		}
+	}
+	for _, want := range []string{"6", "9", "baseline", "extensions", "variance"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	ex, ok := Lookup("6")
+	if !ok {
+		t.Fatal("no figure 6")
+	}
+	specs := Fig6Specs(Fig6Config{
+		Seed: 1, Duration: 30 * sim.Second,
+		PerSet: []int{1}, Traffic: []Traffic{CBR},
+	})
+	out, err := ex.Render(ExecuteAll(specs))
+	if err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "receivers") {
+		t.Errorf("render output unexpected:\n%s", out)
+	}
+	// A failed result must turn into a render error, not a bogus table.
+	if _, err := ex.Render([]Result{{Name: "x", Err: "boom"}}); err == nil {
+		t.Error("render swallowed a failed result")
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	specs := Fig6Specs(Fig6Config{
+		Seed: 1, Duration: 30 * sim.Second,
+		PerSet: []int{1}, Traffic: []Traffic{CBR},
+	})
+	ex := Export{
+		Tool:        "topobench",
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		GoMaxProcs:  1,
+		Parallelism: 1,
+		Seed:        1,
+		WallSeconds: 0.5,
+		Results:     ExecuteAll(specs),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ex); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	results, ok := back["results"].([]any)
+	if !ok || len(results) != 1 {
+		t.Fatalf("results: %#v", back["results"])
+	}
+	r0 := results[0].(map[string]any)
+	for _, key := range []string{"name", "figure", "seed", "wall_seconds", "events", "events_per_second", "packets_forwarded", "rows"} {
+		if _, ok := r0[key]; !ok {
+			t.Errorf("result JSON missing %q: %v", key, r0)
+		}
+	}
+	if r0["name"] != "fig6/rx=2/CBR" {
+		t.Errorf("name = %v", r0["name"])
+	}
+}
+
+func TestFig9ResultMarshalJSON(t *testing.T) {
+	res := RunFig9(Fig9Config{Seed: 1, Duration: 60 * sim.Second, Sessions: 2})
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back struct {
+		WindowFromS float64       `json:"window_from_s"`
+		Sessions    []Fig9Summary `json:"sessions"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Sessions) != 2 {
+		t.Errorf("sessions in JSON: %d, want 2", len(back.Sessions))
+	}
+	for _, s := range back.Sessions {
+		if s.MeanLevel <= 0 {
+			t.Errorf("session %d mean level %v", s.Session, s.MeanLevel)
+		}
+	}
+}

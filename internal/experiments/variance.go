@@ -31,33 +31,72 @@ type VarianceConfig struct {
 }
 
 func (c *VarianceConfig) normalize() {
-	if c.Seeds <= 0 {
-		c.Seeds = 5
-	}
-	if c.Duration == 0 {
-		c.Duration = 600 * sim.Second
-	}
+	d := ShortDefaults()
+	d.Seeds = 5
+	c.Seeds = d.SeedCount(c.Seeds)
+	c.Duration = d.Dur(c.Duration)
 	if c.Sessions == 0 {
 		c.Sessions = 4
 	}
 }
 
+// VarianceSample is one run's headline deviation — what VarianceSpecs rows
+// carry before ReduceVariance folds them into per-traffic summaries.
+type VarianceSample struct {
+	Traffic   string  `json:"traffic"`
+	Seed      int64   `json:"seed"`
+	Deviation float64 `json:"deviation"`
+}
+
+// VarianceSpecs enumerates one run per (traffic model, seed), each
+// producing a single VarianceSample.
+func VarianceSpecs(cfg VarianceConfig) []Spec {
+	cfg.normalize()
+	var specs []Spec
+	for _, tr := range AllTraffic {
+		for s := 0; s < cfg.Seeds; s++ {
+			seed := cfg.Seed + int64(s)
+			specs = append(specs, NewSpec("variance",
+				fmt.Sprintf("variance/%s/seed=%d", tr.Name, seed),
+				seed, cfg.Duration,
+				func(m *Meter) (any, error) {
+					w := NewWorldB(cfg.Sessions, WorldConfig{Seed: seed, Traffic: tr})
+					m.ObserveWorld(w)
+					w.Run(cfg.Duration)
+					traces, optima := w.AllTraces()
+					return []VarianceSample{{
+						Traffic:   tr.Name,
+						Seed:      seed,
+						Deviation: metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration),
+					}}, nil
+				}))
+		}
+	}
+	return specs
+}
+
+// ReduceVariance folds per-seed samples into one VarianceRow per traffic
+// model, preserving first-seen traffic order.
+func ReduceVariance(samples []VarianceSample) []VarianceRow {
+	var order []string
+	byTraffic := map[string][]float64{}
+	for _, s := range samples {
+		if _, seen := byTraffic[s.Traffic]; !seen {
+			order = append(order, s.Traffic)
+		}
+		byTraffic[s.Traffic] = append(byTraffic[s.Traffic], s.Deviation)
+	}
+	var rows []VarianceRow
+	for _, name := range order {
+		rows = append(rows, summarize(name, byTraffic[name]))
+	}
+	return rows
+}
+
 // RunVariance measures the across-seed spread of the mean relative
 // deviation on Topology B for each traffic model.
 func RunVariance(cfg VarianceConfig) []VarianceRow {
-	cfg.normalize()
-	var rows []VarianceRow
-	for _, tr := range AllTraffic {
-		devs := make([]float64, 0, cfg.Seeds)
-		for s := 0; s < cfg.Seeds; s++ {
-			w := NewWorldB(cfg.Sessions, WorldConfig{Seed: cfg.Seed + int64(s), Traffic: tr})
-			w.Run(cfg.Duration)
-			traces, optima := w.AllTraces()
-			devs = append(devs, metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration))
-		}
-		rows = append(rows, summarize(tr.Name, devs))
-	}
-	return rows
+	return ReduceVariance(mustGather[VarianceSample](ExecuteAll(VarianceSpecs(cfg))))
 }
 
 func summarize(name string, xs []float64) VarianceRow {

@@ -1,0 +1,86 @@
+// Package runner executes experiment Specs on a bounded worker pool.
+//
+// Each Spec owns a fresh engine, network and RNG (the experiments layer's
+// share-nothing contract), so runs fan out across goroutines freely; the
+// runner's only job is scheduling, containment and order. Results come back
+// indexed by input position, so output is deterministic regardless of
+// completion order — `-parallel 8` and `-parallel 1` render byte-identical
+// reports (internal/runner's determinism test proves it).
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"toposense/internal/experiments"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Parallelism is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	// It is clamped to the number of specs.
+	Parallelism int
+	// Timeout is the per-run wall-clock budget; 0 = none. A run that
+	// exceeds it yields a failed Result (Err "timeout after ..."), not a
+	// hung pool. Enforcement is cooperative — see experiments.Meter.
+	Timeout time.Duration
+	// OnProgress, when set, is called after every completed run with the
+	// completion count so far, the total, and that run's Result. Calls are
+	// serialized; done goes 1..total monotonically.
+	OnProgress func(done, total int, r experiments.Result)
+}
+
+// Workers resolves the pool size Run will use for the given Parallelism
+// setting and spec count: <= 0 means runtime.GOMAXPROCS(0), clamped to the
+// spec count, minimum 1. Exported so callers can record the size actually
+// used (e.g. in a JSON export) rather than the raw flag value.
+func Workers(parallelism, nspecs int) int {
+	n := parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nspecs {
+		n = nspecs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run executes every spec and returns Results in spec order. Worker
+// goroutines pull spec indices from a shared channel; a panicking body is
+// contained by Spec.Execute and becomes a failed Result, so one crashed run
+// never takes down the process or the rest of the sweep.
+func Run(specs []experiments.Spec, opts Options) []experiments.Result {
+	n := Workers(opts.Parallelism, len(specs))
+
+	results := make([]experiments.Result, len(specs))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r := specs[i].Execute(opts.Timeout)
+				results[i] = r
+				mu.Lock()
+				done++
+				if opts.OnProgress != nil {
+					opts.OnProgress(done, len(specs), r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range specs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return results
+}

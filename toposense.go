@@ -18,10 +18,14 @@
 //	sc.Connect(src, rtr, 100e6)           // 100 Mbps
 //	sc.Connect(rtr, rx, 500e3)            // 500 Kbps bottleneck
 //	sc.Source(src)                        // 6-layer session 0
-//	sc.Controller(src)                    // TopoSense agent at the source
-//	r := sc.Receiver(rx)                  // managed receiver
-//	sc.Run(120 * toposense.Second)
+//	sc.MustController(src)                // TopoSense agent at the source
+//	r := sc.MustReceiver(rx)              // managed receiver
+//	sc.MustRun(120 * toposense.Second)
 //	fmt.Println(r.Level())                // 4 — what 500 Kbps carries
+//
+// The Must* builders panic on misassembly; Controller, Receiver,
+// ReceiverWith and Run return errors for callers that prefer to handle
+// them.
 //
 // For full control use the re-exported subsystem types directly; the
 // examples/ directory shows both styles, and cmd/topobench regenerates the
@@ -151,10 +155,11 @@ func (s *Scenario) SourceWith(at *netsim.Node, cfg source.Config) *source.Source
 }
 
 // Controller places the TopoSense controller agent at the node, managing
-// every session added so far. Call after the sources.
-func (s *Scenario) Controller(at *netsim.Node) *controller.Controller {
+// every session added so far. Call after the sources. It fails when the
+// scenario already has a controller.
+func (s *Scenario) Controller(at *netsim.Node) (*controller.Controller, error) {
 	if s.controller != nil {
-		panic("toposense: scenario already has a controller")
+		return nil, fmt.Errorf("toposense: scenario already has a controller")
 	}
 	sessions := make([]int, len(s.sources))
 	layers := source.DefaultLayers
@@ -165,20 +170,39 @@ func (s *Scenario) Controller(at *netsim.Node) *controller.Controller {
 	tool := topodisc.NewTool(s.network, s.domain, sessions)
 	alg := core.New(core.NewConfig(source.Rates(layers)), rand.New(rand.NewSource(s.seed+1)))
 	s.controller = controller.New(s.network, s.domain, at, tool, alg)
-	return s.controller
+	return s.controller, nil
+}
+
+// MustController is Controller, panicking on error — for one-liner setups.
+func (s *Scenario) MustController(at *netsim.Node) *controller.Controller {
+	c, err := s.Controller(at)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Receiver attaches a managed receiver for session 0 at the node, reporting
 // to the scenario's controller. Use ReceiverWith for other sessions.
-func (s *Scenario) Receiver(at *netsim.Node) *receiver.Receiver {
+func (s *Scenario) Receiver(at *netsim.Node) (*receiver.Receiver, error) {
 	return s.ReceiverWith(at, receiver.Config{Session: 0})
 }
 
+// MustReceiver is Receiver, panicking on error — for one-liner setups.
+func (s *Scenario) MustReceiver(at *netsim.Node) *receiver.Receiver {
+	rx, err := s.Receiver(at)
+	if err != nil {
+		panic(err)
+	}
+	return rx
+}
+
 // ReceiverWith attaches a receiver with an explicit config; the Controller
-// and MaxLayers fields are filled from the scenario when zero.
-func (s *Scenario) ReceiverWith(at *netsim.Node, cfg receiver.Config) *receiver.Receiver {
+// and MaxLayers fields are filled from the scenario when zero. It fails
+// when no controller has been added yet.
+func (s *Scenario) ReceiverWith(at *netsim.Node, cfg receiver.Config) (*receiver.Receiver, error) {
 	if s.controller == nil {
-		panic("toposense: add the Controller before receivers")
+		return nil, fmt.Errorf("toposense: add the Controller before receivers")
 	}
 	if cfg.MaxLayers == 0 {
 		cfg.MaxLayers = source.DefaultLayers
@@ -191,16 +215,26 @@ func (s *Scenario) ReceiverWith(at *netsim.Node, cfg receiver.Config) *receiver.
 	}
 	rx := receiver.New(s.network, s.domain, at, cfg)
 	s.receivers = append(s.receivers, rx)
+	return rx, nil
+}
+
+// MustReceiverWith is ReceiverWith, panicking on error.
+func (s *Scenario) MustReceiverWith(at *netsim.Node, cfg receiver.Config) *receiver.Receiver {
+	rx, err := s.ReceiverWith(at, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return rx
 }
 
 // Run starts every component (once) and advances simulated time to `until`.
-func (s *Scenario) Run(until sim.Time) {
+// It fails when the scenario was never given a controller.
+func (s *Scenario) Run(until sim.Time) error {
 	if !s.started {
-		s.started = true
 		if s.controller == nil {
-			panic("toposense: scenario has no controller")
+			return fmt.Errorf("toposense: scenario has no controller")
 		}
+		s.started = true
 		for _, src := range s.sources {
 			src.Start()
 		}
@@ -210,6 +244,14 @@ func (s *Scenario) Run(until sim.Time) {
 		}
 	}
 	s.engine.RunUntil(until)
+	return nil
+}
+
+// MustRun is Run, panicking on error — for one-liner setups.
+func (s *Scenario) MustRun(until sim.Time) {
+	if err := s.Run(until); err != nil {
+		panic(err)
+	}
 }
 
 // String summarizes the scenario.

@@ -13,9 +13,9 @@ func TestScenarioQuickstartConverges(t *testing.T) {
 	sc.Connect(src, rtr, 100e6)
 	sc.Connect(rtr, rxNode, 500e3)
 	sc.Source(src)
-	sc.Controller(src)
-	rx := sc.Receiver(rxNode)
-	sc.Run(120 * Second)
+	sc.MustController(src)
+	rx := sc.MustReceiver(rxNode)
+	sc.MustRun(120 * Second)
 	if got := rx.Level(); got < 3 || got > 5 {
 		t.Fatalf("level = %d, want ~4 for a 500 Kbps bottleneck", got)
 	}
@@ -23,7 +23,9 @@ func TestScenarioQuickstartConverges(t *testing.T) {
 		t.Errorf("String = %q", sc.String())
 	}
 	// Run is resumable.
-	sc.Run(180 * Second)
+	if err := sc.Run(180 * Second); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
 	if sc.Engine().Now() != 180*Second {
 		t.Errorf("Now = %v", sc.Engine().Now())
 	}
@@ -40,13 +42,21 @@ func TestScenarioMultiSession(t *testing.T) {
 		sc.Connect(srcNode, x, 100e6)
 		sc.SourceWith(srcNode, SourceConfig{Session: i})
 	}
-	sc.Controller(sc.Network().Nodes()[2]) // first source node
+	if _, err := sc.Controller(sc.Network().Nodes()[2]); err != nil { // first source node
+		t.Fatalf("Controller: %v", err)
+	}
 	for i := 0; i < 2; i++ {
 		rxNode := sc.AddNode("rx")
 		sc.Connect(y, rxNode, 100e6)
-		rxs = append(rxs, sc.ReceiverWith(rxNode, ReceiverConfig{Session: i}))
+		rx, err := sc.ReceiverWith(rxNode, ReceiverConfig{Session: i})
+		if err != nil {
+			t.Fatalf("ReceiverWith(%d): %v", i, err)
+		}
+		rxs = append(rxs, rx)
 	}
-	sc.Run(240 * Second)
+	if err := sc.Run(240 * Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for i, rx := range rxs {
 		if got := rx.Level(); got < 2 || got > 5 {
 			t.Errorf("session %d level = %d", i, got)
@@ -54,37 +64,56 @@ func TestScenarioMultiSession(t *testing.T) {
 	}
 }
 
-func TestScenarioPanics(t *testing.T) {
+// TestScenarioErrors pins the builder's misassembly errors: each returns an
+// error (not a panic), and the Must* wrappers convert it into a panic.
+func TestScenarioErrors(t *testing.T) {
 	t.Run("receiver before controller", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected panic")
-			}
-		}()
 		sc := NewScenario(1)
 		n := sc.AddNode("n")
-		sc.Receiver(n)
+		if _, err := sc.Receiver(n); err == nil {
+			t.Fatal("expected error")
+		} else if !strings.Contains(err.Error(), "Controller before receivers") {
+			t.Errorf("err = %v", err)
+		}
 	})
 	t.Run("double controller", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected panic")
-			}
-		}()
 		sc := NewScenario(1)
 		n := sc.AddNode("n")
 		sc.Source(n)
-		sc.Controller(n)
-		sc.Controller(n)
+		if _, err := sc.Controller(n); err != nil {
+			t.Fatalf("first controller: %v", err)
+		}
+		if _, err := sc.Controller(n); err == nil {
+			t.Fatal("expected error")
+		} else if !strings.Contains(err.Error(), "already has a controller") {
+			t.Errorf("err = %v", err)
+		}
 	})
 	t.Run("run without controller", func(t *testing.T) {
+		sc := NewScenario(1)
+		if err := sc.Run(Second); err == nil {
+			t.Fatal("expected error")
+		} else if !strings.Contains(err.Error(), "no controller") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("must wrappers panic", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("expected panic")
 			}
 		}()
 		sc := NewScenario(1)
-		sc.Run(Second)
+		n := sc.AddNode("n")
+		sc.MustReceiver(n) // no controller yet
+	})
+	t.Run("must run panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewScenario(1).MustRun(Second)
 	})
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -20,6 +20,13 @@ test:
 # microbenchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path microbenchmarks only: engine schedule/fire and packet-plane
+# forwarding. COUNT=5 (or any -count value) produces benchstat-ready
+# samples; pipe through scripts/benchdiff.sh to compare commits.
+COUNT ?= 1
+bench-micro:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./internal/sim ./internal/netsim
 
 # Quick sweep with machine-readable results: wall time, events/s and
 # packet counts per run land in BENCH_quick.json for cross-commit

@@ -77,9 +77,13 @@ func main() {
 		}
 	}
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	results := runner.Run(specs, opts)
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	exitCode := 0
 	for i, ex := range selected {
@@ -92,6 +96,17 @@ func main() {
 		fmt.Print(out)
 	}
 	fmt.Printf("total wall time: %v\n", wall.Round(time.Millisecond))
+	var totalEvents uint64
+	for _, r := range results {
+		totalEvents += r.Events
+	}
+	if wall > 0 && totalEvents > 0 {
+		// Stderr, like progress: stdout stays deterministic up to the wall-time line.
+		fmt.Fprintf(os.Stderr, "throughput: %d events, %.0f events/s aggregate, %.2f allocs/event\n",
+			totalEvents,
+			float64(totalEvents)/wall.Seconds(),
+			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(totalEvents))
+	}
 
 	if *jsonPath != "" {
 		export := experiments.Export{
@@ -104,6 +119,7 @@ func main() {
 			WallSeconds: wall.Seconds(),
 			Results:     results,
 		}
+		export.FillAggregates(memAfter.Mallocs - memBefore.Mallocs)
 		if err := experiments.WriteJSONFile(*jsonPath, export); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
 			exitCode = 1

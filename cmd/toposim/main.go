@@ -200,8 +200,12 @@ func main() {
 			return res, nil
 		})
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	result := spec.Execute(0)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	if result.Failed() {
 		fmt.Fprintf(os.Stderr, "run failed: %s\n", result.Err)
 		os.Exit(1)
@@ -236,6 +240,7 @@ func main() {
 			WallSeconds: time.Since(start).Seconds(),
 			Results:     []experiments.Result{result},
 		}
+		export.FillAggregates(memAfter.Mallocs - memBefore.Mallocs)
 		if err := experiments.WriteJSONFile(*jsonPath, export); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)

@@ -24,8 +24,36 @@ type Export struct {
 	Quick       bool  `json:"quick"`
 	// WallSeconds is the whole sweep's wall-clock time.
 	WallSeconds float64 `json:"wall_seconds"`
+	// TotalEvents sums Events over all Results.
+	TotalEvents uint64 `json:"total_events"`
+	// EventsPerSecond is TotalEvents / WallSeconds: the sweep's aggregate
+	// event throughput across all workers (per-run throughput lives in each
+	// Result).
+	EventsPerSecond float64 `json:"events_per_second"`
+	// AllocsPerEvent is the number of heap allocations per simulator event
+	// across the sweep, measured from runtime.MemStats.Mallocs around the
+	// runner. It covers the whole process — engine, packet plane, metrics
+	// and report rendering — so it is an upper bound on hot-path allocation
+	// and the headline number the pooling work drives down.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Results holds one entry per executed Spec, in sweep order.
 	Results []Result `json:"results"`
+}
+
+// FillAggregates computes TotalEvents, EventsPerSecond and AllocsPerEvent
+// from Results, WallSeconds and the process-wide heap allocation count
+// (runtime.MemStats.Mallocs delta) observed around the sweep.
+func (ex *Export) FillAggregates(mallocs uint64) {
+	ex.TotalEvents = 0
+	for _, r := range ex.Results {
+		ex.TotalEvents += r.Events
+	}
+	if ex.WallSeconds > 0 {
+		ex.EventsPerSecond = float64(ex.TotalEvents) / ex.WallSeconds
+	}
+	if ex.TotalEvents > 0 {
+		ex.AllocsPerEvent = float64(mallocs) / float64(ex.TotalEvents)
+	}
 }
 
 // WriteJSON writes the export to w as indented JSON.

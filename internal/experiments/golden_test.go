@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRun is the deterministic subset of a Result that must be
+// bit-for-bit reproducible for a fixed seed: the typed rows plus the
+// engine/network meters. Wall-clock fields are deliberately excluded.
+type goldenRun struct {
+	Name       string  `json:"name"`
+	Figure     string  `json:"figure"`
+	Seed       int64   `json:"seed"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Rows       any     `json:"rows"`
+	Events     uint64  `json:"events"`
+	Packets    int64   `json:"packets_forwarded"`
+}
+
+// TestGoldenFig6Determinism locks the simulator's observable behaviour: the
+// quick Figure-6 sweep (what `topobench -fig 6 -quick -seed 1 -parallel 1`
+// executes) must produce byte-identical rows, events-fired and
+// packets-forwarded counts against the golden file recorded before the
+// scheduler/pool overhaul. Any change to event ordering, RNG consumption,
+// packet lifecycle or queueing shows up here as a diff.
+//
+// Regenerate (only when an intentional model change is made) with:
+//
+//	go test ./internal/experiments -run TestGoldenFig6Determinism -update
+func TestGoldenFig6Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fig6 sweep is a few seconds of simulation")
+	}
+	ex, ok := Lookup("6")
+	if !ok {
+		t.Fatal("figure 6 missing from registry")
+	}
+	specs := ex.Specs(SweepConfig{Seed: 1, Quick: true})
+	results := ExecuteAll(specs)
+
+	runs := make([]goldenRun, len(results))
+	for i, r := range results {
+		if r.Failed() {
+			t.Fatalf("run %s failed: %s", r.Name, r.Err)
+		}
+		runs[i] = goldenRun{
+			Name:       r.Name,
+			Figure:     r.Figure,
+			Seed:       r.Seed,
+			SimSeconds: r.SimSeconds,
+			Rows:       r.Rows,
+			Events:     r.Events,
+			Packets:    r.Packets,
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runs); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "golden_fig6_quick.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("golden mismatch: determinism contract broken (first differing line %d)\n"+
+			"got %d bytes, want %d bytes; diff with:\n"+
+			"  go test ./internal/experiments -run TestGoldenFig6Determinism -update && git diff",
+			line, len(got), len(want))
+	}
+}

@@ -51,7 +51,7 @@ type groupInfo struct {
 type nodeGroupState struct {
 	downstream map[netsim.NodeID]bool // children currently forwarded to
 	members    []Member               // locally attached members
-	pruneTimer *sim.Event             // pending leave-latency expiry, if any
+	pruneTimer sim.Handle             // pending leave-latency expiry, if any
 }
 
 func (s *nodeGroupState) active() bool {
@@ -223,11 +223,11 @@ func (d *Domain) Leave(n netsim.NodeID, g netsim.GroupID, m Member) {
 }
 
 func (d *Domain) maybeSchedulePrune(n netsim.NodeID, g netsim.GroupID, st *nodeGroupState) {
-	if st.active() || st.pruneTimer != nil {
+	if st.active() || !st.pruneTimer.IsZero() {
 		return
 	}
 	st.pruneTimer = d.net.Engine().Schedule(d.LeaveLatency, func() {
-		st.pruneTimer = nil
+		st.pruneTimer = sim.Handle{}
 		if st.active() {
 			return // re-joined during the leave-latency window
 		}
@@ -254,7 +254,7 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 			return
 		}
 		delete(upSt.downstream, n)
-		if !upSt.active() && upSt.pruneTimer == nil {
+		if !upSt.active() && upSt.pruneTimer.IsZero() {
 			// Upstream prunes promptly: the leave-latency cost was already
 			// paid at the last-hop router.
 			d.pruneFromParent(up, g)
@@ -263,9 +263,9 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 }
 
 func (d *Domain) cancelPrune(st *nodeGroupState) {
-	if st.pruneTimer != nil {
+	if !st.pruneTimer.IsZero() {
 		d.net.Engine().Cancel(st.pruneTimer)
-		st.pruneTimer = nil
+		st.pruneTimer = sim.Handle{}
 	}
 }
 

@@ -5,7 +5,6 @@
 package metrics
 
 import (
-	"fmt"
 	"sort"
 
 	"toposense/internal/sim"
@@ -28,12 +27,11 @@ func NewTrace(start sim.Time, initial int) *Trace {
 	return &Trace{points: []Point{{At: start, Level: initial}}}
 }
 
-// Set records a level change at time at.
+// Set records a level change at time at; time must be nondecreasing (the
+// shared sim.MustMonotonic contract).
 func (tr *Trace) Set(at sim.Time, level int) {
 	last := tr.points[len(tr.points)-1]
-	if at < last.At {
-		panic(fmt.Sprintf("metrics: out-of-order trace point at %v (last %v)", at, last.At))
-	}
+	sim.MustMonotonic("metrics", "", at, last.At)
 	if level == last.Level {
 		return
 	}

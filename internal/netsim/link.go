@@ -46,6 +46,12 @@ func (s LinkStats) DropRate() float64 {
 // Link is a unidirectional channel between two nodes with a fixed bandwidth
 // (bits/s), propagation delay, and a drop-tail FIFO queue of queueLimit
 // packets. A bidirectional connection is a pair of Links.
+//
+// The forwarding hot path is allocation-free: the serialization-done and
+// delivery callbacks are bound once per link at construction, the waiting
+// queue and the propagation pipeline are head-indexed slices whose backing
+// arrays are reused, and pooled packets move through on reference counts
+// instead of garbage.
 type Link struct {
 	net        *Network
 	From, To   NodeID
@@ -54,11 +60,25 @@ type Link struct {
 	QueueLimit int
 	Policy     DropPolicy
 
-	queue   []*Packet
-	busy    bool
-	stats   LinkStats
-	dropFn  func(*Packet) // optional drop observer (tracing, tests)
-	deliver func(*Packet, *Link)
+	// queue[qhead:] holds the packets waiting behind the transmitter.
+	queue []*Packet
+	qhead int
+	busy  bool
+	// txp is the packet currently being serialized (valid while busy).
+	txp *Packet
+	// inflight[ifhead:] holds serialized packets riding the propagation
+	// delay, in arrival order (the delay is constant, so FIFO holds).
+	inflight []*Packet
+	ifhead   int
+
+	stats  LinkStats
+	probes []Probe
+
+	// Bound once in addLink so the per-hop Schedule calls allocate no
+	// closures.
+	txDoneFn  func()
+	deliverFn func()
+	deliver   func(*Packet, *Link)
 }
 
 // Stats returns a copy of the link's counters.
@@ -66,13 +86,22 @@ func (l *Link) Stats() LinkStats { return l.stats }
 
 // QueueLen returns the number of packets waiting (not counting the one being
 // serialized).
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return len(l.queue) - l.qhead }
 
 // Busy reports whether a packet is currently being serialized.
 func (l *Link) Busy() bool { return l.busy }
 
+// Attach registers a probe observing this link's packet events.
+func (l *Link) Attach(p Probe) { l.probes = append(l.probes, p) }
+
 // OnDrop registers an observer invoked for every packet the link drops.
-func (l *Link) OnDrop(fn func(*Packet)) { l.dropFn = fn }
+//
+// Deprecated: OnDrop is a shim over the Probe interface; attach a Probe
+// (or a FuncProbe with just OnDrop set) instead, which also exposes
+// enqueue and deliver events.
+func (l *Link) OnDrop(fn func(*Packet)) {
+	l.Attach(&FuncProbe{OnDrop: func(_ *Link, p *Packet) { fn(p) }})
+}
 
 // ResetStats zeroes the counters (used between measurement intervals).
 func (l *Link) ResetStats() { l.stats = LinkStats{} }
@@ -81,63 +110,125 @@ func (l *Link) String() string {
 	return fmt.Sprintf("link %d->%d %.0fbps %v", l.From, l.To, l.Bandwidth, l.Delay)
 }
 
+func (l *Link) noteEnqueue(p *Packet) {
+	for _, pr := range l.probes {
+		pr.Enqueue(l, p)
+	}
+	for _, pr := range l.net.probes {
+		pr.Enqueue(l, p)
+	}
+}
+
+func (l *Link) noteDrop(p *Packet) {
+	for _, pr := range l.probes {
+		pr.Drop(l, p)
+	}
+	for _, pr := range l.net.probes {
+		pr.Drop(l, p)
+	}
+}
+
+func (l *Link) noteDeliver(p *Packet) {
+	for _, pr := range l.probes {
+		pr.Deliver(l, p)
+	}
+	for _, pr := range l.net.probes {
+		pr.Deliver(l, p)
+	}
+}
+
 // Send offers a packet to the link. If the transmitter is idle the packet
 // goes straight to the wire; otherwise it queues, and when the queue is at
 // its limit the Policy picks the victim: the arrival (drop-tail) or the
-// highest-layer packet in queue (priority dropping).
+// highest-layer packet in queue (priority dropping). An accepted packet
+// holds one reference until the link delivers (or drops) it.
 func (l *Link) Send(p *Packet) {
 	if !l.busy {
 		l.stats.Enqueued++
+		p.ref()
+		l.noteEnqueue(p)
 		l.transmit(p)
 		return
 	}
-	if len(l.queue) >= l.QueueLimit {
+	if l.QueueLen() >= l.QueueLimit {
 		victim := p
 		if l.Policy == DropPriority {
 			// Highest layer among queued packets and the arrival loses;
 			// ties favour dropping the arrival (cheapest).
 			vIdx := -1
-			for i, q := range l.queue {
-				if q.Layer > victim.Layer {
+			for i := l.qhead; i < len(l.queue); i++ {
+				if q := l.queue[i]; q.Layer > victim.Layer {
 					victim, vIdx = q, i
 				}
 			}
 			if vIdx >= 0 {
 				// Replace the queued victim with the arrival; the victim's
-				// Enqueued count transfers to the arrival, which delivers
-				// in its place.
+				// Enqueued count (and queue reference) transfer to the
+				// arrival, which delivers in its place.
 				l.queue[vIdx] = p
+				p.ref()
+				l.stats.Dropped++
+				l.noteDrop(victim)
+				victim.unref()
+				return
 			}
 		}
 		l.stats.Dropped++
-		if l.dropFn != nil {
-			l.dropFn(victim)
-		}
+		l.noteDrop(victim)
 		return
 	}
 	l.stats.Enqueued++
+	p.ref()
+	l.noteEnqueue(p)
 	l.queue = append(l.queue, p)
-	if len(l.queue) > l.stats.PeakQueue {
-		l.stats.PeakQueue = len(l.queue)
+	if qlen := l.QueueLen(); qlen > l.stats.PeakQueue {
+		l.stats.PeakQueue = qlen
 	}
 }
 
-// transmit serializes p, then schedules its arrival after the propagation
-// delay and starts on the next queued packet.
+// transmit starts serializing p; txDone fires when the last bit is on the
+// wire.
 func (l *Link) transmit(p *Packet) {
 	l.busy = true
-	txTime := sim.TransmitTime(p.Size, l.Bandwidth)
-	l.net.engine.Schedule(txTime, func() {
-		l.stats.Delivered++
-		l.stats.TxBytes += int64(p.Size)
-		l.net.engine.Schedule(l.Delay, func() { l.deliver(p, l) })
-		if len(l.queue) > 0 {
-			next := l.queue[0]
-			copy(l.queue, l.queue[1:])
-			l.queue = l.queue[:len(l.queue)-1]
-			l.transmit(next)
-		} else {
-			l.busy = false
+	l.txp = p
+	l.net.engine.Schedule(sim.TransmitTime(p.Size, l.Bandwidth), l.txDoneFn)
+}
+
+// txDone finishes serialization: the packet enters the propagation pipeline
+// and the transmitter moves on to the next queued packet.
+func (l *Link) txDone() {
+	p := l.txp
+	l.txp = nil
+	l.stats.Delivered++
+	l.stats.TxBytes += int64(p.Size)
+	l.inflight = append(l.inflight, p)
+	l.net.engine.Schedule(l.Delay, l.deliverFn)
+	if l.qhead < len(l.queue) {
+		next := l.queue[l.qhead]
+		l.queue[l.qhead] = nil
+		l.qhead++
+		if l.qhead == len(l.queue) {
+			l.queue = l.queue[:0]
+			l.qhead = 0
 		}
-	})
+		l.transmit(next)
+	} else {
+		l.busy = false
+	}
+}
+
+// deliverHead hands the oldest in-flight packet to the receiving node and
+// drops the link's reference to it. Propagation delay is constant per link,
+// so deliveries complete in exactly the order txDone pushed them.
+func (l *Link) deliverHead() {
+	p := l.inflight[l.ifhead]
+	l.inflight[l.ifhead] = nil
+	l.ifhead++
+	if l.ifhead == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.ifhead = 0
+	}
+	l.noteDeliver(p)
+	l.deliver(p, l)
+	p.unref()
 }

@@ -23,6 +23,14 @@ type Network struct {
 	// installed. The multicast layer uses it to equip new nodes with a
 	// forwarding handler automatically.
 	OnAddNode func(*Node)
+
+	// probes observe packet events on every link of the network.
+	probes []Probe
+
+	// pktFree is the packet free list backing NewPacket; single-threaded
+	// like everything else bound to the engine, so no sync.
+	pktFree   []*Packet
+	pktAllocs uint64
 }
 
 // Engineish is a thin alias so that netsim code reads naturally; it is the
@@ -36,6 +44,32 @@ func New(engine *sim.Engine) *Network {
 
 // Engine returns the simulation engine the network runs on.
 func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// AttachProbe registers a probe observing packet events on every link of
+// the network, including links created later.
+func (n *Network) AttachProbe(p Probe) { n.probes = append(n.probes, p) }
+
+// NewPacket takes a zeroed packet from the network's pool (or allocates one
+// the first time through), holding one reference for the caller. Fill in
+// the fields, hand it to Send/SendUnicast/SendMulticastLocal, then call
+// Release; the struct is recycled once every link that accepted it has
+// delivered or dropped it.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		p.pool = n
+		p.refs = 1
+		return p
+	}
+	n.pktAllocs++
+	return &Packet{pool: n, refs: 1}
+}
+
+// PacketAllocs returns how many packet structs the pool has ever allocated;
+// in steady state this stops growing.
+func (n *Network) PacketAllocs() uint64 { return n.pktAllocs }
 
 // AddNode creates a node with a human-readable name and returns it.
 func (n *Network) AddNode(name string) *Node {
@@ -109,7 +143,10 @@ func (n *Network) addLink(from, to *Node, cfg LinkConfig) *Link {
 		QueueLimit: ql,
 		Policy:     cfg.Policy,
 	}
+	// Bind the hot-path callbacks once so forwarding allocates no closures.
 	l.deliver = func(p *Packet, via *Link) { n.nodes[via.To].deliver(p, via) }
+	l.txDoneFn = l.txDone
+	l.deliverFn = l.deliverHead
 	from.links[to.ID] = l
 	n.nextHop = nil
 	return l

@@ -57,6 +57,14 @@ func (k PacketKind) String() string {
 // Packet is a simulated packet. Packets are immutable once sent; forwarding
 // shares the same *Packet across all tree branches, so handlers must not
 // mutate one after sending.
+//
+// Packets come in two flavours. A literal (&Packet{...}) is garbage-collected
+// as usual — the reference-counting methods are no-ops on it. A pooled packet
+// (Network.NewPacket) is recycled through the network's free list: every link
+// that accepts it takes a reference, the originator holds one until its Send
+// call returns, and when the last reference drops the struct goes back to the
+// pool. Handlers and probes must therefore never retain a *Packet beyond the
+// callback that delivered it — copy the fields instead.
 type Packet struct {
 	Kind    PacketKind
 	Src     NodeID  // originating node
@@ -68,10 +76,47 @@ type Packet struct {
 	Size    int     // bytes, including headers
 	Sent    sim.Time
 	Payload any // typed control payloads; nil for media
+
+	pool *Network // owning pool; nil for literal packets
+	refs int32    // outstanding references (pooled packets only)
 }
 
 // Multicast reports whether the packet is addressed to a group.
 func (p *Packet) Multicast() bool { return p.Group != NoGroup }
+
+// Pooled reports whether the packet came from a network's packet pool.
+func (p *Packet) Pooled() bool { return p.pool != nil }
+
+// ref takes one reference on a pooled packet; a no-op for literals.
+func (p *Packet) ref() {
+	if p.pool != nil {
+		p.refs++
+	}
+}
+
+// unref drops one reference; the last drop returns the packet to its pool.
+// A no-op for literals.
+func (p *Packet) unref() {
+	if p.pool == nil {
+		return
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic(fmt.Sprintf("netsim: packet %v released below zero references", p))
+	}
+	pool := p.pool
+	*p = Packet{} // clear fields (notably Payload) so nothing leaks via the pool
+	pool.pktFree = append(pool.pktFree, p)
+}
+
+// Release drops the originator's reference on a pooled packet. The producer
+// that called Network.NewPacket must call Release exactly once, after the
+// Send/SendUnicast/SendMulticastLocal call returns. Safe (and a no-op) on
+// literal packets, so producers can treat both flavours uniformly.
+func (p *Packet) Release() { p.unref() }
 
 func (p *Packet) String() string {
 	if p.Multicast() {

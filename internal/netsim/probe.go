@@ -1,0 +1,77 @@
+package netsim
+
+// Probe observes the life of packets on a link: acceptance into the queue,
+// loss to the drop policy, and hand-off to the receiving node. Probes are
+// the one observation point of the packet plane — experiments, tracing and
+// tests all attach here instead of patching ad-hoc callbacks onto links.
+//
+// A probe attaches either to a single link (Link.Attach) or to every link
+// of a network, present and future (Network.AttachProbe). Callbacks run
+// synchronously on the simulation goroutine, so they see a consistent world
+// and must not block.
+//
+// Lifetime contract: with the pooled packet plane, the *Packet passed to a
+// callback is only guaranteed valid for the duration of the call — a probe
+// that wants to keep information must copy the fields it needs, never the
+// pointer.
+type Probe interface {
+	// Enqueue is called when the link accepts a packet: queued behind the
+	// transmitter or sent straight to the wire.
+	Enqueue(l *Link, p *Packet)
+	// Drop is called when the drop policy discards a packet: the arrival
+	// under drop-tail, or the highest-layer queued packet under priority
+	// dropping.
+	Drop(l *Link, p *Packet)
+	// Deliver is called when a packet finishes serialization plus
+	// propagation and is handed to the receiving node, just before that
+	// node processes it.
+	Deliver(l *Link, p *Packet)
+}
+
+// FuncProbe adapts plain functions to the Probe interface; nil fields are
+// skipped. It is the idiomatic way to observe one kind of event:
+//
+//	link.Attach(&netsim.FuncProbe{
+//		OnDrop: func(l *netsim.Link, p *netsim.Packet) { drops++ },
+//	})
+type FuncProbe struct {
+	OnEnqueue func(l *Link, p *Packet)
+	OnDrop    func(l *Link, p *Packet)
+	OnDeliver func(l *Link, p *Packet)
+}
+
+// Enqueue implements Probe.
+func (f *FuncProbe) Enqueue(l *Link, p *Packet) {
+	if f.OnEnqueue != nil {
+		f.OnEnqueue(l, p)
+	}
+}
+
+// Drop implements Probe.
+func (f *FuncProbe) Drop(l *Link, p *Packet) {
+	if f.OnDrop != nil {
+		f.OnDrop(l, p)
+	}
+}
+
+// Deliver implements Probe.
+func (f *FuncProbe) Deliver(l *Link, p *Packet) {
+	if f.OnDeliver != nil {
+		f.OnDeliver(l, p)
+	}
+}
+
+// CountingProbe tallies the events it sees — a ready-made Probe for tests
+// and experiments that only need totals.
+type CountingProbe struct {
+	Enqueues, Drops, Delivers int64
+}
+
+// Enqueue implements Probe.
+func (c *CountingProbe) Enqueue(*Link, *Packet) { c.Enqueues++ }
+
+// Drop implements Probe.
+func (c *CountingProbe) Drop(*Link, *Packet) { c.Drops++ }
+
+// Deliver implements Probe.
+func (c *CountingProbe) Deliver(*Link, *Packet) { c.Delivers++ }

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+func TestLinkProbeSeesLifecycle(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: 8e5, Delay: sim.Millisecond, QueueLimit: 2}
+	e, _, a, b, _ := lineNetwork(t, cfg)
+	link := a.LinkTo(b.ID)
+	var probe CountingProbe
+	link.Attach(&probe)
+
+	const sent = 10
+	for i := 0; i < sent; i++ {
+		a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: b.ID, Group: NoGroup, Size: 1000, Seq: int64(i)})
+	}
+	e.Run()
+
+	st := link.Stats()
+	if probe.Enqueues != st.Enqueued {
+		t.Errorf("probe Enqueues = %d, stats Enqueued = %d", probe.Enqueues, st.Enqueued)
+	}
+	if probe.Drops != st.Dropped {
+		t.Errorf("probe Drops = %d, stats Dropped = %d", probe.Drops, st.Dropped)
+	}
+	if probe.Delivers != st.Delivered {
+		t.Errorf("probe Delivers = %d, stats Delivered = %d", probe.Delivers, st.Delivered)
+	}
+	if probe.Enqueues+probe.Drops != sent {
+		t.Errorf("enqueues+drops = %d, want %d", probe.Enqueues+probe.Drops, sent)
+	}
+	if probe.Drops == 0 {
+		t.Error("expected drops on a 2-packet queue")
+	}
+}
+
+func TestNetworkWideProbe(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond}
+	e, n, a, _, c := lineNetwork(t, cfg)
+	var probe CountingProbe
+	n.AttachProbe(&probe)
+
+	a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: c.ID, Group: NoGroup, Size: 1000})
+	e.Run()
+
+	// Two hops: the network-wide probe observes both links.
+	if probe.Enqueues != 2 || probe.Delivers != 2 || probe.Drops != 0 {
+		t.Fatalf("probe = %+v, want 2 enqueues, 2 delivers, 0 drops", probe)
+	}
+
+	// Links created after AttachProbe are covered too.
+	d := n.AddNode("d")
+	n.Connect(c, d, cfg)
+	sink := &collector{}
+	d.AttachAgent(sink)
+	a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: d.ID, Group: NoGroup, Size: 1000})
+	e.Run()
+	if len(sink.got) != 1 {
+		t.Fatal("packet not delivered to late-added node")
+	}
+	if probe.Delivers != 5 { // 2 earlier + 3 hops now
+		t.Fatalf("Delivers = %d, want 5", probe.Delivers)
+	}
+}
+
+func TestFuncProbeSkipsNilFields(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: 8e5, Delay: 0, QueueLimit: 1}
+	e, _, a, b, _ := lineNetwork(t, cfg)
+	drops := 0
+	a.LinkTo(b.ID).Attach(&FuncProbe{OnDrop: func(*Link, *Packet) { drops++ }})
+	for i := 0; i < 5; i++ {
+		a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: b.ID, Group: NoGroup, Size: 1000})
+	}
+	e.Run()
+	if drops != 3 {
+		t.Fatalf("drops = %d, want 3", drops)
+	}
+}
+
+func TestPooledPacketRecycled(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond}
+	e, n, a, _, c := lineNetwork(t, cfg)
+	sink := &collector{}
+	c.AttachAgent(sink)
+
+	// Sequential sends: each packet is fully delivered (and recycled)
+	// before the next is created, so one allocation serves all of them.
+	for i := 0; i < 50; i++ {
+		p := n.NewPacket()
+		p.Kind = Control
+		p.Src = a.ID
+		p.Dst = c.ID
+		p.Group = NoGroup
+		p.Size = 1000
+		p.Seq = int64(i)
+		a.SendUnicast(p)
+		p.Release()
+		e.Run()
+	}
+	if len(sink.got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(sink.got))
+	}
+	if got := n.PacketAllocs(); got != 1 {
+		t.Fatalf("PacketAllocs = %d, want 1 (pool not recycling)", got)
+	}
+}
+
+func TestPooledPacketSharedAcrossLinks(t *testing.T) {
+	// One pooled packet offered to two links at once (what multicast
+	// replication does): both deliveries must complete before the struct
+	// is recycled.
+	e := sim.NewEngine(1)
+	n := New(e)
+	a, b, c := n.AddNode("a"), n.AddNode("b"), n.AddNode("c")
+	cfg := LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond}
+	n.Connect(a, b, cfg)
+	n.Connect(a, c, cfg)
+
+	p := n.NewPacket()
+	p.Kind = Control
+	p.Src = a.ID
+	p.Dst = b.ID
+	p.Group = NoGroup
+	p.Size = 500
+	a.LinkTo(b.ID).Send(p)
+	a.LinkTo(c.ID).Send(p)
+	p.Release()
+	if n.PacketAllocs() != 1 {
+		t.Fatalf("PacketAllocs = %d", n.PacketAllocs())
+	}
+	// Still referenced by both links: a new packet must not reuse it.
+	q := n.NewPacket()
+	if q == p {
+		t.Fatal("in-flight packet handed out again")
+	}
+	q.Release()
+	e.Run()
+	// Both links done: now the struct is free again.
+	r := n.NewPacket()
+	if r != p && r != q {
+		t.Fatal("fully-delivered packet not recycled")
+	}
+	r.Release()
+}
+
+func TestPooledPacketDropReleases(t *testing.T) {
+	cfg := LinkConfig{Bandwidth: 8e5, Delay: 0, QueueLimit: 1}
+	e, n, a, b, _ := lineNetwork(t, cfg)
+	for i := 0; i < 5; i++ {
+		p := n.NewPacket()
+		p.Kind = Control
+		p.Src = a.ID
+		p.Dst = b.ID
+		p.Group = NoGroup
+		p.Size = 1000
+		p.Seq = int64(i)
+		a.SendUnicast(p)
+		p.Release()
+	}
+	e.Run()
+	// 2 delivered (wire + queue), 3 dropped; every struct must be back in
+	// the pool, so steady-state allocation stays put.
+	before := n.PacketAllocs()
+	for i := 0; i < 5; i++ {
+		p := n.NewPacket()
+		p.Release()
+	}
+	if got := n.PacketAllocs(); got != before {
+		t.Fatalf("PacketAllocs grew %d -> %d: dropped packets leaked", before, got)
+	}
+}
+
+func TestPriorityDropReleasesQueuedVictim(t *testing.T) {
+	// Priority dropping replaces a queued high-layer packet with the
+	// arrival; the victim's queue reference must be released exactly once.
+	e := sim.NewEngine(1)
+	n := New(e)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	n.Connect(a, b, LinkConfig{Bandwidth: 8e5, Delay: 0, QueueLimit: 1, Policy: DropPriority})
+	link := a.LinkTo(b.ID)
+
+	var dropped []int
+	link.Attach(&FuncProbe{OnDrop: func(_ *Link, p *Packet) { dropped = append(dropped, p.Layer) }})
+
+	mk := func(layer int) *Packet {
+		p := n.NewPacket()
+		p.Kind = Data
+		p.Src = a.ID
+		p.Dst = NoNode
+		p.Group = GroupID(0)
+		p.Layer = layer
+		p.Size = 1000
+		return p
+	}
+	// First occupies the wire, second queues (layer 6), third (layer 1)
+	// evicts the queued layer-6 victim.
+	for _, layer := range []int{1, 6, 1} {
+		p := mk(layer)
+		link.Send(p)
+		p.Release()
+	}
+	// The victim must already be recycled; drain the rest. b has no
+	// multicast handler, so arrivals are simply discarded after release.
+	e.Run()
+	if len(dropped) != 1 || dropped[0] != 6 {
+		t.Fatalf("dropped layers %v, want [6]", dropped)
+	}
+	before := n.PacketAllocs()
+	mk(1).Release()
+	if got := n.PacketAllocs(); got != before {
+		t.Fatalf("PacketAllocs grew %d -> %d: victim leaked", before, got)
+	}
+	if st := link.Stats(); st.Dropped != 1 || st.Enqueued != 2 {
+		t.Fatalf("stats = %+v, want Dropped 1, Enqueued 2", st)
+	}
+}

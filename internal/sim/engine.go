@@ -1,67 +1,78 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback. Its fields are managed by the Engine; user
-// code holds *Event only to Cancel it.
+// Event is one slot of the engine's scheduler. Slots are owned and recycled
+// by the Engine: after an event fires or is cancelled its struct returns to
+// a free list and is reused by a later Schedule/At call. User code never
+// holds *Event directly — Schedule and At return a Handle, which pairs the
+// slot with the generation it was issued for, so operations on a handle
+// whose slot has been recycled are safe no-ops.
 type Event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same timestamp
 	fn     func()
-	index  int // heap index, -1 once popped or cancelled
+	index  int32  // heap index, -1 once popped or cancelled
+	gen    uint32 // bumped each time the slot is acquired from the free list
 	cancel bool
 }
 
-// Cancelled reports whether Cancel was called on the event before it fired.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Handle identifies one scheduled firing. The zero Handle is valid and
+// refers to nothing; all its methods are no-ops. Handles are plain values —
+// copying one is free and never allocates.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
-// When returns the simulated time the event is (or was) scheduled for.
-func (e *Event) When() Time { return e.at }
+// IsZero reports whether the handle refers to nothing.
+func (h Handle) IsZero() bool { return h.ev == nil }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
+// live reports whether the handle still addresses the generation it was
+// issued for. Once the slot is recycled for a newer event this is false and
+// the handle goes inert.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancelled reports whether Cancel was called on this handle's event before
+// it fired. After the engine recycles the slot for a new event the report
+// reverts to false (the old firing is history either way).
+func (h Handle) Cancelled() bool { return h.live() && h.ev.cancel }
+
+// Active reports whether the event is still queued: scheduled, not yet
+// fired, not cancelled.
+func (h Handle) Active() bool { return h.live() && h.ev.index >= 0 }
+
+// When returns the simulated time the event is scheduled for. It reads 0
+// once the slot has been recycled.
+func (h Handle) When() Time {
+	if !h.live() {
+		return 0
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	return h.ev.at
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all model code runs inside event callbacks on the same
 // goroutine, which is what makes the simulation deterministic.
+//
+// The ready queue is an indexed 4-ary min-heap ordered by (time, sequence)
+// with the sift loops inlined (no container/heap interface calls), and
+// fired or cancelled events are recycled through a free list, so the
+// steady-state schedule/fire cycle performs no allocations.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	free       []*Event // recycled event slots (single-threaded: no sync)
+	slotAllocs uint64   // Event structs ever allocated
+	slotReuses uint64   // acquisitions served from the free list
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -83,9 +94,154 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// EventAllocs returns how many Event structs the engine has ever allocated;
+// once the model reaches steady state this stops growing because every new
+// schedule is served from the free list.
+func (e *Engine) EventAllocs() uint64 { return e.slotAllocs }
+
+// EventReuses returns how many schedules were served from the free list.
+func (e *Engine) EventReuses() uint64 { return e.slotReuses }
+
+// acquire takes an event slot from the free list (bumping its generation so
+// stale handles go inert) or allocates a fresh one.
+func (e *Engine) acquire(t Time, fn func()) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++
+		ev.cancel = false
+		e.slotReuses++
+	} else {
+		ev = &Event{}
+		e.slotAllocs++
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	return ev
+}
+
+// release returns a slot to the free list. The generation is bumped on the
+// next acquire, not here, so handles to the completed event still read
+// their Cancelled state until the slot is reused.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil // drop the closure reference immediately
+	e.free = append(e.free, ev)
+}
+
+// less orders events by (time, sequence); sequence numbers are unique so
+// the order is total and FIFO among equal timestamps.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends ev and restores the 4-ary heap invariant.
+func (e *Engine) heapPush(ev *Event) {
+	i := len(e.queue)
+	e.queue = append(e.queue, ev)
+	ev.index = int32(i)
+	e.siftUp(i)
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *Event {
+	q := e.queue
+	root := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// heapRemove removes the event at heap index i (cancellation).
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		q[i] = last
+		last.index = int32(i)
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+// siftUp moves the event at index i toward the root until its parent is not
+// later than it.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		par := q[p]
+		if !eventLess(ev, par) {
+			break
+		}
+		q[i] = par
+		par.index = int32(i)
+		i = p
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves the event at index i toward the leaves, swapping with its
+// earliest child while that child sorts before it. It reports whether the
+// event moved.
+func (e *Engine) siftDown(i0 int) bool {
+	q := e.queue
+	n := len(q)
+	i := i0
+	ev := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Earliest of the up-to-four children.
+		m, mc := c, q[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(q[j], mc) {
+				m, mc = j, q[j]
+			}
+		}
+		if !eventLess(mc, ev) {
+			break
+		}
+		q[i] = mc
+		mc.index = int32(i)
+		i = m
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i > i0
+}
+
 // Schedule runs fn after delay. A negative delay panics: models must never
 // schedule into the past.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, e.now))
 	}
@@ -93,46 +249,55 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At runs fn at absolute time t (>= Now).
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.acquire(t, fn)
+	e.heapPush(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Cancel removes the event from the queue if it has not fired yet. It is
-// safe to cancel an event that already fired or was already cancelled.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel || ev.index < 0 {
-		if ev != nil {
-			ev.cancel = true
-		}
+// safe to cancel a zero handle, a handle whose event already fired or was
+// already cancelled, and — because handles carry the slot generation — a
+// stale handle whose event slot has since been recycled for a newer event:
+// all of those are no-ops.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.cancel {
 		return
 	}
+	if ev.index >= 0 {
+		ev.cancel = true
+		e.heapRemove(int(ev.index))
+		e.release(ev)
+		return
+	}
+	// Already fired (and released); record the cancel so Cancelled() reads
+	// true until the slot is reused, matching the pre-pool semantics.
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // step pops and fires the earliest event. It reports false when the queue is
-// empty.
+// empty. The slot is recycled before the callback runs, so a callback that
+// schedules new work reuses it immediately.
 func (e *Engine) step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.heapPop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.release(ev)
+	fn()
 	return true
 }
 
@@ -166,6 +331,7 @@ func (e *Engine) Every(period Time, fn func()) *Ticker {
 		panic("sim: Every requires a positive period")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
+	t.tick = t.onTick // bound once; re-arming reuses it
 	t.arm()
 	return t
 }
@@ -175,20 +341,23 @@ type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
-	ev      *Event
+	tick    func()
+	ev      Handle
 	stopped bool
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.engine.Schedule(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.engine.Schedule(t.period, t.tick)
+}
+
+func (t *Ticker) onTick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels future firings. The callback never runs again after Stop.

@@ -92,6 +92,28 @@ func TestTransmitTimePanicsOnZeroRate(t *testing.T) {
 	TransmitTime(1000, 0)
 }
 
+func TestMustMonotonic(t *testing.T) {
+	// In-order and equal timestamps pass silently.
+	MustMonotonic("pkg", "series", 2*Second, Second)
+	MustMonotonic("pkg", "", Second, Second)
+
+	expectPanic := func(name, want string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic")
+			}
+			if got := r.(string); got != want {
+				t.Fatalf("panic message %q, want %q", got, want)
+			}
+		}()
+		MustMonotonic("pkg", name, Second, 2*Second)
+	}
+	expectPanic("rx1", `pkg: out-of-order sample at 1.000000s (last 2.000000s) in "rx1"`)
+	expectPanic("", `pkg: out-of-order sample at 1.000000s (last 2.000000s)`)
+}
+
 func TestScheduleOrdering(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
@@ -150,9 +172,9 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
 	}
-	// Double cancel and cancelling nil must be safe.
+	// Double cancel and cancelling a zero handle must be safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelAfterFire(t *testing.T) {
@@ -165,7 +187,7 @@ func TestCancelAfterFire(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(i+1)*Second, func() { got = append(got, i) }))
@@ -363,7 +385,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(delays []uint8, mask []bool) bool {
 		e := NewEngine(9)
 		firedCount := 0
-		var evs []*Event
+		var evs []Handle
 		for _, d := range delays {
 			evs = append(evs, e.Schedule(Time(d)*Millisecond, func() { firedCount++ }))
 		}
@@ -382,6 +404,118 @@ func TestQuickCancelSubset(t *testing.T) {
 	}
 }
 
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	// Fire an event so its slot lands on the free list.
+	h1 := e.Schedule(Millisecond, func() {})
+	e.Run()
+	// The next schedule recycles the slot for a different event.
+	fired := false
+	h2 := e.Schedule(Millisecond, func() { fired = true })
+	// Cancelling through the stale handle must not touch the new event.
+	e.Cancel(h1)
+	e.Run()
+	if !fired {
+		t.Fatal("stale-handle Cancel killed an unrelated recycled event")
+	}
+	if h2.Cancelled() {
+		t.Fatal("recycled event reads Cancelled")
+	}
+}
+
+func TestStaleHandleGoesInert(t *testing.T) {
+	e := NewEngine(1)
+	h := e.Schedule(2*Millisecond, func() {})
+	e.Cancel(h)
+	if !h.Cancelled() {
+		t.Fatal("Cancelled = false right after Cancel")
+	}
+	// Reusing the slot flips the generation; the old handle reads inert.
+	h2 := e.Schedule(Millisecond, func() {})
+	if h.Cancelled() {
+		t.Fatal("stale handle still reads Cancelled after slot reuse")
+	}
+	if h.Active() || h.When() != 0 {
+		t.Fatalf("stale handle not inert: Active=%v When=%v", h.Active(), h.When())
+	}
+	if !h2.Active() || h2.When() != Millisecond {
+		t.Fatalf("live handle wrong: Active=%v When=%v", h2.Active(), h2.When())
+	}
+	e.Run()
+	if h2.Active() {
+		t.Fatal("Active = true after firing")
+	}
+}
+
+func TestEventPoolReuse(t *testing.T) {
+	e := NewEngine(1)
+	// Steady state: one event in flight at a time -> exactly one allocation.
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < 1000 {
+			e.Schedule(Millisecond, loop)
+		}
+	}
+	e.Schedule(Millisecond, loop)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("fired %d, want 1000", n)
+	}
+	if got := e.EventAllocs(); got != 1 {
+		t.Fatalf("EventAllocs = %d, want 1 (free list not reusing slots)", got)
+	}
+	if got := e.EventReuses(); got != 999 {
+		t.Fatalf("EventReuses = %d, want 999", got)
+	}
+}
+
+func TestCancelledEventSlotIsRecycled(t *testing.T) {
+	e := NewEngine(1)
+	h := e.Schedule(Second, func() {})
+	e.Cancel(h)
+	e.Schedule(Millisecond, func() {})
+	if got := e.EventAllocs(); got != 1 {
+		t.Fatalf("EventAllocs = %d, want 1 (cancel must release the slot)", got)
+	}
+	e.Run()
+}
+
+// Property: interleaved schedule/cancel/fire cycles with slot reuse keep
+// the heap consistent — every non-cancelled event fires exactly once, in
+// nondecreasing time order.
+func TestQuickPooledCancelFire(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := NewEngine(11)
+		var handles []Handle
+		fired := 0
+		expected := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // schedule
+				expected++
+				handles = append(handles, e.Schedule(Time(op)*Millisecond, func() { fired++ }))
+			case 1: // cancel a prior handle (may be stale — must be safe)
+				if len(handles) > 0 {
+					h := handles[int(op)%len(handles)]
+					if h.Active() {
+						expected--
+					}
+					e.Cancel(h)
+				}
+			case 2: // drain
+				e.Run()
+			}
+		}
+		e.Run()
+		return fired == expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -390,5 +524,47 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 			e.Schedule(Time(j%97)*Millisecond, func() {})
 		}
 		e.Run()
+	}
+}
+
+// BenchmarkScheduleFire measures the steady-state schedule+fire cycle — the
+// simulator's innermost loop. With the event free list this runs
+// allocation-free (pre-pool: 1 alloc, 48 B per event).
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Millisecond, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleFireDepth16 keeps 16 events queued so the sift loops do
+// real work, closer to a loaded simulation than the depth-1 case.
+func BenchmarkScheduleFireDepth16(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	for j := 0; j < 16; j++ {
+		e.Schedule(Time(j+1)*Millisecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(17*Millisecond, fn)
+		e.step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel cycle (timer reset,
+// the prune-timer pattern in mcast).
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.Schedule(Second, fn))
 	}
 }

@@ -50,6 +50,27 @@ func FromSeconds(s float64) Time {
 	return Time(s*float64(Second) - 0.5)
 }
 
+// MustMonotonic enforces the shared nondecreasing-time contract of recorded
+// samples: every time-series recorder in the repository (trace.Series,
+// metrics.Trace, ...) accepts samples only in nondecreasing time order,
+// because its consumers binary-search by time. Callers pass their package
+// name as context and, optionally, the series name; violations panic with
+// one uniform message so every recorder reports the bug identically:
+//
+//	<context>: out-of-order sample at <at> (last <last>) [in "<name>"]
+//
+// The check is branch-only on the happy path — no formatting, no
+// allocation — so it is safe in per-sample hot paths.
+func MustMonotonic(context, name string, at, last Time) {
+	if at >= last {
+		return
+	}
+	if name != "" {
+		panic(fmt.Sprintf("%s: out-of-order sample at %v (last %v) in %q", context, at, last, name))
+	}
+	panic(fmt.Sprintf("%s: out-of-order sample at %v (last %v)", context, at, last))
+}
+
 // TransmitTime returns the serialization delay of sizeBytes at rate bps
 // (bits per second), rounded up to the next microsecond. A rate of zero or
 // less panics: links must have a positive capacity.

@@ -231,22 +231,25 @@ func (s *Source) emitVBRBatch(layer int) {
 	}
 }
 
+// emit transmits one media packet on layer. Media packets are the hot path
+// — they come from the network's pool and are recycled as soon as every
+// tree branch has delivered or dropped them.
 func (s *Source) emit(layer int) {
 	idx := layer - 1
-	p := &netsim.Packet{
-		Kind:    netsim.Data,
-		Src:     s.node.ID,
-		Dst:     netsim.NoNode,
-		Group:   s.groups[idx],
-		Session: s.cfg.Session,
-		Layer:   layer,
-		Seq:     s.seq[idx],
-		Size:    s.cfg.packetSize(),
-		Sent:    s.net.Engine().Now(),
-	}
+	p := s.net.NewPacket()
+	p.Kind = netsim.Data
+	p.Src = s.node.ID
+	p.Dst = netsim.NoNode
+	p.Group = s.groups[idx]
+	p.Session = s.cfg.Session
+	p.Layer = layer
+	p.Seq = s.seq[idx]
+	p.Size = s.cfg.packetSize()
+	p.Sent = s.net.Engine().Now()
 	s.seq[idx]++
 	s.sent[idx]++
 	s.node.SendMulticastLocal(p)
+	p.Release()
 }
 
 // RatesGeometric returns n layer rates starting at base bits/s, each layer

@@ -23,10 +23,11 @@ type Series struct {
 // NewSeries creates an empty series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
-// Add appends a sample; time must be nondecreasing.
+// Add appends a sample; time must be nondecreasing (the shared
+// sim.MustMonotonic contract).
 func (s *Series) Add(at sim.Time, v float64) {
-	if n := len(s.Times); n > 0 && at < s.Times[n-1] {
-		panic(fmt.Sprintf("trace: out-of-order sample at %v in %q", at, s.Name))
+	if n := len(s.Times); n > 0 {
+		sim.MustMonotonic("trace", s.Name, at, s.Times[n-1])
 	}
 	s.Times = append(s.Times, at)
 	s.Values = append(s.Values, v)

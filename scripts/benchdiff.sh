@@ -1,0 +1,62 @@
+#!/bin/sh
+# benchdiff.sh - capture and compare hot-path microbenchmark runs.
+#
+# Usage:
+#   scripts/benchdiff.sh capture NAME        run bench-micro, save to bench/NAME.txt
+#   scripts/benchdiff.sh compare OLD NEW     diff two captures
+#
+# Capture before and after a change, then compare:
+#   scripts/benchdiff.sh capture base
+#   ... hack hack ...
+#   scripts/benchdiff.sh capture mine
+#   scripts/benchdiff.sh compare base mine
+#
+# Comparison uses benchstat when it is installed (go install
+# golang.org/x/perf/cmd/benchstat@latest); otherwise it falls back to a
+# plain side-by-side diff of the benchmark lines, which is enough to
+# eyeball ns/op and allocs/op movement.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCH_DIR=${BENCH_DIR:-bench}
+COUNT=${COUNT:-5}
+
+usage() {
+	sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+	exit 2
+}
+
+[ $# -ge 1 ] || usage
+cmd=$1
+shift
+
+case "$cmd" in
+capture)
+	[ $# -eq 1 ] || usage
+	mkdir -p "$BENCH_DIR"
+	out="$BENCH_DIR/$1.txt"
+	echo "capturing $COUNT samples per benchmark to $out" >&2
+	make --no-print-directory bench-micro COUNT="$COUNT" | tee "$out"
+	;;
+compare)
+	[ $# -eq 2 ] || usage
+	old="$BENCH_DIR/$1.txt"
+	new="$BENCH_DIR/$2.txt"
+	for f in "$old" "$new"; do
+		[ -f "$f" ] || { echo "missing capture $f (run: $0 capture <name>)" >&2; exit 1; }
+	done
+	if command -v benchstat >/dev/null 2>&1; then
+		benchstat "$old" "$new"
+	else
+		echo "benchstat not installed; falling back to raw line diff." >&2
+		echo "(go install golang.org/x/perf/cmd/benchstat@latest for stats)" >&2
+		echo "--- $old"
+		grep '^Benchmark' "$old" || true
+		echo "+++ $new"
+		grep '^Benchmark' "$new" || true
+	fi
+	;;
+*)
+	usage
+	;;
+esac

@@ -21,12 +21,13 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path microbenchmarks only: engine schedule/fire and packet-plane
-# forwarding. COUNT=5 (or any -count value) produces benchstat-ready
-# samples; pipe through scripts/benchdiff.sh to compare commits.
+# Hot-path microbenchmarks only: engine schedule/fire, packet-plane
+# forwarding, multicast replication and the controller's per-interval pass.
+# COUNT=5 (or any -count value) produces benchstat-ready samples; pipe
+# through scripts/benchdiff.sh to compare commits.
 COUNT ?= 1
 bench-micro:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./internal/sim ./internal/netsim
+	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./internal/sim ./internal/netsim ./internal/mcast ./internal/core
 
 # Quick sweep with machine-readable results: wall time, events/s and
 # packet counts per run land in BENCH_quick.json for cross-commit

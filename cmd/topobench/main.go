@@ -16,6 +16,7 @@
 //	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)
 //	topobench -json BENCH_full.json # machine-readable results + run metadata
 //	topobench -timeout 10m         # per-run wall-clock budget
+//	topobench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"toposense/internal/experiments"
+	"toposense/internal/prof"
 	"toposense/internal/runner"
 )
 
@@ -38,7 +40,15 @@ func main() {
 	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", true, "report per-run completion on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var selected []experiments.Experiment
 	if *fig == "all" {
@@ -86,6 +96,12 @@ func main() {
 	runtime.ReadMemStats(&memAfter)
 
 	exitCode := 0
+	// Profiles cover the sweep only; stop before rendering so report
+	// formatting does not pollute them (and before any os.Exit).
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exitCode = 1
+	}
 	for i, ex := range selected {
 		out, err := ex.Render(results[slices[i].lo:slices[i].hi])
 		if err != nil {

@@ -14,6 +14,7 @@
 //	toposim -topology tiered -seed 3
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
+//	toposim -topology B -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"toposense/internal/core"
 	"toposense/internal/experiments"
 	"toposense/internal/metrics"
+	"toposense/internal/prof"
 	"toposense/internal/sim"
 	"toposense/internal/topology"
 	"toposense/internal/trace"
@@ -64,7 +66,15 @@ func main() {
 	tsvDir := flag.String("tsv", "", "directory to write per-receiver level/loss time series as TSV")
 	explain := flag.Bool("explain", false, "print the algorithm's per-node decisions for the final interval")
 	jsonPath := flag.String("json", "", "write the result + run metadata to this file (e.g. BENCH_sim.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var tr experiments.Traffic
 	switch strings.ToLower(*traffic) {
@@ -206,6 +216,12 @@ func main() {
 	result := spec.Execute(0)
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
+	// Profiles cover the simulation itself, not report formatting; stop
+	// here so the later os.Exit paths cannot lose them.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if result.Failed() {
 		fmt.Fprintf(os.Stderr, "run failed: %s\n", result.Err)
 		os.Exit(1)

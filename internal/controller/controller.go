@@ -75,7 +75,9 @@ type Controller struct {
 	ReportsRecv     int64
 	RegistersRecv   int64
 
-	// OnStep, if set, observes each step's inputs and outputs.
+	// OnStep, if set, observes each step's inputs and outputs. The out
+	// slice is backed by the algorithm's scratch arena and only valid for
+	// the duration of the call; copy it to retain.
 	OnStep func(now sim.Time, in core.Input, out []core.Suggestion)
 }
 

@@ -79,6 +79,11 @@ type Algorithm struct {
 	links    map[Edge]*linkState
 	backoffs map[backoffKey]sim.Time
 
+	// scratch is the per-step working arena: every slice and map in it is
+	// reset — never reallocated — at the start of each Step, so steady-state
+	// intervals run without allocating.
+	scratch stepScratch
+
 	lastCapacityReset sim.Time
 	steps             int64
 	explain           *explainState // non-nil once EnableExplain is called
@@ -106,59 +111,218 @@ func (a *Algorithm) Config() Config { return a.cfg }
 // Steps returns how many intervals have been processed.
 func (a *Algorithm) Steps() int64 { return a.steps }
 
-// sessionPass holds one session's per-step working state.
+// sessionPass holds one session's per-step working state, flattened onto
+// dense local indices: node i is the i-th node of the session tree in BFS
+// order, so a parent's index is always smaller than its children's. The
+// localized tree and every per-node column are plain slices owned by the
+// Algorithm's scratch arena; bind rebuilds them in place each Step.
 type sessionPass struct {
-	topo      *Topology
-	order     []NodeID // top-down BFS order
-	report    map[NodeID]*ReceiverState
-	loss      map[NodeID]float64   // min-over-children loss (stage 1)
-	congest   map[NodeID]bool      // congestion state (stage 1)
-	subBytes  map[NodeID]int64     // max bytes by any receiver in the subtree
-	recvCount map[NodeID]int       // receivers in the subtree rooted at the node
-	level     map[NodeID]int       // current subscription (leaf: report; internal: max of children)
-	bneck     map[NodeID]float64   // bottleneck bandwidth root->node (stage 3)
-	maxBW     map[NodeID]float64   // max bottleneck over children (stage 3)
-	demand    map[NodeID]int       // stage 5 demand
-	supply    map[NodeID]int       // stage 5 allocation
-	decisions map[NodeID]*Decision // explain records, nil unless enabled
+	topo *Topology
+
+	// Localized tree, rebuilt by bind.
+	nodes    []NodeID         // local index -> NodeID, BFS order
+	index    map[NodeID]int32 // NodeID -> local index (retained, cleared per step)
+	parent   []int32          // local parent index; -1 at the root
+	kidStart []int32          // children of i are kids[kidStart[i]:kidStart[i+1]]
+	kids     []int32
+	recv     []bool // node has an attached receiver
+
+	// Per-node columns, indexed by local index.
+	report    []*ReceiverState
+	loss      []float64   // min-over-children loss (stage 1)
+	congest   []bool      // congestion state (stage 1)
+	subBytes  []int64     // max bytes by any receiver in the subtree
+	recvCount []int       // receivers in the subtree rooted at the node
+	level     []int       // current subscription (leaf: report; internal: max of children)
+	bneck     []float64   // bottleneck bandwidth root->node (stage 3)
+	maxBW     []float64   // max bottleneck over children (stage 3)
+	demand    []int       // stage 5 demand
+	supply    []int       // stage 5 allocation
+	avail     []float64   // stage 4 scratch: bandwidth if other sessions sit at base
+	possible  []int       // stage 4 scratch: max possible demand in layers
+	decisions []*Decision // explain records, nil unless enabled
+}
+
+// children returns the local indices of node i's children.
+func (p *sessionPass) children(i int32) []int32 {
+	return p.kids[p.kidStart[i]:p.kidStart[i+1]]
+}
+
+// isLeaf reports whether local node i has no children in this topology.
+func (p *sessionPass) isLeaf(i int32) bool { return p.kidStart[i] == p.kidStart[i+1] }
+
+// bind points the pass at a topology and rebuilds the localized tree and
+// per-node columns in place. Only capacity growth allocates; once the arena
+// has seen the largest tree of the workload, bind is allocation-free.
+func (p *sessionPass) bind(topo *Topology) {
+	p.topo = topo
+	if p.index == nil {
+		p.index = make(map[NodeID]int32, len(topo.Parent)+1)
+	} else {
+		clear(p.index)
+	}
+	p.nodes = p.nodes[:0]
+	p.parent = p.parent[:0]
+	p.kidStart = p.kidStart[:0]
+	p.kids = p.kids[:0]
+	p.recv = p.recv[:0]
+
+	p.nodes = append(p.nodes, topo.Root)
+	p.index[topo.Root] = 0
+	p.parent = append(p.parent, -1)
+	p.recv = append(p.recv, topo.Receivers[topo.Root])
+	// BFS using p.nodes itself as the queue; children of node i land
+	// contiguously in p.kids, forming the CSR layout as a side effect.
+	for i := 0; i < len(p.nodes); i++ {
+		p.kidStart = append(p.kidStart, int32(len(p.kids)))
+		for _, c := range topo.Children[p.nodes[i]] {
+			ci := int32(len(p.nodes))
+			p.index[c] = ci
+			p.nodes = append(p.nodes, c)
+			p.parent = append(p.parent, int32(i))
+			p.recv = append(p.recv, topo.Receivers[c])
+			p.kids = append(p.kids, ci)
+		}
+	}
+	p.kidStart = append(p.kidStart, int32(len(p.kids)))
+
+	n := len(p.nodes)
+	p.report = resetSlice(p.report, n)
+	p.loss = resetSlice(p.loss, n)
+	p.congest = resetSlice(p.congest, n)
+	p.subBytes = resetSlice(p.subBytes, n)
+	p.recvCount = resetSlice(p.recvCount, n)
+	p.level = resetSlice(p.level, n)
+	p.bneck = resetSlice(p.bneck, n)
+	p.maxBW = resetSlice(p.maxBW, n)
+	p.demand = resetSlice(p.demand, n)
+	p.supply = resetSlice(p.supply, n)
+	p.avail = resetSlice(p.avail, n)
+	p.possible = resetSlice(p.possible, n)
+}
+
+// resetSlice returns s with length n and every element zeroed, reusing the
+// backing array whenever it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// capObs aggregates one edge's per-session observations (stage 2).
+type capObs struct {
+	losses    []float64 // one per session using the edge
+	bytes     []int64   // max subtree bytes per session (observed volume)
+	receivers int       // total receivers behind the edge
+	congested bool      // any session's child node labeled CONGESTED
+}
+
+func (o *capObs) reset() {
+	o.losses = o.losses[:0]
+	o.bytes = o.bytes[:0]
+	o.receivers = 0
+	o.congested = false
+}
+
+// edgeUse records which sessions cross one edge (stage 4).
+type edgeUse struct {
+	sessions []int32 // indices into the step's passes
+	children []int32 // local index of the edge's child node in that pass
+}
+
+func (u *edgeUse) reset() {
+	u.sessions = u.sessions[:0]
+	u.children = u.children[:0]
+}
+
+// stepScratch is the reusable working set of one Step: session passes,
+// per-edge aggregation entries, the suggestion output buffer and the typed
+// sorters (sorting through pre-bound sort.Interface values avoids the
+// per-call closure and header allocations of sort.Slice).
+type stepScratch struct {
+	passes   []sessionPass
+	passPtrs []*sessionPass
+	out      []Suggestion
+
+	// Stage 2: per-edge observation arena.
+	capIdx   map[Edge]int32
+	capObs   []capObs
+	capEdges []Edge
+
+	// Stage 4: per-edge usage arena and fair shares.
+	useIdx   map[Edge]int32
+	uses     []edgeUse
+	useEdges []Edge
+	weights  []float64
+	shares   map[shareKey]float64
+
+	sugSorter  suggestionSorter
+	edgeSorter edgeSorter
+}
+
+type suggestionSorter struct{ s []Suggestion }
+
+func (x *suggestionSorter) Len() int      { return len(x.s) }
+func (x *suggestionSorter) Swap(i, j int) { x.s[i], x.s[j] = x.s[j], x.s[i] }
+func (x *suggestionSorter) Less(i, j int) bool {
+	if x.s[i].Session != x.s[j].Session {
+		return x.s[i].Session < x.s[j].Session
+	}
+	return x.s[i].Node < x.s[j].Node
+}
+
+type edgeSorter struct{ s []Edge }
+
+func (x *edgeSorter) Len() int      { return len(x.s) }
+func (x *edgeSorter) Swap(i, j int) { x.s[i], x.s[j] = x.s[j], x.s[i] }
+func (x *edgeSorter) Less(i, j int) bool {
+	if x.s[i].From != x.s[j].From {
+		return x.s[i].From < x.s[j].From
+	}
+	return x.s[i].To < x.s[j].To
 }
 
 // Step runs one full decision interval over every session and returns the
-// per-receiver subscription suggestions, sorted by (session, node).
+// per-receiver subscription suggestions, sorted by (session, node). The
+// returned slice is backed by the algorithm's scratch arena and is only
+// valid until the next Step call; callers that need to keep it must copy.
 func (a *Algorithm) Step(in Input) []Suggestion {
 	a.steps++
 	a.resetExplain()
 
-	// Build per-session passes; skip sessions with no usable topology.
-	passes := make([]*sessionPass, 0, len(in.Topologies))
+	s := &a.scratch
+	// Bind per-session passes in the scratch arena; skip sessions with no
+	// usable topology. Grow the arena first so the pass pointers stay valid.
+	for len(s.passes) < len(in.Topologies) {
+		s.passes = append(s.passes, sessionPass{})
+	}
+	s.passPtrs = s.passPtrs[:0]
+	used := 0
 	for _, topo := range in.Topologies {
 		if topo == nil || topo.Root == NodeIDNone {
 			continue
 		}
-		p := &sessionPass{
-			topo:      topo,
-			order:     topo.BFSOrder(),
-			report:    make(map[NodeID]*ReceiverState),
-			loss:      make(map[NodeID]float64),
-			congest:   make(map[NodeID]bool),
-			subBytes:  make(map[NodeID]int64),
-			recvCount: make(map[NodeID]int),
-			level:     make(map[NodeID]int),
-			bneck:     make(map[NodeID]float64),
-			maxBW:     make(map[NodeID]float64),
-			demand:    make(map[NodeID]int),
-			supply:    make(map[NodeID]int),
-		}
+		p := &s.passes[used]
+		used++
+		p.bind(topo)
 		if a.explain != nil {
-			p.decisions = make(map[NodeID]*Decision)
+			p.decisions = resetSlice(p.decisions, len(p.nodes))
+		} else {
+			p.decisions = nil
 		}
-		passes = append(passes, p)
+		s.passPtrs = append(s.passPtrs, p)
 	}
+	passes := s.passPtrs
 	for i := range in.Reports {
 		r := &in.Reports[i]
 		for _, p := range passes {
 			if p.topo.Session == r.Session {
-				p.report[r.Node] = r
+				if li, ok := p.index[r.Node]; ok {
+					p.report[li] = r
+				}
 			}
 		}
 	}
@@ -176,28 +340,25 @@ func (a *Algorithm) Step(in Input) []Suggestion {
 	// Stage 4: inter-session bandwidth sharing on shared links.
 	shares := a.shareBandwidth(passes)
 	// Stage 5: demand computation + supply allocation.
-	var out []Suggestion
+	out := s.out[:0]
 	for _, p := range passes {
 		a.computeDemand(in.Now, p)
 		a.allocateSupply(p, shares)
-		for _, n := range p.order {
-			if p.topo.Receivers[n] {
-				out = append(out, Suggestion{Node: n, Session: p.topo.Session, Level: p.supply[n]})
+		for i := range p.nodes {
+			if p.recv[i] {
+				out = append(out, Suggestion{Node: p.nodes[i], Session: p.topo.Session, Level: p.supply[i]})
 			}
 			if p.decisions != nil {
-				if d := p.decisions[n]; d != nil {
-					d.Supply = p.supply[n]
+				if d := p.decisions[i]; d != nil {
+					d.Supply = p.supply[i]
 					a.record(*d)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Session != out[j].Session {
-			return out[i].Session < out[j].Session
-		}
-		return out[i].Node < out[j].Node
-	})
+	s.out = out
+	s.sugSorter.s = out
+	sort.Sort(&s.sugSorter)
 
 	// Roll per-node state forward and garbage-collect.
 	a.rollState(in.Now, passes)
@@ -212,23 +373,23 @@ const NodeIDNone = NodeID(-1)
 // per-node state and drops state for nodes gone from every topology.
 func (a *Algorithm) rollState(now sim.Time, passes []*sessionPass) {
 	for _, p := range passes {
-		for _, n := range p.order {
+		for i, n := range p.nodes {
 			st := a.stateOf(p.topo.Session, n)
 			bit := uint8(0)
-			if p.congest[n] {
+			if p.congest[i] {
 				bit = 1
 			}
 			st.hist = ((st.hist << 1) | bit) & 7
 			st.bwPrev2 = st.bwPrev
-			st.bwPrev = p.subBytes[n]
+			st.bwPrev = p.subBytes[i]
 			// Record only genuine cuts — allocations that force current
 			// subscribers down — not the natural end of an upward probe
 			// (supply shrinking back toward the actual level).
-			if p.supply[n] < st.supplyPrev && p.supply[n] < p.level[n] {
+			if p.supply[i] < st.supplyPrev && p.supply[i] < p.level[i] {
 				st.lastReduce = now
 			}
 			st.supplyPrev2 = st.supplyPrev
-			st.supplyPrev = p.supply[n]
+			st.supplyPrev = p.supply[i]
 			st.lastSeen = now
 		}
 	}

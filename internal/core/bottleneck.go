@@ -8,23 +8,22 @@ import "math"
 // bottleneck over its children — a parent serving a fast subtree and a slow
 // subtree must itself carry what the fast subtree can take.
 func (a *Algorithm) computeBottlenecks(p *sessionPass) {
-	for _, n := range p.order { // top-down
-		parent, ok := p.topo.Parent[n]
-		if !ok {
-			p.bneck[n] = math.Inf(1)
+	for i := range p.nodes { // top-down
+		par := p.parent[i]
+		if par < 0 {
+			p.bneck[i] = math.Inf(1)
 			continue
 		}
 		cap := math.Inf(1)
-		if ls := a.links[Edge{From: parent, To: n}]; ls != nil {
+		if ls := a.links[Edge{From: p.nodes[par], To: p.nodes[i]}]; ls != nil {
 			cap = ls.capacity
 		}
-		p.bneck[n] = math.Min(p.bneck[parent], cap)
+		p.bneck[i] = math.Min(p.bneck[par], cap)
 	}
-	for i := len(p.order) - 1; i >= 0; i-- { // bottom-up
-		n := p.order[i]
-		kids := p.topo.Children[n]
+	for i := int32(len(p.nodes)) - 1; i >= 0; i-- { // bottom-up
+		kids := p.children(i)
 		if len(kids) == 0 {
-			p.maxBW[n] = p.bneck[n]
+			p.maxBW[i] = p.bneck[i]
 			continue
 		}
 		max := 0.0
@@ -35,9 +34,9 @@ func (a *Algorithm) computeBottlenecks(p *sessionPass) {
 		}
 		// A transit node with its own receiver can itself demand up to its
 		// bottleneck.
-		if p.topo.Receivers[n] && p.bneck[n] > max {
-			max = p.bneck[n]
+		if p.recv[i] && p.bneck[i] > max {
+			max = p.bneck[i]
 		}
-		p.maxBW[n] = max
+		p.maxBW[i] = max
 	}
 }

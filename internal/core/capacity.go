@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"toposense/internal/sim"
 )
@@ -36,37 +37,44 @@ func (a *Algorithm) estimateCapacities(now sim.Time, passes []*sessionPass) {
 		}
 	}
 
-	// Collect per-edge observations across sessions.
-	type obs struct {
-		losses    []float64 // one per session using the edge
-		bytes     []int64   // max subtree bytes per session (observed volume)
-		receivers int       // total receivers behind the edge
-		congested bool      // any session's child node labeled CONGESTED
+	// Collect per-edge observations across sessions into the scratch arena:
+	// index map, observation entries and the edge worklist all persist from
+	// step to step and are reset, not rebuilt.
+	s := &a.scratch
+	if s.capIdx == nil {
+		s.capIdx = make(map[Edge]int32)
+	} else {
+		clear(s.capIdx)
 	}
-	edges := make(map[Edge]*obs)
+	s.capEdges = s.capEdges[:0]
 	for _, p := range passes {
-		for _, n := range p.order {
-			e, ok := p.topo.EdgeTo(n)
+		for i := 1; i < len(p.nodes); i++ { // every node but the root has an edge
+			e := Edge{From: p.nodes[p.parent[i]], To: p.nodes[i]}
+			oi, ok := s.capIdx[e]
 			if !ok {
-				continue
+				oi = int32(len(s.capEdges))
+				if int(oi) == len(s.capObs) {
+					s.capObs = append(s.capObs, capObs{})
+				}
+				s.capObs[oi].reset()
+				s.capIdx[e] = oi
+				s.capEdges = append(s.capEdges, e)
 			}
-			o := edges[e]
-			if o == nil {
-				o = &obs{}
-				edges[e] = o
-			}
-			o.losses = append(o.losses, p.loss[n])
-			o.bytes = append(o.bytes, p.subBytes[n])
-			o.receivers += p.recvCount[n]
-			if p.congest[n] {
+			o := &s.capObs[oi]
+			o.losses = append(o.losses, p.loss[i])
+			o.bytes = append(o.bytes, p.subBytes[i])
+			o.receivers += p.recvCount[i]
+			if p.congest[i] {
 				o.congested = true
 			}
 		}
 	}
+	s.edgeSorter.s = s.capEdges
+	sort.Sort(&s.edgeSorter)
 
 	interval := a.cfg.Interval.Seconds()
-	for _, e := range sortedEdges(edges) {
-		o := edges[e]
+	for _, e := range s.capEdges {
+		o := &s.capObs[s.capIdx[e]]
 		ls := a.links[e]
 		if ls == nil {
 			ls = &linkState{capacity: math.Inf(1)}

@@ -11,11 +11,10 @@ import "math"
 // capacities). Also derives each node's current subscription level as the
 // maximum over its subtree's receivers.
 func (a *Algorithm) computeCongestion(p *sessionPass) {
-	order := p.order
-	// Bottom-up: leaves first.
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
-		kids := p.topo.Children[n]
+	// Bottom-up: leaves first. BFS order puts every child after its parent,
+	// so walking the local indices backwards visits children first.
+	for i := int32(len(p.nodes)) - 1; i >= 0; i-- {
+		kids := p.children(i)
 		loss := math.Inf(1)
 		var bytes int64
 		level := 0
@@ -32,7 +31,7 @@ func (a *Algorithm) computeCongestion(p *sessionPass) {
 		}
 		// A receiver attached at this node (leaf, or a transit host with a
 		// local member) contributes like a virtual child.
-		if r, ok := p.report[n]; ok && p.topo.Receivers[n] {
+		if r := p.report[i]; r != nil && p.recv[i] {
 			if r.LossRate < loss {
 				loss = r.LossRate
 			}
@@ -48,34 +47,34 @@ func (a *Algorithm) computeCongestion(p *sessionPass) {
 			// not heard from yet. Assume no loss.
 			loss = 0
 		}
-		p.loss[n] = loss
-		p.subBytes[n] = bytes
-		p.level[n] = level
+		p.loss[i] = loss
+		p.subBytes[i] = bytes
+		p.level[i] = level
 		count := 0
-		if p.topo.Receivers[n] {
+		if p.recv[i] {
 			count = 1
 		}
 		for _, c := range kids {
 			count += p.recvCount[c]
 		}
-		p.recvCount[n] = count
+		p.recvCount[i] = count
 
-		if p.topo.IsLeaf(n) {
+		if len(kids) == 0 {
 			// "A leaf node is congested if the packet loss rate at that
 			// node is higher than a threshold."
-			p.congest[n] = p.loss[n] > a.cfg.PThreshold
+			p.congest[i] = p.loss[i] > a.cfg.PThreshold
 			continue
 		}
-		p.congest[n] = a.internalSelfCongested(p, n)
+		p.congest[i] = a.internalSelfCongested(p, i)
 	}
 	// Top-down: an internal node is also congested when its parent is.
-	for _, n := range order {
-		parent, ok := p.topo.Parent[n]
-		if !ok {
+	for i := range p.nodes {
+		par := p.parent[i]
+		if par < 0 {
 			continue
 		}
-		if p.congest[parent] && !p.topo.IsLeaf(n) {
-			p.congest[n] = true
+		if p.congest[par] && !p.isLeaf(int32(i)) {
+			p.congest[i] = true
 		}
 	}
 }
@@ -86,8 +85,8 @@ func (a *Algorithm) computeCongestion(p *sessionPass) {
 // the mean child loss — i.e. the children are losing together, pointing at
 // the shared upstream link rather than at independent downstream
 // bottlenecks.
-func (a *Algorithm) internalSelfCongested(p *sessionPass, n NodeID) bool {
-	kids := p.topo.Children[n]
+func (a *Algorithm) internalSelfCongested(p *sessionPass, i int32) bool {
+	kids := p.children(i)
 	if len(kids) == 0 {
 		return false
 	}

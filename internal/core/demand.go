@@ -21,67 +21,67 @@ import (
 //     adds and also robust when a reduction sheds several layers at once.)
 func (a *Algorithm) computeDemand(now sim.Time, p *sessionPass) {
 	session := p.topo.Session
-	for i := len(p.order) - 1; i >= 0; i-- {
-		n := p.order[i]
-		level := p.level[n]
+	for i := int32(len(p.nodes)) - 1; i >= 0; i-- {
+		n := p.nodes[i]
+		level := p.level[i]
 		st := a.peekState(session, n)
-		hist, rel := a.tableInputs(st, p, n)
+		hist, rel := a.tableInputs(st, p, i)
 
-		parent, hasParent := p.topo.Parent[n]
-		parentCongested := hasParent && p.congest[parent]
-		leaf := p.topo.IsLeaf(n)
+		par := p.parent[i]
+		parentCongested := par >= 0 && p.congest[par]
+		leaf := p.isLeaf(i)
 
 		var act Action
 		if leaf {
 			act = LeafAction(hist, rel)
 			if parentCongested {
 				// Defer to the subtree root: it will reduce for everyone.
-				p.demand[n] = level
+				p.demand[i] = level
 			} else {
-				p.demand[n] = a.leafDemand(now, p, n, level, st, act)
+				p.demand[i] = a.leafDemand(now, p, i, level, st, act)
 			}
 		} else {
 			// Internal: aggregate children (plus a co-located receiver).
 			agg := 0
-			for _, c := range p.topo.Children[n] {
+			for _, c := range p.children(i) {
 				if p.demand[c] > agg {
 					agg = p.demand[c]
 				}
 			}
-			if p.topo.Receivers[n] && level > agg {
+			if p.recv[i] && level > agg {
 				agg = level
 			}
 			act = InternalAction(hist, rel)
 			if parentCongested {
-				p.demand[n] = agg
+				p.demand[i] = agg
 			} else {
-				p.demand[n] = a.internalDemand(now, p, n, level, agg, st, act)
+				p.demand[i] = a.internalDemand(now, p, i, level, agg, st, act)
 			}
 		}
 
 		if p.decisions != nil {
-			p.decisions[n] = &Decision{
+			p.decisions[i] = &Decision{
 				At:        now,
 				Session:   session,
 				Node:      n,
 				Leaf:      leaf,
-				Congested: p.congest[n],
+				Congested: p.congest[i],
 				Hist:      hist,
 				Rel:       rel,
 				Action:    act,
 				Deferred:  parentCongested,
 				Cooling:   a.coolingDown(now, st),
 				Level:     level,
-				Demand:    p.demand[n],
+				Demand:    p.demand[i],
 			}
 		}
 	}
 }
 
-// tableInputs assembles the Table-I keys for node n: the 3-bit congestion
-// history ending with the current interval, and the BW relation between the
-// two preceding intervals' byte counts.
-func (a *Algorithm) tableInputs(st *nodeState, p *sessionPass, n NodeID) (uint8, BWRel) {
+// tableInputs assembles the Table-I keys for local node i: the 3-bit
+// congestion history ending with the current interval, and the BW relation
+// between the two preceding intervals' byte counts.
+func (a *Algorithm) tableInputs(st *nodeState, p *sessionPass, i int32) (uint8, BWRel) {
 	var prevHist uint8
 	var bwOld int64
 	if st != nil {
@@ -89,11 +89,11 @@ func (a *Algorithm) tableInputs(st *nodeState, p *sessionPass, n NodeID) (uint8,
 		bwOld = st.bwPrev
 	}
 	bit := uint8(0)
-	if p.congest[n] {
+	if p.congest[i] {
 		bit = 1
 	}
 	hist := ((prevHist << 1) | bit) & 7
-	rel := CompareBW(bwOld, p.subBytes[n], a.cfg.BWEqualTol)
+	rel := CompareBW(bwOld, p.subBytes[i], a.cfg.BWEqualTol)
 	return hist, rel
 }
 
@@ -118,8 +118,9 @@ func (a *Algorithm) coolingDown(now sim.Time, st *nodeState) bool {
 	return now-st.lastReduce < 2*a.cfg.Interval+a.cfg.Interval/2
 }
 
-func (a *Algorithm) leafDemand(now sim.Time, p *sessionPass, n NodeID, level int, st *nodeState, act Action) int {
+func (a *Algorithm) leafDemand(now sim.Time, p *sessionPass, i int32, level int, st *nodeState, act Action) int {
 	session := p.topo.Session
+	n := p.nodes[i]
 	oldSupply, _ := supplies(st)
 	if a.coolingDown(now, st) && act != ActAdd && act != ActMaintain {
 		return level
@@ -137,7 +138,7 @@ func (a *Algorithm) leafDemand(now sim.Time, p *sessionPass, n NodeID, level int
 	case ActMaintain:
 		return level
 	case ActDropIfHighLoss:
-		if p.loss[n] <= a.cfg.HighLoss {
+		if p.loss[i] <= a.cfg.HighLoss {
 			return level
 		}
 		d := clampLevel(level-1, level)
@@ -151,7 +152,7 @@ func (a *Algorithm) leafDemand(now sim.Time, p *sessionPass, n NodeID, level int
 		a.armBackoffs(now, session, n, d, level)
 		return d
 	case ActHalveSupplyOldIfVeryHigh:
-		if p.loss[n] <= a.cfg.VeryHighLoss {
+		if p.loss[i] <= a.cfg.VeryHighLoss {
 			return level
 		}
 		return clampLevel(a.halfLevel(oldSupply), level)
@@ -160,8 +161,9 @@ func (a *Algorithm) leafDemand(now sim.Time, p *sessionPass, n NodeID, level int
 	}
 }
 
-func (a *Algorithm) internalDemand(now sim.Time, p *sessionPass, n NodeID, level, agg int, st *nodeState, act Action) int {
+func (a *Algorithm) internalDemand(now sim.Time, p *sessionPass, i int32, level, agg int, st *nodeState, act Action) int {
 	session := p.topo.Session
+	n := p.nodes[i]
 	oldSupply, recentSupply := supplies(st)
 	if a.coolingDown(now, st) && (act == ActHalveSupplyRecent || act == ActHalveSupplyOld) {
 		return agg
@@ -230,16 +232,16 @@ func (a *Algorithm) armBackoffs(now sim.Time, session int, n NodeID, d, level in
 // nodes are never allocated below the base layer.
 func (a *Algorithm) allocateSupply(p *sessionPass, shares map[shareKey]float64) {
 	session := p.topo.Session
-	for _, n := range p.order {
-		parent, ok := p.topo.Parent[n]
-		if !ok {
-			p.supply[n] = minInt(p.demand[n], a.cfg.MaxLevel())
-			if p.topo.Receivers[n] && p.supply[n] < 1 {
-				p.supply[n] = 1
+	for i := range p.nodes {
+		par := p.parent[i]
+		if par < 0 {
+			p.supply[i] = minInt(p.demand[i], a.cfg.MaxLevel())
+			if p.recv[i] && p.supply[i] < 1 {
+				p.supply[i] = 1
 			}
 			continue
 		}
-		e := Edge{From: parent, To: n}
+		e := Edge{From: p.nodes[par], To: p.nodes[i]}
 		bw := math.Inf(1)
 		if ls := a.links[e]; ls != nil {
 			bw = ls.capacity
@@ -251,11 +253,11 @@ func (a *Algorithm) allocateSupply(p *sessionPass, shares map[shareKey]float64) 
 		if !math.IsInf(bw, 1) {
 			allowed = a.cfg.LevelFor(bw)
 		}
-		s := minInt(minInt(p.demand[n], p.supply[parent]), allowed)
-		if p.topo.Receivers[n] && s < 1 {
+		s := minInt(minInt(p.demand[i], p.supply[par]), allowed)
+		if p.recv[i] && s < 1 {
 			s = 1 // every registered receiver keeps the base layer
 		}
-		p.supply[n] = s
+		p.supply[i] = s
 	}
 }
 

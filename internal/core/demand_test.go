@@ -227,18 +227,18 @@ func TestSupplyNeverExceedsDemandOrParent(t *testing.T) {
 		shares := a.shareBandwidth([]*sessionPass{p})
 		a.computeDemand(now, p)
 		a.allocateSupply(p, shares)
-		for _, n := range p.order {
-			if p.supply[n] > p.demand[n] && !(p.topo.Receivers[n] && p.supply[n] == 1) {
-				t.Fatalf("interval %d: supply %d > demand %d at node %d", i, p.supply[n], p.demand[n], n)
+		for _, n := range p.nodes {
+			if p.supplyAt(n) > p.demandAt(n) && !(p.topo.Receivers[n] && p.supplyAt(n) == 1) {
+				t.Fatalf("interval %d: supply %d > demand %d at node %d", i, p.supplyAt(n), p.demandAt(n), n)
 			}
 			if parent, ok := p.topo.Parent[n]; ok {
-				limit := p.supply[parent]
+				limit := p.supplyAt(parent)
 				if limit < 1 {
 					limit = 1 // receivers keep the base layer
 				}
-				if p.supply[n] > limit {
+				if p.supplyAt(n) > limit {
 					t.Fatalf("interval %d: child %d supply %d exceeds parent %d supply %d",
-						i, n, p.supply[n], parent, p.supply[parent])
+						i, n, p.supplyAt(n), parent, p.supplyAt(parent))
 				}
 			}
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // shareKey addresses one session's share on one shared edge.
 type shareKey struct {
@@ -18,50 +21,55 @@ type shareKey struct {
 // the base-layer rate. Weights are taken in bandwidth units (the cumulative
 // rate of the possible demand) rather than raw layer counts, since layers
 // double in rate and a layer-count ratio would starve high-rate sessions.
+// The returned map lives in the scratch arena and is valid until the next
+// Step.
 func (a *Algorithm) shareBandwidth(passes []*sessionPass) map[shareKey]float64 {
-	// Which sessions use each edge.
-	type edgeUse struct {
-		sessions []int // indices into passes
-		children []NodeID
+	// Which sessions use each edge, gathered into the scratch arena.
+	s := &a.scratch
+	if s.useIdx == nil {
+		s.useIdx = make(map[Edge]int32)
+	} else {
+		clear(s.useIdx)
 	}
-	edges := make(map[Edge]*edgeUse)
+	s.useEdges = s.useEdges[:0]
 	for pi, p := range passes {
-		for _, n := range p.order {
-			e, ok := p.topo.EdgeTo(n)
+		for i := 1; i < len(p.nodes); i++ {
+			e := Edge{From: p.nodes[p.parent[i]], To: p.nodes[i]}
+			ui, ok := s.useIdx[e]
 			if !ok {
-				continue
+				ui = int32(len(s.useEdges))
+				if int(ui) == len(s.uses) {
+					s.uses = append(s.uses, edgeUse{})
+				}
+				s.uses[ui].reset()
+				s.useIdx[e] = ui
+				s.useEdges = append(s.useEdges, e)
 			}
-			u := edges[e]
-			if u == nil {
-				u = &edgeUse{}
-				edges[e] = u
-			}
-			u.sessions = append(u.sessions, pi)
-			u.children = append(u.children, n)
+			u := &s.uses[ui]
+			u.sessions = append(u.sessions, int32(pi))
+			u.children = append(u.children, int32(i))
 		}
 	}
 
 	base := a.cfg.LayerRates[0]
 
 	// Per session: top-down "available if others at base" bandwidth.
-	avail := make([]map[NodeID]float64, len(passes))
 	for pi, p := range passes {
-		av := make(map[NodeID]float64, len(p.order))
-		for _, n := range p.order {
-			parent, ok := p.topo.Parent[n]
-			if !ok {
-				av[n] = math.Inf(1)
+		for i := range p.nodes {
+			par := p.parent[i]
+			if par < 0 {
+				p.avail[i] = math.Inf(1)
 				continue
 			}
-			e := Edge{From: parent, To: n}
+			e := Edge{From: p.nodes[par], To: p.nodes[i]}
 			bw := math.Inf(1)
 			if ls := a.links[e]; ls != nil && !math.IsInf(ls.capacity, 1) {
 				bw = ls.capacity
 				// Subtract the base layers of the other sessions on e.
-				if u := edges[e]; u != nil {
+				if ui, ok := s.useIdx[e]; ok {
 					others := 0
-					for _, si := range u.sessions {
-						if si != pi {
+					for _, si := range s.uses[ui].sessions {
+						if int(si) != pi {
 							others++
 						}
 					}
@@ -71,42 +79,43 @@ func (a *Algorithm) shareBandwidth(passes []*sessionPass) map[shareKey]float64 {
 					bw = base // a session is never assumed below its base layer
 				}
 			}
-			av[n] = math.Min(av[parent], bw)
+			p.avail[i] = math.Min(p.avail[par], bw)
 		}
-		avail[pi] = av
 	}
 
 	// Per session: bottom-up "maximum possible demand" in layers.
-	possible := make([]map[NodeID]int, len(passes))
-	for pi, p := range passes {
-		poss := make(map[NodeID]int, len(p.order))
-		for i := len(p.order) - 1; i >= 0; i-- {
-			n := p.order[i]
-			kids := p.topo.Children[n]
+	for _, p := range passes {
+		for i := int32(len(p.nodes)) - 1; i >= 0; i-- {
+			kids := p.children(i)
 			if len(kids) == 0 {
-				poss[n] = a.cfg.LevelFor(avail[pi][n])
+				p.possible[i] = a.cfg.LevelFor(p.avail[i])
 				continue
 			}
 			max := 0
 			for _, c := range kids {
-				if poss[c] > max {
-					max = poss[c]
+				if p.possible[c] > max {
+					max = p.possible[c]
 				}
 			}
-			if p.topo.Receivers[n] {
-				if own := a.cfg.LevelFor(avail[pi][n]); own > max {
+			if p.recv[i] {
+				if own := a.cfg.LevelFor(p.avail[i]); own > max {
 					max = own
 				}
 			}
-			poss[n] = max
+			p.possible[i] = max
 		}
-		possible[pi] = poss
 	}
 
 	// Fair shares on shared, finitely-estimated edges.
-	shares := make(map[shareKey]float64)
-	for _, e := range sortedEdges(edges) {
-		u := edges[e]
+	if s.shares == nil {
+		s.shares = make(map[shareKey]float64)
+	} else {
+		clear(s.shares)
+	}
+	s.edgeSorter.s = s.useEdges
+	sort.Sort(&s.edgeSorter)
+	for _, e := range s.useEdges {
+		u := &s.uses[s.useIdx[e]]
 		if len(u.sessions) < 2 {
 			continue
 		}
@@ -115,22 +124,24 @@ func (a *Algorithm) shareBandwidth(passes []*sessionPass) map[shareKey]float64 {
 			continue
 		}
 		var total float64
-		weights := make([]float64, len(u.sessions))
-		for i, si := range u.sessions {
-			x := possible[si][u.children[i]]
+		weights := s.weights[:0]
+		for k, si := range u.sessions {
+			x := passes[si].possible[u.children[k]]
 			if x < 1 {
 				x = 1
 			}
-			weights[i] = a.cfg.CumRate(x)
-			total += weights[i]
+			w := a.cfg.CumRate(x)
+			weights = append(weights, w)
+			total += w
 		}
-		for i, si := range u.sessions {
-			share := ls.capacity * weights[i] / total
+		s.weights = weights
+		for k, si := range u.sessions {
+			share := ls.capacity * weights[k] / total
 			if share < base {
 				share = base
 			}
-			shares[shareKey{edge: e, session: passes[si].topo.Session}] = share
+			s.shares[shareKey{edge: e, session: passes[si].topo.Session}] = share
 		}
 	}
-	return shares
+	return s.shares
 }

@@ -12,27 +12,37 @@ func testConfig() Config {
 	return NewConfig([]float64{32e3, 64e3, 128e3, 256e3, 512e3, 1024e3})
 }
 
-// newPass builds a sessionPass for a topology with given leaf reports.
+// newPass builds a standalone sessionPass for a topology with given leaf
+// reports, the way Step's bind/report loop would.
 func newPass(a *Algorithm, topo *Topology, reports []ReceiverState) *sessionPass {
-	p := &sessionPass{
-		topo:      topo,
-		order:     topo.BFSOrder(),
-		report:    map[NodeID]*ReceiverState{},
-		loss:      map[NodeID]float64{},
-		congest:   map[NodeID]bool{},
-		subBytes:  map[NodeID]int64{},
-		recvCount: map[NodeID]int{},
-		level:     map[NodeID]int{},
-		bneck:     map[NodeID]float64{},
-		maxBW:     map[NodeID]float64{},
-		demand:    map[NodeID]int{},
-		supply:    map[NodeID]int{},
-	}
+	p := &sessionPass{}
+	p.bind(topo)
 	for i := range reports {
-		p.report[reports[i].Node] = &reports[i]
+		if li, ok := p.index[reports[i].Node]; ok {
+			p.report[li] = &reports[i]
+		}
 	}
 	return p
 }
+
+// at translates a NodeID to its local index, so tests can keep addressing
+// pass columns by the topology's node numbers.
+func (p *sessionPass) at(n NodeID) int32 {
+	i, ok := p.index[n]
+	if !ok {
+		panic("node not in pass")
+	}
+	return i
+}
+
+func (p *sessionPass) lossAt(n NodeID) float64   { return p.loss[p.at(n)] }
+func (p *sessionPass) congestAt(n NodeID) bool   { return p.congest[p.at(n)] }
+func (p *sessionPass) subBytesAt(n NodeID) int64 { return p.subBytes[p.at(n)] }
+func (p *sessionPass) levelAt(n NodeID) int      { return p.level[p.at(n)] }
+func (p *sessionPass) bneckAt(n NodeID) float64  { return p.bneck[p.at(n)] }
+func (p *sessionPass) maxBWAt(n NodeID) float64  { return p.maxBW[p.at(n)] }
+func (p *sessionPass) demandAt(n NodeID) int     { return p.demand[p.at(n)] }
+func (p *sessionPass) supplyAt(n NodeID) int     { return p.supply[p.at(n)] }
 
 func TestCongestionLeafThreshold(t *testing.T) {
 	a := New(testConfig(), nil)
@@ -42,10 +52,10 @@ func TestCongestionLeafThreshold(t *testing.T) {
 		{Node: 3, Session: 0, Level: 2, LossRate: 0.01, Bytes: 800},
 	})
 	a.computeCongestion(p)
-	if !p.congest[2] {
+	if !p.congestAt(2) {
 		t.Error("leaf 2 at 10% loss not congested")
 	}
-	if p.congest[3] {
+	if p.congestAt(3) {
 		t.Error("leaf 3 at 1% loss congested")
 	}
 }
@@ -60,19 +70,19 @@ func TestCongestionInternalMinLoss(t *testing.T) {
 	})
 	a.computeCongestion(p)
 	// Internal loss = min over children.
-	if p.loss[1] != 0.02 {
-		t.Errorf("internal loss = %g, want 0.02", p.loss[1])
+	if p.lossAt(1) != 0.02 {
+		t.Errorf("internal loss = %g, want 0.02", p.lossAt(1))
 	}
 	// Max bytes in subtree.
-	if p.subBytes[1] != 1200 || p.subBytes[0] != 1200 {
-		t.Errorf("subBytes = %d/%d, want 1200", p.subBytes[1], p.subBytes[0])
+	if p.subBytesAt(1) != 1200 || p.subBytesAt(0) != 1200 {
+		t.Errorf("subBytes = %d/%d, want 1200", p.subBytesAt(1), p.subBytesAt(0))
 	}
 	// Level = max of children.
-	if p.level[1] != 4 {
-		t.Errorf("internal level = %d, want 4", p.level[1])
+	if p.levelAt(1) != 4 {
+		t.Errorf("internal level = %d, want 4", p.levelAt(1))
 	}
 	// One healthy child: the internal node is NOT congested.
-	if p.congest[1] {
+	if p.congestAt(1) {
 		t.Error("internal congested despite a healthy child")
 	}
 }
@@ -86,7 +96,7 @@ func TestCongestionInternalAllChildrenSimilar(t *testing.T) {
 		{Node: 4, Session: 0, LossRate: 0.18, Bytes: 500},
 	})
 	a.computeCongestion(p)
-	if !p.congest[1] {
+	if !p.congestAt(1) {
 		t.Error("internal node with uniformly lossy children not congested")
 	}
 }
@@ -110,7 +120,7 @@ func TestCongestionInternalDissimilarChildren(t *testing.T) {
 		{Node: 9, Session: 0, LossRate: 0.0, Bytes: 500},
 	})
 	a.computeCongestion(p)
-	if p.congest[1] {
+	if p.congestAt(1) {
 		t.Error("internal congested despite dissimilar child losses")
 	}
 }
@@ -130,11 +140,11 @@ func TestCongestionPropagatesFromParent(t *testing.T) {
 		{Node: 4, Session: 0, LossRate: 0.21, Bytes: 100},
 	})
 	a.computeCongestion(p)
-	if !p.congest[1] {
+	if !p.congestAt(1) {
 		t.Fatal("node 1 should be congested (similar lossy children)")
 	}
 	// Node 2 is internal: congested because its parent 1 is.
-	if !p.congest[2] {
+	if !p.congestAt(2) {
 		t.Error("internal child of congested parent not congested")
 	}
 }
@@ -147,11 +157,11 @@ func TestCongestionUnreportedLeafAssumedClean(t *testing.T) {
 		// leaf 3 never reported
 	})
 	a.computeCongestion(p)
-	if p.congest[3] {
+	if p.congestAt(3) {
 		t.Error("silent leaf treated as congested")
 	}
-	if p.loss[1] != 0 {
-		t.Errorf("internal min loss = %g, want 0 (silent child)", p.loss[1])
+	if p.lossAt(1) != 0 {
+		t.Errorf("internal min loss = %g, want 0 (silent child)", p.lossAt(1))
 	}
 }
 
@@ -294,17 +304,17 @@ func TestBottleneckPropagation(t *testing.T) {
 	a.links[Edge{From: 2, To: 3}] = &linkState{capacity: 500e3}
 	p := newPass(a, topo, nil)
 	a.computeBottlenecks(p)
-	if p.bneck[3] != 200e3 {
-		t.Errorf("bottleneck at leaf = %g, want 200e3 (min on path)", p.bneck[3])
+	if p.bneckAt(3) != 200e3 {
+		t.Errorf("bottleneck at leaf = %g, want 200e3 (min on path)", p.bneckAt(3))
 	}
-	if p.bneck[1] != 1e6 {
-		t.Errorf("bottleneck at 1 = %g", p.bneck[1])
+	if p.bneckAt(1) != 1e6 {
+		t.Errorf("bottleneck at 1 = %g", p.bneckAt(1))
 	}
-	if !math.IsInf(p.bneck[0], 1) {
+	if !math.IsInf(p.bneckAt(0), 1) {
 		t.Errorf("root bottleneck should be +inf")
 	}
-	if p.maxBW[0] != 200e3 {
-		t.Errorf("maxBW at root = %g, want 200e3", p.maxBW[0])
+	if p.maxBWAt(0) != 200e3 {
+		t.Errorf("maxBW at root = %g, want 200e3", p.maxBWAt(0))
 	}
 }
 
@@ -316,11 +326,11 @@ func TestBottleneckMaxOverChildren(t *testing.T) {
 	a.links[Edge{From: 1, To: 3}] = &linkState{capacity: 500e3}
 	p := newPass(a, topo, nil)
 	a.computeBottlenecks(p)
-	if p.maxBW[1] != 500e3 {
-		t.Errorf("maxBW at 1 = %g, want 500e3 (fastest child)", p.maxBW[1])
+	if p.maxBWAt(1) != 500e3 {
+		t.Errorf("maxBW at 1 = %g, want 500e3 (fastest child)", p.maxBWAt(1))
 	}
-	if p.maxBW[2] != 100e3 || p.maxBW[3] != 500e3 {
-		t.Errorf("leaf maxBW = %g/%g", p.maxBW[2], p.maxBW[3])
+	if p.maxBWAt(2) != 100e3 || p.maxBWAt(3) != 500e3 {
+		t.Errorf("leaf maxBW = %g/%g", p.maxBWAt(2), p.maxBWAt(3))
 	}
 }
 
@@ -344,7 +354,7 @@ func TestQuickBottleneckMonotone(t *testing.T) {
 		p := newPass(a, topo, nil)
 		a.computeBottlenecks(p)
 		for child, parent := range topo.Parent {
-			if p.bneck[child] > p.bneck[parent] {
+			if p.bneckAt(child) > p.bneckAt(parent) {
 				return false
 			}
 		}

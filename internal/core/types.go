@@ -25,7 +25,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"toposense/internal/netsim"
 	"toposense/internal/sim"
@@ -157,19 +156,4 @@ type Input struct {
 	Now        sim.Time
 	Topologies []*Topology
 	Reports    []ReceiverState
-}
-
-// sortedEdges returns map keys in deterministic order.
-func sortedEdges[V any](m map[Edge]V) []Edge {
-	out := make([]Edge, 0, len(m))
-	for e := range m {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
 }

@@ -24,23 +24,14 @@ type goldenRun struct {
 	Packets    int64   `json:"packets_forwarded"`
 }
 
-// TestGoldenFig6Determinism locks the simulator's observable behaviour: the
-// quick Figure-6 sweep (what `topobench -fig 6 -quick -seed 1 -parallel 1`
-// executes) must produce byte-identical rows, events-fired and
-// packets-forwarded counts against the golden file recorded before the
-// scheduler/pool overhaul. Any change to event ordering, RNG consumption,
-// packet lifecycle or queueing shows up here as a diff.
-//
-// Regenerate (only when an intentional model change is made) with:
-//
-//	go test ./internal/experiments -run TestGoldenFig6Determinism -update
-func TestGoldenFig6Determinism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("quick fig6 sweep is a few seconds of simulation")
-	}
-	ex, ok := Lookup("6")
+// checkGolden executes the named figure's quick sweep at seed 1 and compares
+// the deterministic subset of every result against testdata/<file>. With
+// -update it rewrites the file instead.
+func checkGolden(t *testing.T, figure, file string) {
+	t.Helper()
+	ex, ok := Lookup(figure)
 	if !ok {
-		t.Fatal("figure 6 missing from registry")
+		t.Fatalf("figure %s missing from registry", figure)
 	}
 	specs := ex.Specs(SweepConfig{Seed: 1, Quick: true})
 	results := ExecuteAll(specs)
@@ -68,7 +59,7 @@ func TestGoldenFig6Determinism(t *testing.T) {
 	}
 	got := buf.Bytes()
 
-	path := filepath.Join("testdata", "golden_fig6_quick.json")
+	path := filepath.Join("testdata", file)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -95,7 +86,36 @@ func TestGoldenFig6Determinism(t *testing.T) {
 		}
 		t.Fatalf("golden mismatch: determinism contract broken (first differing line %d)\n"+
 			"got %d bytes, want %d bytes; diff with:\n"+
-			"  go test ./internal/experiments -run TestGoldenFig6Determinism -update && git diff",
+			"  go test ./internal/experiments -run TestGolden -update && git diff",
 			line, len(got), len(want))
 	}
+}
+
+// TestGoldenFig6Determinism locks the simulator's observable behaviour on
+// Topology A: the quick Figure-6 sweep (what `topobench -fig 6 -quick
+// -seed 1 -parallel 1` executes) must produce byte-identical rows,
+// events-fired and packets-forwarded counts against the golden file recorded
+// before the scheduler/pool overhaul. Any change to event ordering, RNG
+// consumption, packet lifecycle or queueing shows up here as a diff.
+//
+// Regenerate (only when an intentional model change is made) with:
+//
+//	go test ./internal/experiments -run TestGoldenFig6Determinism -update
+func TestGoldenFig6Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fig6 sweep is a few seconds of simulation")
+	}
+	checkGolden(t, "6", "golden_fig6_quick.json")
+}
+
+// TestGoldenFig7Determinism is the Topology B counterpart: the quick
+// Figure-7 sweep pins the multi-session shared-bottleneck behaviour —
+// multicast replication fan-out, inter-session sharing and the controller's
+// per-domain pass — recorded before the dense forwarding-state rewrite.
+// Together with Fig. 6 it covers both paper topologies.
+func TestGoldenFig7Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fig7 sweep is a few seconds of simulation")
+	}
+	checkGolden(t, "7", "golden_fig7_quick.json")
 }

@@ -16,11 +16,17 @@
 // last-member query interval) before pruning, so an over-subscribed layer
 // keeps congesting the bottleneck for a while after the receiver drops it.
 // The paper calls this out as a core difficulty of layered multicast.
+//
+// Forwarding state is dense: NodeIDs and GroupIDs are both small sequential
+// ints, so per-(node, group) entries live in slices indexed directly by
+// those IDs, and each entry caches its downstream children as a sorted
+// slice with the outgoing links resolved alongside. Replicating a data
+// packet is therefore two slice indexes and a loop — no map access and no
+// allocation — while the caches are rebuilt only on graft and prune.
 package mcast
 
 import (
 	"fmt"
-	"sort"
 
 	"toposense/internal/netsim"
 	"toposense/internal/sim"
@@ -47,15 +53,48 @@ type groupInfo struct {
 	source netsim.NodeID
 }
 
-// nodeGroupState is one router's forwarding entry for one group.
+// nodeGroupState is one router's forwarding entry for one group. The
+// children currently forwarded to are kept sorted, with the outgoing link
+// to each child cached in the parallel links slice, so the data path
+// iterates both without consulting any map.
 type nodeGroupState struct {
-	downstream map[netsim.NodeID]bool // children currently forwarded to
-	members    []Member               // locally attached members
-	pruneTimer sim.Handle             // pending leave-latency expiry, if any
+	children []netsim.NodeID // downstream children, ascending
+	links    []*netsim.Link  // links[i] carries traffic to children[i]; lazily resolved
+	members  []Member        // locally attached members
+	pruneTimer sim.Handle    // pending leave-latency expiry, if any
 }
 
 func (s *nodeGroupState) active() bool {
-	return len(s.members) > 0 || len(s.downstream) > 0
+	return len(s.members) > 0 || len(s.children) > 0
+}
+
+// addChild inserts c in sorted position (a no-op when already present) and
+// caches the outgoing link.
+func (s *nodeGroupState) addChild(c netsim.NodeID, link *netsim.Link) {
+	i := 0
+	for i < len(s.children) && s.children[i] < c {
+		i++
+	}
+	if i < len(s.children) && s.children[i] == c {
+		return
+	}
+	s.children = append(s.children, 0)
+	s.links = append(s.links, nil)
+	copy(s.children[i+1:], s.children[i:])
+	copy(s.links[i+1:], s.links[i:])
+	s.children[i] = c
+	s.links[i] = link
+}
+
+// removeChild drops c, preserving order.
+func (s *nodeGroupState) removeChild(c netsim.NodeID) {
+	for i, have := range s.children {
+		if have == c {
+			s.children = append(s.children[:i], s.children[i+1:]...)
+			s.links = append(s.links[:i], s.links[i+1:]...)
+			return
+		}
+	}
 }
 
 // Domain manages multicast state for an entire network. It installs itself
@@ -66,7 +105,11 @@ type Domain struct {
 
 	groups []groupInfo                 // indexed by GroupID
 	byKey  map[groupKey]netsim.GroupID // (session,layer) -> id
-	state  map[netsim.NodeID]map[netsim.GroupID]*nodeGroupState
+
+	// state[node][group] is the forwarding entry, nil while the node is off
+	// that group's tree. Both dimensions grow lazily on the control path
+	// (graft/join); the data path only indexes.
+	state [][]*nodeGroupState
 
 	// Grafts and Prunes count tree maintenance operations (for tests and
 	// reporting).
@@ -81,7 +124,6 @@ func NewDomain(net *netsim.Network) *Domain {
 		net:          net,
 		LeaveLatency: DefaultLeaveLatency,
 		byKey:        make(map[groupKey]netsim.GroupID),
-		state:        make(map[netsim.NodeID]map[netsim.GroupID]*nodeGroupState),
 	}
 	d.Install()
 	net.OnAddNode = func(n *netsim.Node) { n.SetMulticastHandler(d) }
@@ -133,24 +175,31 @@ func (d *Domain) SessionLayer(g netsim.GroupID) (int, int) {
 func (d *Domain) NumGroups() int { return len(d.groups) }
 
 func (d *Domain) stateOf(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
-	byGroup, ok := d.state[n]
-	if !ok {
-		byGroup = make(map[netsim.GroupID]*nodeGroupState)
-		d.state[n] = byGroup
+	for int(n) >= len(d.state) {
+		d.state = append(d.state, nil)
 	}
-	st, ok := byGroup[g]
-	if !ok {
-		st = &nodeGroupState{downstream: make(map[netsim.NodeID]bool)}
+	byGroup := d.state[n]
+	for int(g) >= len(byGroup) {
+		byGroup = append(byGroup, nil)
+	}
+	d.state[n] = byGroup
+	st := byGroup[g]
+	if st == nil {
+		st = &nodeGroupState{}
 		byGroup[g] = st
 	}
 	return st
 }
 
 func (d *Domain) lookup(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
-	if byGroup, ok := d.state[n]; ok {
-		return byGroup[g]
+	if int(n) >= len(d.state) {
+		return nil
 	}
-	return nil
+	byGroup := d.state[n]
+	if int(g) >= len(byGroup) {
+		return nil
+	}
+	return byGroup[g]
 }
 
 // upstream returns the next hop from n toward the group source, or NoNode
@@ -197,7 +246,7 @@ func (d *Domain) graftUpstream(n netsim.NodeID, g netsim.GroupID) {
 	d.net.Engine().Schedule(link.Delay, func() {
 		upSt := d.stateOf(up, g)
 		wasActive := upSt.active()
-		upSt.downstream[n] = true
+		upSt.addChild(n, d.net.Node(up).LinkTo(n))
 		d.cancelPrune(upSt)
 		if !wasActive {
 			d.graftUpstream(up, g)
@@ -253,7 +302,7 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 		if upSt == nil {
 			return
 		}
-		delete(upSt.downstream, n)
+		upSt.removeChild(n)
 		if !upSt.active() && upSt.pruneTimer.IsZero() {
 			// Upstream prunes promptly: the leave-latency cost was already
 			// paid at the last-hop router.
@@ -271,6 +320,10 @@ func (d *Domain) cancelPrune(st *nodeGroupState) {
 
 // HandleMulticast implements netsim.MulticastHandler: deliver to local
 // members and replicate onto every downstream link (never back upstream).
+// This is the hottest loop of the simulator — per packet per hop — and it
+// runs entirely on the dense state: no map lookups, no sorting, no
+// allocation. Children are kept sorted by addChild, so replication order is
+// deterministic by construction.
 func (d *Domain) HandleMulticast(n *netsim.Node, p *netsim.Packet, from *netsim.Link) {
 	st := d.lookup(n.ID, p.Group)
 	if st == nil {
@@ -279,22 +332,20 @@ func (d *Domain) HandleMulticast(n *netsim.Node, p *netsim.Packet, from *netsim.
 	for _, m := range st.members {
 		m.RecvMulticast(p)
 	}
-	if len(st.downstream) == 0 {
-		return
-	}
-	// Deterministic replication order.
-	children := make([]netsim.NodeID, 0, len(st.downstream))
-	for c := range st.downstream {
-		children = append(children, c)
-	}
-	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
-	for _, c := range children {
+	for i, c := range st.children {
 		if from != nil && c == from.From {
 			continue // never forward back where it came from
 		}
-		if link := n.LinkTo(c); link != nil {
-			link.Send(p)
+		link := st.links[i]
+		if link == nil {
+			// The link was missing when the graft installed this child
+			// (asymmetric connectivity); re-resolve in case it exists now.
+			if link = n.LinkTo(c); link == nil {
+				continue
+			}
+			st.links[i] = link
 		}
+		link.Send(p)
 	}
 }
 
@@ -302,14 +353,11 @@ func (d *Domain) HandleMulticast(n *netsim.Node, p *netsim.Packet, from *netsim.
 // sorted. Used by the topology discovery tool.
 func (d *Domain) ForwardingChildren(n netsim.NodeID, g netsim.GroupID) []netsim.NodeID {
 	st := d.lookup(n, g)
-	if st == nil {
+	if st == nil || len(st.children) == 0 {
 		return nil
 	}
-	out := make([]netsim.NodeID, 0, len(st.downstream))
-	for c := range st.downstream {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]netsim.NodeID, len(st.children))
+	copy(out, st.children)
 	return out
 }
 

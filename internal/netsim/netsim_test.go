@@ -128,8 +128,8 @@ func TestDropTailOverflow(t *testing.T) {
 func TestDropObserver(t *testing.T) {
 	cfg := LinkConfig{Bandwidth: 8e5, Delay: 0, QueueLimit: 1}
 	e, _, a, b, _ := lineNetwork(t, cfg)
-	var dropped []*Packet
-	a.LinkTo(b.ID).OnDrop(func(p *Packet) { dropped = append(dropped, p) })
+	var dropped []int64 // copy Seq, not the pointer: pooled packets recycle
+	a.LinkTo(b.ID).Attach(&FuncProbe{OnDrop: func(_ *Link, p *Packet) { dropped = append(dropped, p.Seq) }})
 	for i := 0; i < 5; i++ {
 		a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: b.ID, Group: NoGroup, Size: 1000, Seq: int64(i)})
 	}
@@ -138,9 +138,9 @@ func TestDropObserver(t *testing.T) {
 		t.Fatalf("observed %d drops, want 3", len(dropped))
 	}
 	// The dropped packets are the later ones (drop-tail).
-	for i, p := range dropped {
-		if p.Seq != int64(i+2) {
-			t.Errorf("dropped[%d].Seq = %d, want %d", i, p.Seq, i+2)
+	for i, seq := range dropped {
+		if seq != int64(i+2) {
+			t.Errorf("dropped[%d].Seq = %d, want %d", i, seq, i+2)
 		}
 	}
 }

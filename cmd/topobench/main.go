@@ -1,6 +1,8 @@
 // Command topobench regenerates the paper's evaluation: every figure of
 // "Using Tree Topology for Multicast Congestion Control" (Jagannathan &
-// Almeroth, ICPP 2001), plus a TopoSense-vs-RLM baseline comparison.
+// Almeroth, ICPP 2001), plus a TopoSense-vs-RLM baseline comparison and a
+// robustness experiment (fig_failure) that cuts and repairs the Topology B
+// bottleneck mid-run.
 //
 // Each figure enumerates its sweep as independent experiments.Spec runs;
 // a bounded worker pool (internal/runner) fans them out across cores and
@@ -11,6 +13,7 @@
 //
 //	topobench                       # all figures at paper scale (1200 s runs)
 //	topobench -fig 8                # just Figure 8
+//	topobench -fig fig_failure      # bottleneck failure/repair robustness run
 //	topobench -quick                # scaled-down sweep (~20x faster)
 //	topobench -seed 7               # different random seed
 //	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)

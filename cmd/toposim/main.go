@@ -11,6 +11,7 @@
 //
 //	toposim -topology A -receivers 4 -traffic vbr3 -duration 600
 //	toposim -topology B -sessions 8 -staleness 6
+//	toposim -topology B -failat 200 -outage 60   # cut the bottleneck mid-run
 //	toposim -topology tiered -seed 3
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
@@ -29,7 +30,9 @@ import (
 	"toposense/internal/controller"
 	"toposense/internal/core"
 	"toposense/internal/experiments"
+	"toposense/internal/faults"
 	"toposense/internal/metrics"
+	"toposense/internal/netsim"
 	"toposense/internal/prof"
 	"toposense/internal/sim"
 	"toposense/internal/topology"
@@ -59,6 +62,8 @@ func main() {
 	traffic := flag.String("traffic", "cbr", "cbr, vbr3 or vbr6")
 	duration := flag.Float64("duration", 1200, "simulated seconds")
 	staleness := flag.Float64("staleness", 0, "topology information staleness in seconds")
+	failAt := flag.Float64("failat", 0, "cut the topology's bottleneck link at this simulated second (0 = no failure)")
+	outage := flag.Float64("outage", 60, "with -failat: seconds until the link is repaired")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	algo := flag.String("algo", "toposense", "toposense or rlm")
 	probe := flag.Bool("probe", false, "use mtrace-style probe-based topology discovery")
@@ -102,6 +107,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown algo %q\n", *algo)
 		os.Exit(2)
 	}
+	if *failAt > 0 && *outage <= 0 {
+		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
+		os.Exit(2)
+	}
 
 	cfg := experiments.WorldConfig{
 		Seed:           *seed,
@@ -131,6 +140,19 @@ func main() {
 				})
 			}
 			m.Observe(e, b.Net)
+
+			var inj *faults.Injector
+			if *failAt > 0 {
+				if len(b.Bottlenecks) == 0 {
+					return nil, fmt.Errorf("topology %s exposes no bottleneck link to fail", topoName)
+				}
+				inj = faults.New(b.Net)
+				links := []*netsim.Link{b.Bottlenecks[0]}
+				if rev := b.Bottlenecks[0].Reverse(); rev != nil {
+					links = append(links, rev)
+				}
+				inj.Outage(sim.FromSeconds(*failAt), sim.FromSeconds(*outage), links...)
+			}
 
 			var traces []*metrics.Trace
 			var optima []int
@@ -188,6 +210,11 @@ func main() {
 						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
 					}
 				}
+			}
+
+			if inj != nil {
+				fmt.Printf("faults: bottleneck down %.0f-%.0f s (%d link failures, %d repairs, %d packets unroutable)\n",
+					*failAt, *failAt+*outage, inj.Failures, inj.Repairs, b.Net.Unroutable)
 			}
 
 			if sampler != nil {

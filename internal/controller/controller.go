@@ -46,6 +46,9 @@ type Controller struct {
 
 	interval sim.Time
 	ticker   *sim.Ticker
+	// gen is bumped by Stop so suggestion resends scheduled before the
+	// stop recognize they are stale and do not fire.
+	gen uint64
 
 	// DisableResend suppresses the mid-interval suggestion repeat
 	// (ablation switch; the repeat protects against control loss on the
@@ -116,11 +119,13 @@ func (c *Controller) Start() {
 }
 
 // Stop halts the decision timer (the discovery tool keeps running so a
-// restart has fresh history).
+// restart has fresh history). Pending mid-interval suggestion resends are
+// invalidated: a stopped controller must go silent immediately.
 func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 		c.ticker = nil
+		c.gen++
 	}
 }
 
@@ -144,8 +149,13 @@ func (c *Controller) consume(payload any) {
 		k := receiverKey{pl.Session, pl.Node}
 		c.registered[k] = true
 		c.lastHeard[k] = now
-		if c.acc[k] == nil {
+		if a := c.acc[k]; a == nil {
 			c.acc[k] = &accum{level: pl.Level}
+		} else {
+			// A re-registration is a receiver restarting, possibly at a
+			// different level; tracking it at the stale level until its
+			// first loss report would mis-steer the next step.
+			a.level = pl.Level
 		}
 	case report.LossReport:
 		c.ReportsRecv++
@@ -239,7 +249,8 @@ func (c *Controller) step() {
 	c.StepsRun++
 
 	for _, sg := range out {
-		if !c.registered[receiverKey{sg.Session, sg.Node}] {
+		k := receiverKey{sg.Session, sg.Node}
+		if !c.registered[k] {
 			continue // never instruct an unregistered receiver
 		}
 		send := func() {
@@ -253,9 +264,16 @@ func (c *Controller) step() {
 		// Suggestions cross the congested links they are trying to relieve
 		// and are routinely lost exactly when they matter most; a single
 		// mid-interval repeat makes the control loop robust without
-		// meaningful extra traffic.
+		// meaningful extra traffic. The repeat is dropped if the controller
+		// stopped, or the receiver expired, in the meantime.
 		if !c.DisableResend {
-			c.net.Engine().Schedule(c.interval/2, send)
+			gen := c.gen
+			c.net.Engine().Schedule(c.interval/2, func() {
+				if c.ticker == nil || c.gen != gen || !c.registered[k] {
+					return
+				}
+				send()
+			})
 		}
 	}
 	if c.OnStep != nil {

@@ -278,6 +278,68 @@ func TestRegistrationExpiresAfterSilence(t *testing.T) {
 	}
 }
 
+func TestNoResendAfterStop(t *testing.T) {
+	// The mid-interval suggestion repeat is scheduled at each step; stopping
+	// the controller between the step and the repeat must suppress it — a
+	// stopped controller goes silent immediately.
+	w := buildChainWorld(t, 500e3, 0)
+	w.start()
+	var sentAtStop int64
+	// Steps run every 4 s; the step at t=20s schedules its repeat for 22s.
+	w.e.Schedule(20*sim.Second+500*sim.Millisecond, func() {
+		w.ctrl.Stop()
+		sentAtStop = w.ctrl.SuggestionsSent
+	})
+	w.e.RunUntil(30 * sim.Second)
+	if sentAtStop == 0 {
+		t.Fatal("controller never sent a suggestion before the stop")
+	}
+	if w.ctrl.SuggestionsSent != sentAtStop {
+		t.Errorf("suggestions after Stop: %d -> %d", sentAtStop, w.ctrl.SuggestionsSent)
+	}
+}
+
+func TestNoResendToExpiredReceiver(t *testing.T) {
+	// A receiver expiring between the step and the mid-interval repeat must
+	// not be instructed by the repeat.
+	w := buildChainWorld(t, 500e3, 0)
+	w.start()
+	var sentAtExpiry int64
+	// Silence the receiver right after the 20s step, then — once its
+	// in-flight reports have drained, so nothing re-registers it — drop the
+	// registration before the 22s repeat, as the expiry sweep would.
+	w.e.Schedule(20*sim.Second+200*sim.Millisecond, func() { w.rxs[0].Stop() })
+	w.e.Schedule(21*sim.Second+500*sim.Millisecond, func() {
+		k := receiverKey{0, w.rxs[0].Node().ID}
+		delete(w.ctrl.registered, k)
+		delete(w.ctrl.lastHeard, k)
+		sentAtExpiry = w.ctrl.SuggestionsSent
+	})
+	w.e.RunUntil(23 * sim.Second) // past the repeat at 22s, before the next step
+	if sentAtExpiry == 0 {
+		t.Fatal("controller never sent a suggestion before the expiry")
+	}
+	if w.ctrl.SuggestionsSent != sentAtExpiry {
+		t.Errorf("repeat sent to an expired receiver: %d -> %d", sentAtExpiry, w.ctrl.SuggestionsSent)
+	}
+}
+
+func TestReRegisterResetsTrackedLevel(t *testing.T) {
+	// A receiver that restarts re-registers at its new level; the controller
+	// must not keep tracking the stale one until the next loss report.
+	w := buildChainWorld(t, 500e3, 0)
+	k := receiverKey{0, 5}
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 2}})
+	w.ctrl.Recv(&netsim.Packet{Payload: report.LossReport{Node: 5, Session: 0, Level: 3, LossRate: 0, Bytes: 100, Interval: sim.Second}})
+	if w.ctrl.acc[k].level != 3 {
+		t.Fatalf("accumulator level = %d after report, want 3", w.ctrl.acc[k].level)
+	}
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 5}})
+	if w.ctrl.acc[k].level != 5 {
+		t.Errorf("accumulator level = %d after re-register, want 5", w.ctrl.acc[k].level)
+	}
+}
+
 func TestStoppedReceiverIgnoresSuggestions(t *testing.T) {
 	w := buildChainWorld(t, 10e6, 0)
 	w.start()

@@ -143,6 +143,41 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			Name:  "fig_failure",
+			Title: "Bottleneck link failure and repair in Topology B",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := FailureConfig{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				if cfg.Quick {
+					// Shorter outage: a quick run must still leave the
+					// sessions room to climb back before it ends.
+					c.Sessions = 2
+					c.Outage = 30 * sim.Second
+				}
+				return FailureSpecs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				if len(results) != 1 {
+					return "", fmt.Errorf("fig_failure: want 1 result, got %d", len(results))
+				}
+				if results[0].Failed() {
+					return "", fmt.Errorf("run %s failed: %s", results[0].Name, results[0].Err)
+				}
+				res, ok := results[0].Rows.(*FailureResult)
+				if !ok {
+					return "", fmt.Errorf("run %s: rows are %T, want *FailureResult", results[0].Name, results[0].Rows)
+				}
+				var b strings.Builder
+				b.WriteString("Failure/repair (subscription levels through the outage):\n")
+				b.WriteString(res.Plot(100, 9))
+				b.WriteString("\n")
+				b.WriteString(res.Table().String())
+				b.WriteString("\n")
+				b.WriteString(res.Summary())
+				b.WriteString("\n")
+				return b.String(), nil
+			},
+		},
+		{
 			Name:  "baseline",
 			Title: "TopoSense vs receiver-driven (RLM-style) baseline",
 			Specs: func(cfg SweepConfig) []Spec {

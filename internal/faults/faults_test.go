@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+func twoNodes(t *testing.T, seed int64) (*sim.Engine, *netsim.Network, *netsim.Link) {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	n := netsim.New(e)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	l, _ := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond})
+	return e, n, l
+}
+
+func TestOutageSchedule(t *testing.T) {
+	e, n, l := twoNodes(t, 1)
+	in := New(n)
+	type event struct {
+		at   sim.Time
+		down bool
+	}
+	var events []event
+	in.OnChange = func(_ *netsim.Link, down bool) {
+		events = append(events, event{e.Now(), down})
+	}
+	in.Outage(2*sim.Second, 3*sim.Second, l)
+	e.RunUntil(1 * sim.Second)
+	if l.Down() {
+		t.Fatal("link down before the scheduled failure")
+	}
+	e.RunUntil(4 * sim.Second)
+	if !l.Down() {
+		t.Fatal("link not down during the outage window")
+	}
+	e.Run()
+	if l.Down() {
+		t.Fatal("link not repaired after the outage")
+	}
+	want := []event{{2 * sim.Second, true}, {5 * sim.Second, false}}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	if in.Failures != 1 || in.Repairs != 1 {
+		t.Fatalf("Failures = %d, Repairs = %d, want 1/1", in.Failures, in.Repairs)
+	}
+}
+
+func TestRedundantTransitionsNotCounted(t *testing.T) {
+	_, n, l := twoNodes(t, 1)
+	in := New(n)
+	in.apply(l, true)
+	in.apply(l, true) // already down: no-op
+	in.apply(l, false)
+	in.apply(l, false)
+	if in.Failures != 1 || in.Repairs != 1 {
+		t.Fatalf("Failures = %d, Repairs = %d, want 1/1", in.Failures, in.Repairs)
+	}
+}
+
+func TestFlapDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []sim.Time {
+		e, n, l := twoNodes(t, seed)
+		in := New(n)
+		var times []sim.Time
+		in.OnChange = func(*netsim.Link, bool) { times = append(times, e.Now()) }
+		in.Flap(0, 10*sim.Second, 2*sim.Second, l)
+		e.RunUntil(5 * sim.Minute)
+		in.Stop()
+		return times
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("flap produced no transitions in 5 minutes (mtbf 10s)")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transition %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+	if c := run(43); len(c) == len(a) && func() bool {
+		for i := range c {
+			if c[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical flap schedules")
+	}
+}
+
+func TestStopCancelsPending(t *testing.T) {
+	e, n, l := twoNodes(t, 1)
+	in := New(n)
+	in.Outage(1*sim.Second, 1*sim.Second, l)
+	in.Stop()
+	e.Run()
+	if l.Down() || in.Failures != 0 {
+		t.Fatal("Stop did not cancel the scheduled outage")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	_, n, l := twoNodes(t, 1)
+	in := New(n)
+	for _, fn := range []func(){
+		func() { in.Outage(0, 0, l) },
+		func() { in.Flap(0, 0, sim.Second, l) },
+		func() { in.Flap(0, sim.Second, 0, l) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid config")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -62,6 +62,12 @@ type nodeGroupState struct {
 	links    []*netsim.Link  // links[i] carries traffic to children[i]; lazily resolved
 	members  []Member        // locally attached members
 	pruneTimer sim.Handle    // pending leave-latency expiry, if any
+
+	// parent is the upstream node this router grafted toward, or NoNode
+	// when off-tree (or orphaned by a failure). Tree repair needs it to
+	// detach from the *old* parent after a reroute, which the routing
+	// table can no longer answer.
+	parent netsim.NodeID
 }
 
 func (s *nodeGroupState) active() bool {
@@ -112,8 +118,9 @@ type Domain struct {
 	state [][]*nodeGroupState
 
 	// Grafts and Prunes count tree maintenance operations (for tests and
-	// reporting).
-	Grafts, Prunes int64
+	// reporting). Repairs counts nodes re-homed (or orphaned) by route
+	// changes after link failures.
+	Grafts, Prunes, Repairs int64
 }
 
 // NewDomain creates the multicast domain and installs it on all current
@@ -127,6 +134,7 @@ func NewDomain(net *netsim.Network) *Domain {
 	}
 	d.Install()
 	net.OnAddNode = func(n *netsim.Node) { n.SetMulticastHandler(d) }
+	net.OnRouteChange(d.onRouteChange)
 	return d
 }
 
@@ -185,7 +193,7 @@ func (d *Domain) stateOf(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
 	d.state[n] = byGroup
 	st := byGroup[g]
 	if st == nil {
-		st = &nodeGroupState{}
+		st = &nodeGroupState{parent: netsim.NoNode}
 		byGroup[g] = st
 	}
 	return st
@@ -233,17 +241,28 @@ func (d *Domain) Join(n netsim.NodeID, g netsim.GroupID, m Member) {
 
 // graftUpstream walks toward the source adding forwarding state, one link
 // propagation delay per hop, stopping at the first already-active router.
+// The grafting node records its chosen parent immediately; the in-flight
+// graft installs forwarding state only if that choice still stands when it
+// lands, so a reroute during the propagation delay cannot resurrect state
+// on an abandoned branch.
 func (d *Domain) graftUpstream(n netsim.NodeID, g netsim.GroupID) {
+	st := d.stateOf(n, g)
 	up := d.upstream(n, g)
 	if up == netsim.NoNode {
+		st.parent = netsim.NoNode
 		return // n is the source (or disconnected)
 	}
 	link := d.net.Node(n).LinkTo(up)
 	if link == nil {
+		st.parent = netsim.NoNode
 		return
 	}
+	st.parent = up
 	d.Grafts++
 	d.net.Engine().Schedule(link.Delay, func() {
+		if cur := d.lookup(n, g); cur == nil || cur.parent != up {
+			return // rerouted while the graft was in flight
+		}
 		upSt := d.stateOf(up, g)
 		wasActive := upSt.active()
 		upSt.addChild(n, d.net.Node(up).LinkTo(n))
@@ -284,14 +303,18 @@ func (d *Domain) maybeSchedulePrune(n netsim.NodeID, g netsim.GroupID, st *nodeG
 	})
 }
 
-// pruneFromParent tells n's upstream router to stop forwarding to n. The
+// pruneFromParent tells n's grafted parent to stop forwarding to n. The
 // prune takes one link propagation delay; the upstream router then checks
-// whether it too has gone idle.
+// whether it too has gone idle. The parent is taken from the forwarding
+// entry, not recomputed from routing: after a failure the two can differ,
+// and the prune must reach the router that is actually forwarding to n.
 func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
-	up := d.upstream(n, g)
-	if up == netsim.NoNode {
+	st := d.lookup(n, g)
+	if st == nil || st.parent == netsim.NoNode {
 		return
 	}
+	up := st.parent
+	st.parent = netsim.NoNode
 	link := d.net.Node(n).LinkTo(up)
 	if link == nil {
 		return
@@ -316,6 +339,63 @@ func (d *Domain) cancelPrune(st *nodeGroupState) {
 		d.net.Engine().Cancel(st.pruneTimer)
 		st.pruneTimer = sim.Handle{}
 	}
+}
+
+// onRouteChange repairs distribution trees after a link failure or repair.
+// Routing notifications arrive per destination; only groups rooted at a
+// changed destination can have moved, and within those only the nodes whose
+// next hop toward the source changed need re-homing.
+func (d *Domain) onRouteChange(changes []netsim.RouteChange) {
+	for _, ch := range changes {
+		for gi := range d.groups {
+			if d.groups[gi].source != ch.Dst {
+				continue
+			}
+			for _, n := range ch.Nodes {
+				d.repair(n, d.groups[gi].id)
+			}
+		}
+	}
+}
+
+// repair re-homes one on-tree router whose path toward the group source
+// moved: detach from the old parent (one link delay, like a prune) and
+// graft toward the new one. A router with no route left becomes an orphan —
+// it keeps its local members and children but receives nothing until a
+// later route change gives it a path to re-graft along.
+func (d *Domain) repair(n netsim.NodeID, g netsim.GroupID) {
+	st := d.lookup(n, g)
+	if st == nil || !st.active() || n == d.groups[g].source {
+		return
+	}
+	newUp := d.upstream(n, g)
+	if newUp == st.parent {
+		return
+	}
+	d.Repairs++
+	old := st.parent
+	st.parent = netsim.NoNode
+	if old != netsim.NoNode {
+		if link := d.net.Node(n).LinkTo(old); link != nil {
+			d.net.Engine().Schedule(link.Delay, func() {
+				if cur := d.lookup(n, g); cur != nil && cur.parent == old {
+					return // flapped back to the old parent before the detach landed
+				}
+				upSt := d.lookup(old, g)
+				if upSt == nil {
+					return
+				}
+				upSt.removeChild(n)
+				if !upSt.active() && upSt.pruneTimer.IsZero() {
+					d.pruneFromParent(old, g)
+				}
+			})
+		}
+	}
+	if newUp == netsim.NoNode {
+		return // orphaned
+	}
+	d.graftUpstream(n, g)
 }
 
 // HandleMulticast implements netsim.MulticastHandler: deliver to local

@@ -1,0 +1,122 @@
+package mcast
+
+import (
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// failBoth takes both directions of the n1-n2 connection down (or up).
+func failBoth(n *netsim.Network, n1, n2 netsim.NodeID, down bool) {
+	for _, l := range []*netsim.Link{n.Node(n1).LinkTo(n2), n.Node(n2).LinkTo(n1)} {
+		if down {
+			l.SetDown()
+		} else {
+			l.SetUp()
+		}
+	}
+}
+
+// TestRepairRegraftsAfterOutage drives the full failure lifecycle on the
+// chain src - r1 - r2 - leafA: the r1-r2 cut orphans the receiver's branch
+// and tears the tree down to the source; the repair re-grafts it because
+// the member never left; data then flows again.
+func TestRepairRegraftsAfterOutage(t *testing.T) {
+	f := newFixture(t)
+	g := f.d.RegisterGroup(0, 1, f.src.ID)
+	ma := &memberRec{}
+	f.d.Join(f.leafA.ID, g, ma)
+	f.e.RunUntil(100 * sim.Millisecond)
+	f.send(g, 1)
+	f.e.RunUntil(200 * sim.Millisecond)
+	if len(ma.got) != 1 {
+		t.Fatalf("pre-failure delivery failed: got %d packets", len(ma.got))
+	}
+
+	f.e.Schedule(0, func() { failBoth(f.n, f.r1.ID, f.r2.ID, true) })
+	f.e.RunUntil(300 * sim.Millisecond) // let detaches and prunes settle
+	if f.d.Repairs == 0 {
+		t.Fatal("no repairs counted after the cut")
+	}
+	if f.d.OnTree(f.r1.ID, g) || f.d.OnTree(f.src.ID, g) {
+		t.Error("upstream branch not pruned after the cut orphaned it")
+	}
+	if !f.d.OnTree(f.leafA.ID, g) {
+		t.Error("orphaned receiver lost its membership")
+	}
+	f.send(g, 2)
+	f.e.RunUntil(400 * sim.Millisecond)
+	if len(ma.got) != 1 {
+		t.Fatalf("packet crossed a cut network: got %d", len(ma.got))
+	}
+
+	f.e.Schedule(0, func() { failBoth(f.n, f.r1.ID, f.r2.ID, false) })
+	f.e.RunUntil(500 * sim.Millisecond) // re-graft takes 3 hops x 10ms
+	if !f.d.OnTree(f.r2.ID, g) || !f.d.OnTree(f.r1.ID, g) {
+		t.Fatal("tree not rebuilt after repair")
+	}
+	f.send(g, 3)
+	f.e.RunUntil(sim.Second)
+	if len(ma.got) != 2 {
+		t.Fatalf("post-repair delivery failed: got %d packets, want 2", len(ma.got))
+	}
+}
+
+// TestRepairMovesBranchToAlternatePath uses a diamond src-(x|y)-rx: when
+// the grafted path through x fails, the member's branch re-homes through y
+// without the member doing anything, and forwarding state on the dead
+// branch is cleaned up.
+func TestRepairMovesBranchToAlternatePath(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := netsim.New(e)
+	src := n.AddNode("src")
+	x := n.AddNode("x")
+	y := n.AddNode("y")
+	rx := n.AddNode("rx")
+	cfg := netsim.LinkConfig{Bandwidth: 10e6, Delay: 10 * sim.Millisecond}
+	n.Connect(src, x, cfg)
+	n.Connect(src, y, cfg)
+	n.Connect(x, rx, cfg)
+	n.Connect(y, rx, cfg)
+	d := NewDomain(n)
+	g := d.RegisterGroup(0, 1, src.ID)
+	m := &memberRec{}
+	d.Join(rx.ID, g, m)
+	e.RunUntil(100 * sim.Millisecond)
+	if !d.OnTree(x.ID, g) {
+		t.Fatal("initial graft should run through x (BFS tie-break)")
+	}
+
+	e.Schedule(0, func() { failBoth(n, src.ID, x.ID, true) })
+	e.RunUntil(400 * sim.Millisecond)
+	if !d.OnTree(y.ID, g) {
+		t.Fatal("branch did not re-home through y")
+	}
+	got := len(m.got)
+	src.SendMulticastLocal(&netsim.Packet{
+		Kind: netsim.Data, Src: src.ID, Dst: netsim.NoNode,
+		Group: g, Session: 0, Layer: 1, Seq: 1, Size: 1000, Sent: e.Now(),
+	})
+	e.RunUntil(sim.Second)
+	if len(m.got) != got+1 {
+		t.Fatalf("delivery over repaired tree failed: got %d, want %d", len(m.got), got+1)
+	}
+}
+
+// TestRepairInertWithoutFailures pins the golden-preservation contract:
+// with no link state changes, ordinary join/leave traffic performs no
+// repairs.
+func TestRepairInertWithoutFailures(t *testing.T) {
+	f := newFixture(t)
+	g := f.d.RegisterGroup(0, 1, f.src.ID)
+	ma, mc := &memberRec{}, &memberRec{}
+	f.d.Join(f.leafA.ID, g, ma)
+	f.d.Join(f.leafC.ID, g, mc)
+	f.e.RunUntil(100 * sim.Millisecond)
+	f.d.Leave(f.leafA.ID, g, ma)
+	f.e.RunUntil(5 * sim.Second)
+	if f.d.Repairs != 0 {
+		t.Fatalf("Repairs = %d without any link failure", f.d.Repairs)
+	}
+}

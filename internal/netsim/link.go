@@ -29,7 +29,7 @@ const (
 type LinkStats struct {
 	Enqueued  int64 // packets accepted into the queue (or straight to the wire)
 	Delivered int64 // packets that finished serialization and were handed on
-	Dropped   int64 // packets lost to drop-tail overflow
+	Dropped   int64 // packets lost to drop-tail overflow or link failure
 	TxBytes   int64 // bytes fully serialized onto the wire
 	PeakQueue int   // high-water mark of queue occupancy (excluding in-flight)
 }
@@ -71,6 +71,13 @@ type Link struct {
 	inflight []*Packet
 	ifhead   int
 
+	// down marks a failed link: everything it is asked to carry is
+	// dropped until SetUp. squelch counts delivery events already
+	// scheduled for in-flight packets that SetDown discarded; deliverHead
+	// swallows that many firings instead of indexing an emptied pipeline.
+	down    bool
+	squelch int
+
 	stats  LinkStats
 	probes []Probe
 
@@ -94,13 +101,81 @@ func (l *Link) Busy() bool { return l.busy }
 // Attach registers a probe observing this link's packet events.
 func (l *Link) Attach(p Probe) { l.probes = append(l.probes, p) }
 
-// OnDrop registers an observer invoked for every packet the link drops.
-//
-// Deprecated: OnDrop is a shim over the Probe interface; attach a Probe
-// (or a FuncProbe with just OnDrop set) instead, which also exposes
-// enqueue and deliver events.
-func (l *Link) OnDrop(fn func(*Packet)) {
-	l.Attach(&FuncProbe{OnDrop: func(_ *Link, p *Packet) { fn(p) }})
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
+
+// Reverse returns the opposite direction of this link's connection
+// (To->From), or nil when the connection is asymmetric. Fault injection
+// uses it to fail both directions of a physical link together.
+func (l *Link) Reverse() *Link { return l.net.nodes[l.To].links[l.From] }
+
+// SetDown fails the link. Everything the link is asked to carry while down
+// is dropped: the waiting queue and the propagation pipeline are discarded
+// immediately, the packet being serialized is aborted, and later Send calls
+// lose their packet on arrival. Unicast routing recomputes around the
+// failed link and route-change listeners (Network.OnRouteChange) are
+// notified synchronously, so the multicast layer can repair its trees.
+func (l *Link) SetDown() {
+	if l.down {
+		return
+	}
+	// Materialize the pre-change routing tables while the link is still
+	// up, so the recomputation below can report exactly what changed.
+	l.net.ensureRoutes()
+	l.down = true
+	l.dropCarried()
+	l.net.linkStateChanged(l, true)
+}
+
+// SetUp repairs a failed link. Routing recomputes and route-change
+// listeners are notified, exactly as for SetDown. The transmitter restarts
+// idle: traffic the outage discarded is gone for good, as on a real link.
+func (l *Link) SetUp() {
+	if !l.down {
+		return
+	}
+	l.net.ensureRoutes()
+	l.down = false
+	l.net.linkStateChanged(l, false)
+}
+
+// dropCarried discards everything the link is currently carrying: queued
+// packets, the packet mid-serialization, and serialized packets riding the
+// propagation delay. Each loss is counted and announced like a queue drop.
+func (l *Link) dropCarried() {
+	for i := l.qhead; i < len(l.queue); i++ {
+		p := l.queue[i]
+		l.queue[i] = nil
+		l.stats.Dropped++
+		l.noteDrop(p)
+		p.unref()
+	}
+	l.queue = l.queue[:0]
+	l.qhead = 0
+	if l.txp != nil {
+		// Abort the serialization in progress. The already-scheduled
+		// txDone still fires; it finds txp nil and just advances the
+		// transmitter.
+		p := l.txp
+		l.txp = nil
+		l.stats.Dropped++
+		l.noteDrop(p)
+		p.unref()
+	}
+	for i := l.ifhead; i < len(l.inflight); i++ {
+		p := l.inflight[i]
+		l.inflight[i] = nil
+		// These finished serialization and were counted Delivered in
+		// txDone; move them to Dropped so the ledger reflects that they
+		// never reached the far end.
+		l.stats.Delivered--
+		l.stats.Dropped++
+		l.squelch++
+		l.noteDrop(p)
+		p.unref()
+	}
+	l.inflight = l.inflight[:0]
+	l.ifhead = 0
 }
 
 // ResetStats zeroes the counters (used between measurement intervals).
@@ -141,8 +216,14 @@ func (l *Link) noteDeliver(p *Packet) {
 // goes straight to the wire; otherwise it queues, and when the queue is at
 // its limit the Policy picks the victim: the arrival (drop-tail) or the
 // highest-layer packet in queue (priority dropping). An accepted packet
-// holds one reference until the link delivers (or drops) it.
+// holds one reference until the link delivers (or drops) it. A down link
+// accepts nothing: the packet is dropped on arrival.
 func (l *Link) Send(p *Packet) {
+	if l.down {
+		l.stats.Dropped++
+		l.noteDrop(p)
+		return
+	}
 	if !l.busy {
 		l.stats.Enqueued++
 		p.ref()
@@ -198,6 +279,24 @@ func (l *Link) transmit(p *Packet) {
 // and the transmitter moves on to the next queued packet.
 func (l *Link) txDone() {
 	p := l.txp
+	if p == nil {
+		// The serialization was aborted by SetDown; just advance the
+		// transmitter (the queue is normally empty here, but packets may
+		// have queued if the link came back up mid-abort).
+		if l.qhead < len(l.queue) {
+			next := l.queue[l.qhead]
+			l.queue[l.qhead] = nil
+			l.qhead++
+			if l.qhead == len(l.queue) {
+				l.queue = l.queue[:0]
+				l.qhead = 0
+			}
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+		return
+	}
 	l.txp = nil
 	l.stats.Delivered++
 	l.stats.TxBytes += int64(p.Size)
@@ -221,6 +320,11 @@ func (l *Link) txDone() {
 // drops the link's reference to it. Propagation delay is constant per link,
 // so deliveries complete in exactly the order txDone pushed them.
 func (l *Link) deliverHead() {
+	if l.squelch > 0 {
+		// This firing belonged to an in-flight packet a SetDown discarded.
+		l.squelch--
+		return
+	}
 	p := l.inflight[l.ifhead]
 	l.inflight[l.ifhead] = nil
 	l.ifhead++

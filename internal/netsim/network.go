@@ -24,6 +24,10 @@ type Network struct {
 	// forwarding handler automatically.
 	OnAddNode func(*Node)
 
+	// routeListeners observe routing-table updates caused by link state
+	// changes (Link.SetDown / SetUp).
+	routeListeners []func([]RouteChange)
+
 	// probes observe packet events on every link of the network.
 	probes []Probe
 
@@ -163,55 +167,135 @@ func (n *Network) Links() []*Link {
 
 // NextHop returns the neighbor of src on a shortest path (hop count) to dst,
 // or NoNode if dst is unreachable. Routing tables are computed on first use
-// after any topology change.
+// after any topology change. Down links carry no routes.
 func (n *Network) NextHop(src, dst NodeID) NodeID {
-	if n.nextHop == nil {
-		n.computeRoutes()
-	}
+	n.ensureRoutes()
 	return n.nextHop[src][dst]
 }
 
-// computeRoutes builds all-pairs next-hop tables with one BFS per
-// destination over reversed links, so paths follow link direction.
-func (n *Network) computeRoutes() {
-	num := len(n.nodes)
-	n.nextHop = make([][]NodeID, num)
-	for i := range n.nextHop {
-		n.nextHop[i] = make([]NodeID, num)
-		for j := range n.nextHop[i] {
-			n.nextHop[i][j] = NoNode
-		}
+// ensureRoutes materializes the next-hop tables if a topology change
+// invalidated them.
+func (n *Network) ensureRoutes() {
+	if n.nextHop == nil {
+		n.computeRoutes()
 	}
-	// reverse adjacency: rev[to] = list of (from) with a link from->to.
-	rev := make([][]NodeID, num)
+}
+
+// RouteChange describes one routing-table update: the set of nodes whose
+// next hop toward Dst changed when a link changed state — including nodes
+// for which Dst just became reachable or unreachable. Nodes are in
+// ascending ID order; a notification carries one entry per affected
+// destination, also ascending.
+type RouteChange struct {
+	Dst   NodeID
+	Nodes []NodeID
+}
+
+// OnRouteChange registers fn to observe routing-table updates caused by
+// link state changes (Link.SetDown / SetUp). Listeners run synchronously,
+// in registration order, on the simulation goroutine, after the tables
+// already reflect the new link state. The multicast layer listens here to
+// repair its distribution trees. The slice passed to fn is only valid for
+// the duration of the call.
+func (n *Network) OnRouteChange(fn func([]RouteChange)) {
+	n.routeListeners = append(n.routeListeners, fn)
+}
+
+// reverseAdjacency builds rev[to] = list of (from) with a live link
+// from->to, in node order so BFS tie-breaks stay deterministic.
+func (n *Network) reverseAdjacency() [][]NodeID {
+	rev := make([][]NodeID, len(n.nodes))
 	for _, node := range n.nodes {
 		for _, nb := range node.Neighbors() {
+			if node.links[nb].down {
+				continue
+			}
 			rev[nb] = append(rev[nb], node.ID)
 		}
 	}
-	for dst := 0; dst < num; dst++ {
-		// BFS from dst along reversed links; first hop discovered from a
-		// node toward dst is recorded. Because rev lists are built in node
-		// order, ties break deterministically by node ID.
-		dist := make([]int, num)
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[dst] = 0
-		queue := []NodeID{NodeID(dst)}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, prev := range rev[cur] {
-				if dist[prev] == -1 {
-					dist[prev] = dist[cur] + 1
-					// prev's shortest path runs prev -> cur -> ... -> dst.
-					n.nextHop[prev][dst] = cur
-					queue = append(queue, prev)
-				}
+	return rev
+}
+
+// computeColumn fills col (one entry per node) with each node's next hop
+// toward dst: one BFS from dst along reversed links, so paths follow link
+// direction. The first hop discovered from a node toward dst is recorded;
+// rev lists are in node order, so ties break deterministically by node ID.
+func (n *Network) computeColumn(dst NodeID, rev [][]NodeID, col []NodeID) {
+	num := len(n.nodes)
+	for i := range col {
+		col[i] = NoNode
+	}
+	dist := make([]int, num)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, prev := range rev[cur] {
+			if dist[prev] == -1 {
+				dist[prev] = dist[cur] + 1
+				// prev's shortest path runs prev -> cur -> ... -> dst.
+				col[prev] = cur
+				queue = append(queue, prev)
 			}
 		}
-		n.nextHop[dst][dst] = NodeID(dst)
+	}
+	col[dst] = dst
+}
+
+// computeRoutes builds all-pairs next-hop tables, one BFS per destination.
+func (n *Network) computeRoutes() {
+	num := len(n.nodes)
+	n.nextHop = make([][]NodeID, num)
+	rev := n.reverseAdjacency()
+	for dst := 0; dst < num; dst++ {
+		n.nextHop[dst] = make([]NodeID, num)
+	}
+	col := make([]NodeID, num)
+	for dst := 0; dst < num; dst++ {
+		n.computeColumn(NodeID(dst), rev, col)
+		for src := 0; src < num; src++ {
+			n.nextHop[src][dst] = col[src]
+		}
+	}
+}
+
+// linkStateChanged incrementally recomputes routing after l flipped state
+// and notifies route listeners of every next-hop change. Only the affected
+// destination columns are rebuilt: when a link goes down, just the
+// destinations whose shortest-path tree crossed it (the tree uses edge
+// From->To exactly when From's next hop is To); when a link comes up any
+// path may improve, so every column is rechecked. The caller (SetDown /
+// SetUp) guarantees the tables were materialized before the flip.
+func (n *Network) linkStateChanged(l *Link, wentDown bool) {
+	num := len(n.nodes)
+	rev := n.reverseAdjacency()
+	col := make([]NodeID, num)
+	var changes []RouteChange
+	for dst := 0; dst < num; dst++ {
+		if wentDown && n.nextHop[l.From][dst] != l.To {
+			continue // this destination's tree never crossed the link
+		}
+		n.computeColumn(NodeID(dst), rev, col)
+		var changed []NodeID
+		for src := 0; src < num; src++ {
+			if n.nextHop[src][dst] != col[src] {
+				n.nextHop[src][dst] = col[src]
+				changed = append(changed, NodeID(src))
+			}
+		}
+		if len(changed) > 0 {
+			changes = append(changes, RouteChange{Dst: NodeID(dst), Nodes: changed})
+		}
+	}
+	if len(changes) == 0 {
+		return
+	}
+	for _, fn := range n.routeListeners {
+		fn(changes)
 	}
 }
 

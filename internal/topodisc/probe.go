@@ -45,7 +45,9 @@ func (t *Tool) probeSnapshot(session int, done func(*Snapshot)) {
 	}
 
 	pending := len(starts)
+	t.pendingTraces += len(starts)
 	finish := func() {
+		t.pendingTraces--
 		pending--
 		if pending > 0 {
 			return
@@ -55,14 +57,21 @@ func (t *Tool) probeSnapshot(session int, done func(*Snapshot)) {
 		done(snap)
 	}
 	for _, rx := range starts {
-		t.traceHop(session, base, source, rx, snap, finish)
+		t.traceHop(session, base, source, rx, snap, finish, 0)
 	}
 }
 
 // traceHop records node n's state into snap, then schedules the visit to
 // n's upstream hop after the link's propagation delay. The walk ends at the
 // source (or when the next hop leaves the scope or the route breaks).
-func (t *Tool) traceHop(session int, base netsim.GroupID, source, n netsim.NodeID, snap *Snapshot, finish func()) {
+// hops counts the links walked so far: a loop-free routing table bounds any
+// walk by the node count, so exceeding it means reroutes during the trace
+// led it in circles, and the trace is abandoned rather than walked forever.
+func (t *Tool) traceHop(session int, base netsim.GroupID, source, n netsim.NodeID, snap *Snapshot, finish func(), hops int) {
+	if hops > t.net.NumNodes() {
+		finish()
+		return
+	}
 	t.ProbePackets++
 	// Read this hop's state at visit time.
 	if ml := t.maxLayerAt(session, n); ml > snap.MaxLayer[n] {
@@ -101,7 +110,7 @@ func (t *Tool) traceHop(session int, base netsim.GroupID, source, n netsim.NodeI
 		delay = link.Delay
 	}
 	t.net.Engine().Schedule(delay, func() {
-		t.traceHop(session, base, source, up, snap, finish)
+		t.traceHop(session, base, source, up, snap, finish, hops+1)
 	})
 }
 

@@ -97,6 +97,10 @@ type Tool struct {
 	history  map[int][]*Snapshot
 	ticker   *sim.Ticker
 
+	// pendingTraces counts probe traces launched but not yet finished;
+	// it must drain to zero once the engine goes idle (leak check).
+	pendingTraces int
+
 	// Discoveries counts snapshot operations (control-plane load).
 	Discoveries int64
 }
@@ -142,14 +146,21 @@ func (t *Tool) snapshotAll() {
 	}
 }
 
-// record appends a completed snapshot and trims history that can never be
-// served again: older than the staleness horizon (with a generous margin
-// of 2x plus a few periods).
+// record inserts a completed snapshot into history, ordered by At. Probe
+// rounds complete out of order when a slow round outlives a faster later
+// one, and Discover's scan (and the trim below) depend on the ordering.
+// History older than the staleness horizon relative to the newest held
+// snapshot (with a generous margin of 2x plus a few periods) can never be
+// served again and is trimmed.
 func (t *Tool) record(session int, snap *Snapshot) {
 	h := append(t.history[session], snap)
+	for i := len(h) - 1; i > 0 && h[i-1].At > h[i].At; i-- {
+		h[i-1], h[i] = h[i], h[i-1]
+	}
 	horizon := t.Staleness*2 + 5*t.Period
+	newest := h[len(h)-1].At
 	cut := 0
-	for cut < len(h)-1 && snap.At-h[cut].At > horizon {
+	for cut < len(h)-1 && newest-h[cut].At > horizon {
 		cut++
 	}
 	t.history[session] = h[cut:]
@@ -265,3 +276,8 @@ func (t *Tool) Discover(session int) *Snapshot {
 
 // Sessions returns the sessions the tool tracks.
 func (t *Tool) Sessions() []int { return t.sessions }
+
+// PendingTraces returns how many probe traces are still in flight. Always
+// zero in oracle mode; in probe mode it must return to zero when the
+// engine drains, or a trace leaked.
+func (t *Tool) PendingTraces() int { return t.pendingTraces }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json obs-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -27,7 +27,13 @@ bench:
 # through scripts/benchdiff.sh to compare commits.
 COUNT ?= 1
 bench-micro:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./internal/sim ./internal/netsim ./internal/mcast ./internal/core
+	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./internal/sim ./internal/netsim ./internal/mcast ./internal/core ./internal/obs
+
+# Zero-allocation gate for the observability layer: every obs benchmark
+# (instruments, recorder, probed and unprobed forwarding) must report
+# 0 allocs/op, or the "zero overhead when off" contract is broken.
+obs-gate:
+	scripts/benchdiff.sh obs-gate
 
 # Quick sweep with machine-readable results: wall time, events/s and
 # packet counts per run land in BENCH_quick.json for cross-commit

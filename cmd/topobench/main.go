@@ -18,6 +18,7 @@
 //	topobench -seed 7               # different random seed
 //	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)
 //	topobench -json BENCH_full.json # machine-readable results + run metadata
+//	topobench -obs -json BENCH.json # embed each run's observability export
 //	topobench -timeout 10m         # per-run wall-clock budget
 //	topobench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"toposense/internal/experiments"
+	"toposense/internal/obs"
 	"toposense/internal/prof"
 	"toposense/internal/runner"
 )
@@ -42,6 +44,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+	obsOn := flag.Bool("obs", false, "enable per-run observability; each result then carries an obs export (see -json)")
 	progress := flag.Bool("progress", true, "report per-run completion on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
@@ -77,6 +80,11 @@ func main() {
 		s := ex.Specs(cfg)
 		slices[i] = slice{len(specs), len(specs) + len(s)}
 		specs = append(specs, s...)
+	}
+	if *obsOn {
+		for i := range specs {
+			specs[i].Obs = &obs.Options{}
+		}
 	}
 
 	opts := runner.Options{Parallelism: *parallel, Timeout: *timeout}

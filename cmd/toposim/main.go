@@ -15,6 +15,8 @@
 //	toposim -topology tiered -seed 3
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
+//	toposim -topology B -obs OBS_sim.json        # observability export (.json or .csv)
+//	toposim -topology B -flightrec               # dump the flight recorder after the run
 //	toposim -topology B -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -33,6 +35,7 @@ import (
 	"toposense/internal/faults"
 	"toposense/internal/metrics"
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/prof"
 	"toposense/internal/sim"
 	"toposense/internal/topology"
@@ -71,6 +74,8 @@ func main() {
 	tsvDir := flag.String("tsv", "", "directory to write per-receiver level/loss time series as TSV")
 	explain := flag.Bool("explain", false, "print the algorithm's per-node decisions for the final interval")
 	jsonPath := flag.String("json", "", "write the result + run metadata to this file (e.g. BENCH_sim.json)")
+	obsPath := flag.String("obs", "", "enable observability and write its export to this file (.json or .csv)")
+	flightrec := flag.Bool("flightrec", false, "enable observability and dump the flight recorder to stderr after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 	flag.Parse()
@@ -111,6 +116,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
 		os.Exit(2)
 	}
+	obsExt := strings.ToLower(filepath.Ext(*obsPath))
+	if *obsPath != "" && obsExt != ".json" && obsExt != ".csv" {
+		fmt.Fprintf(os.Stderr, "-obs %q: extension must be .json or .csv\n", *obsPath)
+		os.Exit(2)
+	}
 
 	cfg := experiments.WorldConfig{
 		Seed:           *seed,
@@ -120,6 +130,9 @@ func main() {
 	}
 	dur := sim.FromSeconds(*duration)
 
+	// The flight recorder lives inside the run's obs bundle; capture it from
+	// the body so -flightrec can dump it after Execute returns.
+	var runObs *obs.Obs
 	spec := experiments.NewSpec("toposim",
 		fmt.Sprintf("toposim/topo=%s/%s/%s", topoName, tr.Name, algoName),
 		*seed, dur,
@@ -140,6 +153,7 @@ func main() {
 				})
 			}
 			m.Observe(e, b.Net)
+			runObs = m.Obs()
 
 			var inj *faults.Injector
 			if *failAt > 0 {
@@ -161,6 +175,10 @@ func main() {
 			var sampler *trace.Sampler
 			if algoName == "toposense" {
 				w := experiments.NewWorld(e, b, cfg)
+				// m.Observe already attached the packet probe; wire the
+				// control-plane components by hand (SetObs(nil) is a no-op).
+				w.Domain.SetObs(m.Obs())
+				w.Controller.SetObs(m.Obs())
 				if *billing {
 					w.Controller.EnableBilling()
 				}
@@ -202,6 +220,7 @@ func main() {
 				}
 			} else {
 				w := experiments.NewRLMWorld(e, b, cfg)
+				w.Domain.SetObs(m.Obs())
 				w.Run(dur)
 				traces, optima = w.AllTraces()
 				for s := range w.Receivers {
@@ -236,6 +255,9 @@ func main() {
 			}
 			return res, nil
 		})
+	if *obsPath != "" || *flightrec {
+		spec.Obs = &obs.Options{}
+	}
 
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
@@ -249,9 +271,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *flightrec && runObs != nil {
+		runObs.Rec.WriteLog(os.Stderr)
+	}
 	if result.Failed() {
 		fmt.Fprintf(os.Stderr, "run failed: %s\n", result.Err)
 		os.Exit(1)
+	}
+	if *obsPath != "" {
+		if err := writeObs(*obsPath, obsExt, result.Obs); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *obsPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote observability export to %s\n", *obsPath)
 	}
 	res := result.Rows.(simResult)
 
@@ -290,6 +322,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote result to %s\n", *jsonPath)
 	}
+}
+
+// writeObs writes the observability export as JSON or CSV, by extension.
+func writeObs(path, ext string, d *obs.Dump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if ext == ".csv" {
+		err = d.WriteCSV(f)
+	} else {
+		err = d.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTSVs dumps every sampled series as <name>.tsv under dir.

@@ -14,6 +14,7 @@ import (
 	"toposense/internal/core"
 	"toposense/internal/mcast"
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/report"
 	"toposense/internal/sim"
 	"toposense/internal/topodisc"
@@ -62,7 +63,13 @@ type Controller struct {
 	// for the topology half.
 	Staleness sim.Time
 
-	registered map[receiverKey]bool
+	// registered maps each live receiver to its registration generation.
+	// The generation is bumped every time the receiver (re-)registers, so a
+	// pending mid-interval resend — computed for the previous incarnation —
+	// can tell that the receiver it targets is not the one it was meant
+	// for, even when expiry and re-registration happen within one pass.
+	registered map[receiverKey]uint64
+	regSeq     uint64
 	lastHeard  map[receiverKey]sim.Time
 	acc        map[receiverKey]*accum
 	billing    *ledger // non-nil once EnableBilling is called
@@ -82,6 +89,12 @@ type Controller struct {
 	// slice is backed by the algorithm's scratch arena and only valid for
 	// the duration of the call; copy it to retain.
 	OnStep func(now sim.Time, in core.Input, out []core.Suggestion)
+
+	// obs, when set via SetObs, receives the pass counter, the
+	// pass-distance histogram, flight-recorder pass events, and the
+	// per-pass decision audit.
+	obs           *obs.Obs
+	lastPassFired uint64
 }
 
 // New creates a controller at node using the given discovery tool and
@@ -94,7 +107,7 @@ func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, tool *top
 		tool:       tool,
 		alg:        alg,
 		interval:   alg.Config().Interval,
-		registered: make(map[receiverKey]bool),
+		registered: make(map[receiverKey]uint64),
 		lastHeard:  make(map[receiverKey]sim.Time),
 		acc:        make(map[receiverKey]*accum),
 		last:       make(map[receiverKey]core.ReceiverState),
@@ -108,6 +121,11 @@ func (c *Controller) Node() *netsim.Node { return c.node }
 
 // Algorithm returns the underlying TopoSense instance.
 func (c *Controller) Algorithm() *core.Algorithm { return c.alg }
+
+// SetObs attaches the observability bundle. Pass nil (the default) for
+// zero-overhead operation: the only cost left is one pointer check per
+// decision interval.
+func (c *Controller) SetObs(o *obs.Obs) { c.obs = o }
 
 // Start begins the discovery tool and the periodic decision timer.
 func (c *Controller) Start() {
@@ -147,7 +165,11 @@ func (c *Controller) consume(payload any) {
 	case report.Register:
 		c.RegistersRecv++
 		k := receiverKey{pl.Session, pl.Node}
-		c.registered[k] = true
+		// Every Register is a (re)start of the receiver, so it opens a new
+		// registration generation — pending resends aimed at the previous
+		// incarnation go inert.
+		c.regSeq++
+		c.registered[k] = c.regSeq
 		c.lastHeard[k] = now
 		if a := c.acc[k]; a == nil {
 			c.acc[k] = &accum{level: pl.Level}
@@ -160,7 +182,14 @@ func (c *Controller) consume(payload any) {
 	case report.LossReport:
 		c.ReportsRecv++
 		k := receiverKey{pl.Session, pl.Node}
-		c.registered[k] = true // reports imply registration (register may be lost)
+		// Reports imply registration (the Register packet may be lost), but
+		// a report from an already-registered receiver is the same
+		// incarnation — it must not open a new generation, or every report
+		// would invalidate the pending mid-interval resend.
+		if _, ok := c.registered[k]; !ok {
+			c.regSeq++
+			c.registered[k] = c.regSeq
+		}
 		c.lastHeard[k] = now
 		a := c.acc[k]
 		if a == nil {
@@ -211,7 +240,12 @@ func (c *Controller) step() {
 		topos = append(topos, topo)
 	}
 
-	// Fold accumulated receiver reports into per-interval states.
+	// Fold accumulated receiver reports into per-interval states. When the
+	// audit log is live, mirror each state into an audit entry as it is
+	// assembled — the audit records exactly what the algorithm consumed.
+	auditing := c.obs != nil && c.obs.Audit != nil
+	var audit []obs.AuditEntry
+	var auditIdx map[receiverKey]int
 	var reports []core.ReceiverState
 	keys := make([]receiverKey, 0, len(c.registered))
 	for k := range c.registered {
@@ -223,34 +257,71 @@ func (c *Controller) step() {
 		}
 		return keys[i].node < keys[j].node
 	})
+	if auditing {
+		audit = make([]obs.AuditEntry, 0, len(keys))
+		auditIdx = make(map[receiverKey]int, len(keys))
+	}
 	for _, k := range keys {
 		a := c.acc[k]
-		if a == nil || !a.reported {
+		stale := a == nil || !a.reported
+		var st core.ReceiverState
+		if stale {
 			// Silent interval: reuse the last known state if any.
-			if st, ok := c.last[k]; ok {
-				reports = append(reports, st)
+			var ok bool
+			if st, ok = c.last[k]; !ok {
+				continue
 			}
-			continue
+		} else {
+			st = core.ReceiverState{
+				Node:     k.node,
+				Session:  k.session,
+				Level:    a.level,
+				LossRate: a.lossSum / float64(a.lossN),
+				Bytes:    a.bytes,
+			}
+			c.last[k] = st
+			*a = accum{level: a.level}
 		}
-		st := core.ReceiverState{
-			Node:     k.node,
-			Session:  k.session,
-			Level:    a.level,
-			LossRate: a.lossSum / float64(a.lossN),
-			Bytes:    a.bytes,
-		}
-		c.last[k] = st
 		reports = append(reports, st)
-		*a = accum{level: a.level}
+		if auditing {
+			auditIdx[k] = len(audit)
+			audit = append(audit, obs.AuditEntry{
+				Node: int(k.node), Session: k.session,
+				Level: st.Level, Loss: st.LossRate, Bytes: st.Bytes,
+				Stale: stale, Parent: -1, Prescribed: -1,
+			})
+		}
+	}
+	if auditing {
+		// Topology evidence: each receiver's parent in its session's
+		// validated discovered tree, when one covered it this pass.
+		for _, topo := range topos {
+			for i := range audit {
+				if audit[i].Session != topo.Session {
+					continue
+				}
+				if p, ok := topo.Parent[core.NodeID(audit[i].Node)]; ok {
+					audit[i].OnTree = true
+					audit[i].Parent = int(p)
+				}
+			}
+		}
 	}
 
 	in := core.Input{Now: now, Topologies: topos, Reports: reports}
 	out := c.alg.Step(in)
 	c.StepsRun++
 
+	sent := 0
 	for _, sg := range out {
 		k := receiverKey{sg.Session, sg.Node}
-		if !c.registered[k] {
+		if auditing {
+			if i, ok := auditIdx[k]; ok {
+				audit[i].Prescribed = sg.Level
+			}
+		}
+		rgen, ok := c.registered[k]
+		if !ok {
 			continue // never instruct an unregistered receiver
 		}
 		send := func() {
@@ -261,20 +332,41 @@ func (c *Controller) step() {
 			c.SuggestionsSent++
 		}
 		send()
+		sent++
 		// Suggestions cross the congested links they are trying to relieve
 		// and are routinely lost exactly when they matter most; a single
 		// mid-interval repeat makes the control loop robust without
 		// meaningful extra traffic. The repeat is dropped if the controller
-		// stopped, or the receiver expired, in the meantime.
+		// stopped, the receiver expired, or the receiver re-registered as a
+		// new incarnation (even within this same pass), in the meantime.
 		if !c.DisableResend {
 			gen := c.gen
 			c.net.Engine().Schedule(c.interval/2, func() {
-				if c.ticker == nil || c.gen != gen || !c.registered[k] {
+				if c.ticker == nil || c.gen != gen {
+					return
+				}
+				if cur, ok := c.registered[k]; !ok || cur != rgen {
 					return
 				}
 				send()
 			})
 		}
+	}
+	if c.obs != nil {
+		fired := c.net.Engine().Fired()
+		since := fired - c.lastPassFired
+		c.lastPassFired = fired
+		c.obs.Passes.Inc()
+		c.obs.PassEvents.Observe(float64(since))
+		c.obs.Rec.Record(obs.Event{
+			At: now, Kind: obs.EvPass,
+			From: int32(c.node.ID), To: -1, Session: -1,
+			Seq: c.StepsRun, Aux: int64(sent),
+		})
+		c.obs.Audit.Add(obs.AuditPass{
+			At: now, Topologies: len(topos), EventsSince: since,
+			Receivers: audit,
+		})
 	}
 	if c.OnStep != nil {
 		c.OnStep(now, in, out)

@@ -7,6 +7,7 @@ import (
 	"toposense/internal/core"
 	"toposense/internal/mcast"
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/receiver"
 	"toposense/internal/report"
 	"toposense/internal/sim"
@@ -355,5 +356,102 @@ func TestStoppedReceiverIgnoresSuggestions(t *testing.T) {
 	w.e.RunUntil(15 * sim.Second)
 	if rx.Level() != 0 {
 		t.Errorf("stopped receiver rejoined to level %d", rx.Level())
+	}
+}
+
+func TestNoResendToReRegisteredReceiver(t *testing.T) {
+	// A receiver that expires and RE-registers between the step and the
+	// mid-interval repeat is a new incarnation: the pending repeat was
+	// computed from the old incarnation's reports and must not fire. A
+	// plain "is it registered?" check cannot see this — the key is present
+	// again — which is exactly what the registration generation pins.
+	w := buildChainWorld(t, 500e3, 0)
+	w.start()
+	var sentAtSwap int64
+	w.e.Schedule(20*sim.Second+200*sim.Millisecond, func() { w.rxs[0].Stop() })
+	w.e.Schedule(21*sim.Second+500*sim.Millisecond, func() {
+		k := receiverKey{0, w.rxs[0].Node().ID}
+		// Expiry sweep drops the old incarnation...
+		delete(w.ctrl.registered, k)
+		delete(w.ctrl.lastHeard, k)
+		delete(w.ctrl.acc, k)
+		delete(w.ctrl.last, k)
+		// ...and a restarted receiver on the same node registers at once,
+		// before the 22s repeat fires.
+		w.ctrl.Recv(&netsim.Packet{Payload: report.Register{
+			Node: w.rxs[0].Node().ID, Session: 0, Level: 1}})
+		sentAtSwap = w.ctrl.SuggestionsSent
+	})
+	w.e.RunUntil(23 * sim.Second) // past the repeat at 22s, before the next step
+	if sentAtSwap == 0 {
+		t.Fatal("controller never sent a suggestion before the swap")
+	}
+	if w.ctrl.SuggestionsSent != sentAtSwap {
+		t.Errorf("repeat sent to a re-registered receiver: %d -> %d", sentAtSwap, w.ctrl.SuggestionsSent)
+	}
+}
+
+func TestLossReportDoesNotBumpGeneration(t *testing.T) {
+	// Reports from a live receiver must keep the registration generation:
+	// bumping it would cancel every pending mid-interval repeat.
+	w := buildChainWorld(t, 500e3, 0)
+	k := receiverKey{0, 5}
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 2}})
+	gen := w.ctrl.registered[k]
+	w.ctrl.Recv(&netsim.Packet{Payload: report.LossReport{Node: 5, Session: 0, Level: 2, Interval: sim.Second}})
+	if w.ctrl.registered[k] != gen {
+		t.Errorf("loss report changed generation %d -> %d", gen, w.ctrl.registered[k])
+	}
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 3}})
+	if w.ctrl.registered[k] == gen {
+		t.Error("re-register did not open a new generation")
+	}
+}
+
+func TestControllerObsAudit(t *testing.T) {
+	w := buildChainWorld(t, 500e3, 0)
+	o := obs.New(obs.Options{})
+	w.ctrl.SetObs(o)
+	w.start()
+	w.e.RunUntil(30 * sim.Second)
+
+	if got, steps := o.Passes.Value(), w.ctrl.StepsRun; got != steps {
+		t.Errorf("obs passes = %d, StepsRun = %d", got, steps)
+	}
+	if o.PassEvents.Count() != o.Passes.Value() {
+		t.Errorf("pass-events observations = %d, passes = %d", o.PassEvents.Count(), o.Passes.Value())
+	}
+	passes := o.Audit.Passes()
+	if int64(len(passes)) != o.Audit.Total() || len(passes) == 0 {
+		t.Fatalf("audit retained %d of %d passes", len(passes), o.Audit.Total())
+	}
+	// Once the receiver is registered and reporting, every pass must audit
+	// it with its session tree evidence and a prescription.
+	last := passes[len(passes)-1]
+	if len(last.Receivers) != 1 {
+		t.Fatalf("audit receivers = %+v", last.Receivers)
+	}
+	ent := last.Receivers[0]
+	if ent.Node != int(w.rxs[0].Node().ID) || ent.Session != 0 {
+		t.Errorf("audit entry identity = %+v", ent)
+	}
+	if !ent.OnTree || ent.Parent < 0 {
+		t.Errorf("audit entry lacks topology evidence: %+v", ent)
+	}
+	if ent.Prescribed < 0 {
+		t.Errorf("audit entry lacks prescription: %+v", ent)
+	}
+	if ent.Stale {
+		t.Errorf("steadily reporting receiver marked stale: %+v", ent)
+	}
+	// Pass events land in the flight recorder with the pass number.
+	var passEvents int
+	for _, ev := range o.Rec.Events() {
+		if ev.Kind == obs.EvPass {
+			passEvents++
+		}
+	}
+	if passEvents == 0 {
+		t.Error("no EvPass events in the flight recorder")
 	}
 }

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/sim"
 )
 
@@ -29,6 +31,11 @@ type Spec struct {
 	// its engine and network with the Meter so the runner can report run
 	// metadata and enforce wall-clock timeouts.
 	Body func(m *Meter) (any, error)
+	// Obs, when non-nil, enables the observability layer for this run:
+	// Execute builds an obs bundle with these options, the Meter wires it
+	// into whatever the body registers, and the Result carries the export.
+	// Nil (the default) runs the pre-obs hot path with no probe attached.
+	Obs *obs.Options
 }
 
 // NewSpec constructs a Spec, applying the shared Defaults: a zero duration
@@ -54,7 +61,14 @@ type Meter struct {
 	timedOut bool
 	engines  []*sim.Engine
 	nets     []*netsim.Network
+	obs      *obs.Obs // nil unless the Spec enabled observability
 }
+
+// Obs returns the run's observability bundle, or nil when the Spec did not
+// enable one. Bodies that build components outside a World can wire it by
+// hand; every instrument and recorder is nil-safe, so the return value can
+// be passed along unguarded.
+func (m *Meter) Obs() *obs.Obs { return m.obs }
 
 // Observe registers an engine and/or network with the meter. Either
 // argument may be nil; bodies that run several worlds call it once per
@@ -62,6 +76,7 @@ type Meter struct {
 func (m *Meter) Observe(e *sim.Engine, n *netsim.Network) {
 	if e != nil {
 		m.engines = append(m.engines, e)
+		m.obs.ObserveEngine(e)
 		if m.deadline > 0 {
 			e.Every(sim.Second, func() {
 				if !m.timedOut && time.Since(m.start) > m.deadline {
@@ -73,11 +88,23 @@ func (m *Meter) Observe(e *sim.Engine, n *netsim.Network) {
 	}
 	if n != nil {
 		m.nets = append(m.nets, n)
+		if m.obs != nil && e != nil {
+			n.AttachProbe(obs.NewNetProbe(e, m.obs))
+		}
 	}
 }
 
-// ObserveWorld registers a World's engine and network.
-func (m *Meter) ObserveWorld(w *World) { m.Observe(w.Engine, w.Net) }
+// ObserveWorld registers a World's engine and network, and — when the run
+// has observability enabled — wires the bundle into the world's multicast
+// domain and controller as well (the packet probe and engine registration
+// come from Observe).
+func (m *Meter) ObserveWorld(w *World) {
+	m.Observe(w.Engine, w.Net)
+	if m.obs != nil {
+		w.Domain.SetObs(m.obs)
+		w.Controller.SetObs(m.obs)
+	}
+}
 
 // TimedOut reports whether the watchdog stopped an observed engine.
 func (m *Meter) TimedOut() bool { return m.timedOut }
@@ -108,6 +135,10 @@ type Result struct {
 	// EventsPerSecond is Events / WallSeconds — the run's event
 	// throughput, the regression-tracking number.
 	EventsPerSecond float64 `json:"events_per_second"`
+	// Obs is the run's observability export; nil unless the Spec enabled
+	// it, so the BENCH_*.json schema is unchanged when observability is
+	// off.
+	Obs *obs.Dump `json:"obs,omitempty"`
 }
 
 // Failed reports whether the run produced an error instead of rows.
@@ -127,10 +158,19 @@ func (s Spec) Execute(timeout time.Duration) Result {
 		SimSeconds: s.Duration.Seconds(),
 	}
 	m := &Meter{start: time.Now(), deadline: timeout}
+	if s.Obs != nil {
+		m.obs = obs.New(*s.Obs)
+	}
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
 				res.Err = fmt.Sprintf("panic: %v", p)
+				if m.obs != nil && m.obs.Rec != nil {
+					// The flight recorder holds the events leading up to
+					// the crash — dump it while the state is still warm.
+					fmt.Fprintf(os.Stderr, "run %s panicked: %v\n", s.Name, p)
+					m.obs.Rec.WriteLog(os.Stderr)
+				}
 			}
 		}()
 		rows, err := s.Body(m)
@@ -154,6 +194,9 @@ func (s Spec) Execute(timeout time.Duration) Result {
 	}
 	if res.WallSeconds > 0 {
 		res.EventsPerSecond = float64(res.Events) / res.WallSeconds
+	}
+	if m.obs != nil {
+		res.Obs = m.obs.Dump()
 	}
 	return res
 }

@@ -17,6 +17,7 @@ import (
 	"toposense/internal/mcast"
 	"toposense/internal/metrics"
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/receiver"
 	"toposense/internal/sim"
 	"toposense/internal/source"
@@ -143,6 +144,22 @@ func NewWorld(e *sim.Engine, b *topology.Build, cfg WorldConfig) *World {
 		w.Traces = append(w.Traces, trs)
 	}
 	return w
+}
+
+// WireObs attaches an observability bundle to every component of the
+// world: a packet-plane probe on all links, the multicast domain's tree
+// events, the controller's pass audit, and the engine's scheduler stats.
+// A nil bundle is a no-op — the world then runs the exact pre-obs hot
+// path, with no probe installed at all. Call before Start, at most once
+// per bundle (probes accumulate).
+func (w *World) WireObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	w.Net.AttachProbe(obs.NewNetProbe(w.Engine, o))
+	w.Domain.SetObs(o)
+	w.Controller.SetObs(o)
+	o.ObserveEngine(w.Engine)
 }
 
 // Start launches sources, controller and receivers.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"toposense/internal/netsim"
+	"toposense/internal/obs"
 	"toposense/internal/sim"
 )
 
@@ -121,6 +122,42 @@ type Domain struct {
 	// reporting). Repairs counts nodes re-homed (or orphaned) by route
 	// changes after link failures.
 	Grafts, Prunes, Repairs int64
+
+	// obs, when set, mirrors the tree-maintenance counters into the
+	// observability registry and records graft/prune/repair events in the
+	// flight recorder. All hooks sit on the control path; HandleMulticast
+	// is untouched.
+	obs *obs.Obs
+}
+
+// SetObs attaches an observability bundle; nil detaches it.
+func (d *Domain) SetObs(o *obs.Obs) { d.obs = o }
+
+// noteTree records one tree-maintenance operation with the bundle, if any.
+// to is the relevant peer (the parent grafted toward or pruned from), or
+// NoNode when there is none.
+func (d *Domain) noteTree(kind obs.EventKind, n, to netsim.NodeID, g netsim.GroupID) {
+	if d.obs == nil {
+		return
+	}
+	switch kind {
+	case obs.EvGraft:
+		d.obs.Grafts.Inc()
+	case obs.EvPrune:
+		d.obs.Prunes.Inc()
+	case obs.EvRepair:
+		d.obs.Repairs.Inc()
+	}
+	session, layer := d.SessionLayer(g)
+	d.obs.Rec.Record(obs.Event{
+		At:      d.net.Engine().Now(),
+		Kind:    kind,
+		From:    int32(n),
+		To:      int32(to),
+		Session: int32(session),
+		Layer:   int32(layer),
+		Seq:     int64(g),
+	})
 }
 
 // NewDomain creates the multicast domain and installs it on all current
@@ -259,6 +296,7 @@ func (d *Domain) graftUpstream(n netsim.NodeID, g netsim.GroupID) {
 	}
 	st.parent = up
 	d.Grafts++
+	d.noteTree(obs.EvGraft, n, up, g)
 	d.net.Engine().Schedule(link.Delay, func() {
 		if cur := d.lookup(n, g); cur == nil || cur.parent != up {
 			return // rerouted while the graft was in flight
@@ -320,6 +358,7 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 		return
 	}
 	d.Prunes++
+	d.noteTree(obs.EvPrune, n, up, g)
 	d.net.Engine().Schedule(link.Delay, func() {
 		upSt := d.lookup(up, g)
 		if upSt == nil {
@@ -373,6 +412,7 @@ func (d *Domain) repair(n netsim.NodeID, g netsim.GroupID) {
 		return
 	}
 	d.Repairs++
+	d.noteTree(obs.EvRepair, n, newUp, g)
 	old := st.parent
 	st.parent = netsim.NoNode
 	if old != netsim.NoNode {

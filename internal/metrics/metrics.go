@@ -36,6 +36,14 @@ func (tr *Trace) Set(at sim.Time, level int) {
 		return
 	}
 	if at == last.At {
+		if len(tr.points) == 1 {
+			// The sole point is the trace's initial condition, not a
+			// recorded change. Overwriting it would rewrite history (LevelAt
+			// before `at` would report the new level) and hide a real
+			// change, so record a zero-width step instead.
+			tr.points = append(tr.points, Point{At: at, Level: level})
+			return
+		}
 		// Same-instant change: overwrite rather than create a zero-width
 		// step.
 		tr.points[len(tr.points)-1].Level = level

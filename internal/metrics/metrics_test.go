@@ -251,3 +251,74 @@ func TestQuickLevelAtConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceSameInstantAtAnchor(t *testing.T) {
+	// A same-instant change at the trace's single initial point must not
+	// overwrite the anchor: the anchor is the initial condition, and
+	// rewriting it both hides a real change and rewrites LevelAt history.
+	tr := NewTrace(0, 0)
+	tr.Set(0, 2)
+	pts := tr.Points()
+	if len(pts) != 2 || pts[0].Level != 0 || pts[1].Level != 2 {
+		t.Fatalf("anchor overwritten: %v", pts)
+	}
+	if got := tr.LevelAt(0); got != 2 {
+		t.Errorf("LevelAt(0) = %d, want 2", got)
+	}
+
+	// Overwrite-back-to-initial collapses to the lone anchor again.
+	tr.Set(0, 0)
+	if pts := tr.Points(); len(pts) != 1 || pts[0].Level != 0 {
+		t.Fatalf("overwrite-to-initial left trace inconsistent: %v", pts)
+	}
+
+	// And the sequence stays consistent when later changes follow.
+	tr.Set(0, 1)
+	tr.Set(5*sim.Second, 3)
+	if got := tr.Changes(0, 10*sim.Second); got != 1 {
+		t.Errorf("Changes = %d, want 1 (the t=5s change)", got)
+	}
+	if got := tr.LevelAt(2 * sim.Second); got != 1 {
+		t.Errorf("LevelAt(2s) = %d, want 1", got)
+	}
+}
+
+func TestTraceSameInstantNonAnchorOverwrite(t *testing.T) {
+	cases := []struct {
+		name       string
+		build      func() *Trace
+		wantLevels []int
+	}{
+		{"overwrite keeps latest", func() *Trace {
+			tr := NewTrace(0, 1)
+			tr.Set(sim.Second, 2)
+			tr.Set(sim.Second, 3)
+			return tr
+		}, []int{1, 3}},
+		{"overwrite collapses to previous", func() *Trace {
+			tr := NewTrace(0, 1)
+			tr.Set(sim.Second, 2)
+			tr.Set(sim.Second, 1)
+			return tr
+		}, []int{1}},
+		{"zero-width anchor step then advance", func() *Trace {
+			tr := NewTrace(0, 0)
+			tr.Set(0, 2)
+			tr.Set(sim.Second, 4)
+			return tr
+		}, []int{0, 2, 4}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pts := c.build().Points()
+			if len(pts) != len(c.wantLevels) {
+				t.Fatalf("points = %v, want levels %v", pts, c.wantLevels)
+			}
+			for i, want := range c.wantLevels {
+				if pts[i].Level != want {
+					t.Errorf("point %d level = %d, want %d", i, pts[i].Level, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"toposense/internal/sim"
+)
+
+// AuditEntry records what the controller knew about one receiver during
+// one decision pass, and what it prescribed. Together the entries of a
+// pass explain every suggestion the controller sent: the reported loss it
+// acted on, whether that report was fresh or a reused stale aggregate, and
+// the topology evidence (the receiver's parent in the discovered tree)
+// the algorithm weighed.
+type AuditEntry struct {
+	Node    int     `json:"node"`
+	Session int     `json:"session"`
+	Level   int     `json:"level"`
+	Loss    float64 `json:"loss"`
+	Bytes   int64   `json:"bytes"`
+	// Stale marks a receiver that stayed silent the whole interval: the
+	// controller reused its last known aggregate instead of fresh reports.
+	Stale bool `json:"stale,omitempty"`
+	// OnTree reports whether the receiver's node appeared in a validated
+	// discovered topology this pass; Parent is its parent in that tree
+	// (-1 when off-tree or no topology covered the session).
+	OnTree bool `json:"on_tree"`
+	Parent int  `json:"parent"`
+	// Prescribed is the level the algorithm suggested this pass, or -1
+	// when it issued no suggestion for this receiver.
+	Prescribed int `json:"prescribed"`
+}
+
+// AuditPass is one controller decision interval.
+type AuditPass struct {
+	At sim.Time `json:"-"`
+	// AtSeconds duplicates At for the JSON export (sim.Time marshals as a
+	// bare integer of microseconds, which is hostile to read).
+	AtSeconds float64 `json:"at_seconds"`
+	// Pass numbers passes from 1 in execution order.
+	Pass int64 `json:"pass"`
+	// Topologies is how many validated topologies the pass consumed.
+	Topologies int `json:"topologies"`
+	// EventsSince is the number of engine events that fired since the
+	// previous pass — the pass-to-pass distance measured in simulator
+	// work, the unit wall clocks can't skew.
+	EventsSince uint64       `json:"events_since"`
+	Receivers   []AuditEntry `json:"receivers"`
+}
+
+// Audit is a bounded log of the most recent controller passes. Like the
+// flight recorder it never grows past its capacity; unlike it, entries
+// are whole passes. Add on a nil Audit is a no-op.
+type Audit struct {
+	passes []AuditPass
+	next   int
+	total  int64
+}
+
+// NewAudit returns an audit log keeping the last capacity passes.
+func NewAudit(capacity int) *Audit {
+	if capacity <= 0 {
+		panic("obs: audit capacity must be positive")
+	}
+	return &Audit{passes: make([]AuditPass, 0, capacity)}
+}
+
+// Add appends one pass, evicting the oldest beyond capacity, and stamps
+// its pass number.
+func (a *Audit) Add(p AuditPass) {
+	if a == nil {
+		return
+	}
+	a.total++
+	p.Pass = a.total
+	p.AtSeconds = p.At.Seconds()
+	if len(a.passes) < cap(a.passes) {
+		a.passes = append(a.passes, p)
+	} else {
+		a.passes[a.next] = p
+	}
+	a.next++
+	if a.next == cap(a.passes) {
+		a.next = 0
+	}
+}
+
+// Total returns how many passes were ever added.
+func (a *Audit) Total() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.total
+}
+
+// Passes returns the retained passes oldest-first, as a copy.
+func (a *Audit) Passes() []AuditPass {
+	if a == nil || len(a.passes) == 0 {
+		return nil
+	}
+	out := make([]AuditPass, 0, len(a.passes))
+	if len(a.passes) == cap(a.passes) {
+		out = append(out, a.passes[a.next:]...)
+		out = append(out, a.passes[:a.next]...)
+	} else {
+		out = append(out, a.passes...)
+	}
+	return out
+}
+
+// WriteLog renders the retained passes in a stable human-readable format.
+func (a *Audit) WriteLog(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	for _, p := range a.Passes() {
+		if _, err := fmt.Fprintf(w, "pass %d at %.3fs: %d topologies, %d receivers, %d events since last\n",
+			p.Pass, p.AtSeconds, p.Topologies, len(p.Receivers), p.EventsSince); err != nil {
+			return err
+		}
+		for _, e := range p.Receivers {
+			stale := ""
+			if e.Stale {
+				stale = " (stale)"
+			}
+			if _, err := fmt.Fprintf(w, "  s%d/n%d level=%d loss=%.3f parent=%d on_tree=%v prescribed=%d%s\n",
+				e.Session, e.Node, e.Level, e.Loss, e.Parent, e.OnTree, e.Prescribed, stale); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"toposense/internal/sim"
+)
+
+// Default capacities for the bounded recorders.
+const (
+	DefaultFlightRecorder = 4096
+	DefaultAuditPasses    = 256
+)
+
+// Options sizes an Obs instance. The zero value takes the defaults.
+type Options struct {
+	// FlightRecorder is the event ring capacity (0 = DefaultFlightRecorder,
+	// < 0 disables the recorder entirely).
+	FlightRecorder int
+	// AuditPasses is how many controller passes the audit log retains
+	// (0 = DefaultAuditPasses, < 0 disables the audit log).
+	AuditPasses int
+}
+
+// Obs bundles one simulation's observability state: the instrument
+// registry, the flight recorder, the audit log, and the pre-registered
+// instruments the core pipeline updates. Components hold the typed
+// pointers directly — no registry lookup ever happens on a hot path — and
+// every instrument is nil-safe, so a component wired with a nil *Obs pays
+// exactly one pointer comparison.
+type Obs struct {
+	Reg   *Registry
+	Rec   *Recorder
+	Audit *Audit
+
+	// Multicast tree maintenance (internal/mcast).
+	Grafts  *Counter
+	Prunes  *Counter
+	Repairs *Counter
+
+	// Controller passes (internal/controller). PassEvents observes the
+	// engine-events distance between consecutive passes.
+	Passes     *Counter
+	PassEvents *Histogram
+
+	// Packet plane (via the NetProbe).
+	Enqueues     *Counter
+	Delivers     *Counter
+	DropsQueue   *Counter // drop-policy discards (queue overflow / priority victim)
+	DropsDown    *Counter // losses to failed links
+	DropsData    *Counter // dropped media packets
+	DropsControl *Counter // dropped control packets
+	QueueDepth   *Histogram
+	LinkLatency  *Histogram // per-link queuing+serialization+propagation, in milliseconds
+
+	engines []*sim.Engine
+}
+
+// New builds an Obs with every core instrument registered.
+func New(opt Options) *Obs {
+	o := &Obs{Reg: NewRegistry()}
+	switch {
+	case opt.FlightRecorder == 0:
+		o.Rec = NewRecorder(DefaultFlightRecorder)
+	case opt.FlightRecorder > 0:
+		o.Rec = NewRecorder(opt.FlightRecorder)
+	}
+	switch {
+	case opt.AuditPasses == 0:
+		o.Audit = NewAudit(DefaultAuditPasses)
+	case opt.AuditPasses > 0:
+		o.Audit = NewAudit(opt.AuditPasses)
+	}
+
+	o.Grafts = o.Reg.Counter("mcast_grafts")
+	o.Prunes = o.Reg.Counter("mcast_prunes")
+	o.Repairs = o.Reg.Counter("mcast_repairs")
+
+	o.Passes = o.Reg.Counter("controller_passes")
+	o.PassEvents = o.Reg.Histogram("controller_pass_events",
+		[]float64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000})
+
+	o.Enqueues = o.Reg.Counter("link_enqueues")
+	o.Delivers = o.Reg.Counter("link_delivers")
+	o.DropsQueue = o.Reg.Counter("link_drops_queue")
+	o.DropsDown = o.Reg.Counter("link_drops_down")
+	o.DropsData = o.Reg.Counter("link_drops_data")
+	o.DropsControl = o.Reg.Counter("link_drops_control")
+	o.QueueDepth = o.Reg.Histogram("link_queue_depth",
+		[]float64{0, 1, 2, 4, 8, 12, 16, 20, 32, 64})
+	o.LinkLatency = o.Reg.Histogram("link_latency_ms",
+		[]float64{1, 5, 10, 25, 50, 100, 200, 300, 500, 1000, 2000})
+	return o
+}
+
+// ObserveEngine registers a simulation engine whose scheduler stats are
+// snapshotted into every Dump.
+func (o *Obs) ObserveEngine(e *sim.Engine) {
+	if o == nil || e == nil {
+		return
+	}
+	o.engines = append(o.engines, e)
+}

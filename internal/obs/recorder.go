@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"toposense/internal/sim"
+)
+
+// EventKind labels one flight-recorder entry.
+type EventKind uint8
+
+// Flight-recorder event kinds. Packet events come from the network probe,
+// tree events from the multicast domain, pass events from the controller.
+const (
+	// EvEnqueue: a link accepted a packet (From/To = link endpoints,
+	// Aux = queue depth the arrival saw).
+	EvEnqueue EventKind = iota
+	// EvDrop: a packet was discarded (Aux = DropQueue or DropLinkDown).
+	EvDrop
+	// EvDeliver: a packet reached the far end of a link (Aux = the
+	// link-level latency in microseconds when known, else -1).
+	EvDeliver
+	// EvGraft: a router grafted toward its parent (From = router,
+	// To = parent).
+	EvGraft
+	// EvPrune: a router pruned itself from its parent (From = router,
+	// To = parent).
+	EvPrune
+	// EvRepair: a route change re-homed (or orphaned) a router
+	// (From = router, To = new parent or -1).
+	EvRepair
+	// EvPass: the controller ran one decision pass (Aux = suggestions
+	// sent, Seq = pass number).
+	EvPass
+)
+
+// Drop causes carried in EvDrop's Aux field.
+const (
+	// DropQueue is a drop-policy discard: queue overflow under drop-tail,
+	// or the highest-layer victim under priority dropping.
+	DropQueue int64 = iota
+	// DropLinkDown is a loss to a failed link: rejected on arrival or
+	// discarded from the queue/pipeline by SetDown.
+	DropLinkDown
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvDrop:
+		return "drop"
+	case EvDeliver:
+		return "deliver"
+	case EvGraft:
+		return "graft"
+	case EvPrune:
+		return "prune"
+	case EvRepair:
+		return "repair"
+	case EvPass:
+		return "pass"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one fixed-size flight-recorder entry. Fields are generic so one
+// struct covers packet, tree and controller events; which fields mean what
+// is documented per EventKind. The struct is a plain value — recording is
+// a copy into the ring, never an allocation.
+type Event struct {
+	At      sim.Time
+	Kind    EventKind
+	From    int32 // link source / router node; -1 when not applicable
+	To      int32 // link destination / parent node; -1 when not applicable
+	Session int32 // media session; -1 for non-media
+	Layer   int32 // media layer; 0 for non-media
+	Seq     int64 // packet sequence number / controller pass number
+	Aux     int64 // kind-specific (queue depth, drop cause, latency µs, ...)
+}
+
+// Recorder is a fixed-capacity ring buffer of the most recent events — a
+// flight recorder: always on once enabled, never growing, dumpable after
+// the fact to reconstruct what led up to an anomaly. Record on a nil
+// Recorder is a no-op, so call sites need no guard.
+type Recorder struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRecorder returns a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("obs: recorder capacity must be positive")
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends ev, evicting the oldest entry once the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Events returns the retained events oldest-first, as a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// WriteLog renders the retained events oldest-first, one per line, in a
+// stable human-readable format. Used by the -flightrec flag and the
+// panic-dump path.
+func (r *Recorder) WriteLog(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events retained of %d recorded\n", len(r.buf), r.total); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%12.6f %-8s from=%d to=%d s=%d l=%d seq=%d aux=%d\n",
+			ev.At.Seconds(), ev.Kind, ev.From, ev.To, ev.Session, ev.Layer, ev.Seq, ev.Aux); err != nil {
+			return err
+		}
+	}
+	return nil
+}

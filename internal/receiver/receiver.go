@@ -52,11 +52,13 @@ type Config struct {
 // interval.
 type layerState struct {
 	joined   bool
-	haveSeq  bool  // whether lastSeq is valid
-	lastSeq  int64 // highest sequence seen overall
-	received int64 // packets received this interval
-	expected int64 // packets expected this interval (from seq gaps)
-	bytes    int64 // bytes received this interval
+	haveSeq  bool   // whether lastSeq is valid
+	lastSeq  int64  // highest sequence seen overall
+	window   uint64 // bitmap over (lastSeq-63 .. lastSeq]: bit d set = lastSeq-d received
+	received int64  // packets received this interval (duplicates excluded)
+	expected int64  // packets expected this interval (from seq gaps)
+	bytes    int64  // bytes received this interval (duplicates excluded)
+	debt     int64  // <= 0: over-receipt carried across interval boundaries
 }
 
 // Receiver is the receiver agent. It implements mcast.Member for data and
@@ -80,6 +82,11 @@ type Receiver struct {
 	ReportsSent     int64
 	SuggestionsRecv int64
 	UnilateralDrops int64
+	// Reordered counts late arrivals that filled a sequence gap already
+	// charged to expected; Duplicates counts packets discarded because the
+	// sequence was already received (or too old to vouch for).
+	Reordered  int64
+	Duplicates int64
 
 	// LastLoss is the loss rate of the most recent completed interval.
 	LastLoss float64
@@ -169,6 +176,17 @@ func (r *Receiver) Stop() {
 
 // RecvMulticast implements mcast.Member: account the packet against the
 // layer's sequence stream.
+//
+// Individual links are FIFO, so a steady route delivers in order — but a
+// tree repair can switch a receiver to a path with different latency, which
+// reorders across the switch and can replay packets the old path already
+// delivered. A 64-sequence bitmap behind lastSeq distinguishes the two: a
+// late arrival whose sequence is missing from the window fills a gap
+// already charged to expected (received goes up, expected does not — the
+// gap was counted when the stream jumped past it), while a sequence already
+// present is a duplicate and must not inflate received, or it would mask
+// real loss elsewhere in the interval. Packets older than the window cannot
+// be vouched for and are conservatively treated as duplicates.
 func (r *Receiver) RecvMulticast(p *netsim.Packet) {
 	if p.Session != r.cfg.Session || p.Layer < 1 || p.Layer > len(r.layers) {
 		return
@@ -177,20 +195,42 @@ func (r *Receiver) RecvMulticast(p *netsim.Packet) {
 	if !ls.joined {
 		return // stale packet from the leave-latency window
 	}
-	ls.received++
-	ls.bytes += int64(p.Size)
 	if !ls.haveSeq {
 		ls.haveSeq = true
 		ls.lastSeq = p.Seq
+		ls.window = 1
+		ls.received++
 		ls.expected++
+		ls.bytes += int64(p.Size)
 		return
 	}
-	if p.Seq > ls.lastSeq {
-		ls.expected += p.Seq - ls.lastSeq
+	switch d := ls.lastSeq - p.Seq; {
+	case d < 0:
+		// In-order advance; skipped sequences raise expected and stand as
+		// gaps in the window until a late arrival fills them.
+		adv := uint64(-d)
+		if adv < 64 {
+			ls.window = ls.window<<adv | 1
+		} else {
+			ls.window = 1
+		}
+		ls.expected += -d
 		ls.lastSeq = p.Seq
+		ls.received++
+		ls.bytes += int64(p.Size)
+	case d < 64:
+		bit := uint64(1) << uint(d)
+		if ls.window&bit != 0 {
+			r.Duplicates++ // already counted; bit 0 covers d == 0
+			return
+		}
+		ls.window |= bit
+		ls.received++
+		ls.bytes += int64(p.Size)
+		r.Reordered++
+	default:
+		r.Duplicates++ // beyond the window: unverifiable, assume duplicate
 	}
-	// Out-of-order or duplicate packets (impossible on our FIFO links, but
-	// harmless): count as received without adjusting expectations.
 }
 
 // Recv implements netsim.Agent for unicast control packets: apply
@@ -235,8 +275,11 @@ func (r *Receiver) setLevel(lvl int) {
 			panic(fmt.Sprintf("receiver: no group for session %d layer %d", r.cfg.Session, l))
 		}
 		r.domain.Join(r.node.ID, g, r)
-		r.layers[l-1].joined = true
-		r.layers[l-1].haveSeq = false
+		ls := &r.layers[l-1]
+		ls.joined = true
+		ls.haveSeq = false
+		ls.window = 0
+		ls.debt = 0 // a fresh subscription epoch owes nothing
 	}
 	for l := r.level; l > lvl; l-- {
 		g := r.domain.GroupOf(r.cfg.Session, l)
@@ -253,22 +296,33 @@ func (r *Receiver) setLevel(lvl int) {
 
 // tick closes the measurement interval: compute the loss rate and received
 // bytes, send the report, run the unilateral watchdog, and reset counters.
+//
+// A gap charged to expected in one interval can be filled by a late arrival
+// in the next, leaving that later interval with received > expected. The
+// negative remainder is carried per layer as debt (<= 0) and consumed by
+// future intervals' losses, so the loss rate stays in [0, 1] every interval
+// while the cumulative reported losses still sum to exactly
+// total-expected - total-received.
 func (r *Receiver) tick() {
 	e := r.net.Engine()
-	var received, expected, bytes int64
+	var lost, expected, bytes int64
 	for i := range r.layers {
 		ls := &r.layers[i]
-		received += ls.received
+		l := ls.expected - ls.received + ls.debt
+		if l < 0 {
+			ls.debt = l
+			l = 0
+		} else {
+			ls.debt = 0
+		}
+		lost += l
 		expected += ls.expected
 		bytes += ls.bytes
 		ls.received, ls.expected, ls.bytes = 0, 0, 0
 	}
 	loss := 0.0
 	if expected > 0 {
-		loss = float64(expected-received) / float64(expected)
-		if loss < 0 {
-			loss = 0
-		}
+		loss = float64(lost) / float64(expected)
 	}
 	r.LastLoss = loss
 

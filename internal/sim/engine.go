@@ -102,6 +102,29 @@ func (e *Engine) EventAllocs() uint64 { return e.slotAllocs }
 // EventReuses returns how many schedules were served from the free list.
 func (e *Engine) EventReuses() uint64 { return e.slotReuses }
 
+// EngineStats is a point-in-time snapshot of the scheduler's meters, in
+// one struct so observability exports can capture them atomically.
+type EngineStats struct {
+	Now         Time   `json:"-"`
+	NowSeconds  float64 `json:"now_seconds"`
+	Fired       uint64 `json:"events_fired"`
+	Pending     int    `json:"events_pending"`
+	EventAllocs uint64 `json:"event_allocs"`
+	EventReuses uint64 `json:"event_reuses"`
+}
+
+// Stats snapshots the engine's meters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:         e.now,
+		NowSeconds:  e.now.Seconds(),
+		Fired:       e.fired,
+		Pending:     len(e.queue),
+		EventAllocs: e.slotAllocs,
+		EventReuses: e.slotReuses,
+	}
+}
+
 // acquire takes an event slot from the free list (bumping its generation so
 // stale handles go inert) or allocates a fresh one.
 func (e *Engine) acquire(t Time, fn func()) *Event {

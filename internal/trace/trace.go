@@ -14,9 +14,13 @@ import (
 
 // Series is a named sequence of (time, value) samples in time order.
 type Series struct {
-	Name    string
-	Times   []sim.Time
-	Values  []float64
+	Name   string
+	Times  []sim.Time
+	Values []float64
+	// clipped marks a series that is a restriction of a longer one:
+	// Window set it because samples fell outside the requested range, or
+	// the source series was itself clipped. Consumers use it to tell "this
+	// is everything that was recorded" from "this is a cut".
 	clipped bool
 }
 
@@ -39,15 +43,25 @@ func (s *Series) Len() int { return len(s.Times) }
 // At returns the i-th sample.
 func (s *Series) At(i int) (sim.Time, float64) { return s.Times[i], s.Values[i] }
 
-// Window returns a new series restricted to samples in [from, to].
+// Window returns a new series restricted to samples in [from, to]. The
+// result is marked clipped when the restriction excluded samples (or the
+// source was already clipped), so downstream consumers can tell a partial
+// view from the full recording.
 func (s *Series) Window(from, to sim.Time) *Series {
 	lo := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] >= from })
 	hi := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > to })
+	if hi < lo {
+		hi = lo // inverted range: empty window
+	}
 	out := NewSeries(s.Name)
 	out.Times = append(out.Times, s.Times[lo:hi]...)
 	out.Values = append(out.Values, s.Values[lo:hi]...)
+	out.clipped = s.clipped || hi-lo < len(s.Times)
 	return out
 }
+
+// Clipped reports whether this series is a restriction of a longer one.
+func (s *Series) Clipped() bool { return s.clipped }
 
 // Max returns the maximum value (0 for an empty series).
 func (s *Series) Max() float64 {

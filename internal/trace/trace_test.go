@@ -124,3 +124,44 @@ func TestLogKindFilter(t *testing.T) {
 		t.Errorf("filter failed: %v", l.Events())
 	}
 }
+
+func TestSeriesWindowClipped(t *testing.T) {
+	full := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		full.Add(sim.Time(i)*sim.Second, float64(i))
+	}
+	empty := NewSeries("e")
+	cases := []struct {
+		name     string
+		src      *Series
+		from, to sim.Time
+		wantLen  int
+		wantClip bool
+	}{
+		{"full range", full, 0, 9 * sim.Second, 10, false},
+		{"interior cut", full, 3 * sim.Second, 6 * sim.Second, 4, true},
+		{"cut at head", full, sim.Second, 9 * sim.Second, 9, true},
+		{"cut at tail", full, 0, 8 * sim.Second, 9, true},
+		{"beyond both ends", full, -sim.Second, 20 * sim.Second, 10, false},
+		{"empty window between samples", full, 3500 * sim.Millisecond, 3600 * sim.Millisecond, 0, true},
+		{"inverted range", full, 6 * sim.Second, 3 * sim.Second, 0, true},
+		{"empty series", empty, 0, sim.Second, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := c.src.Window(c.from, c.to)
+			if w.Len() != c.wantLen {
+				t.Errorf("Len = %d, want %d", w.Len(), c.wantLen)
+			}
+			if w.Clipped() != c.wantClip {
+				t.Errorf("Clipped = %v, want %v", w.Clipped(), c.wantClip)
+			}
+		})
+	}
+	// Clipping is sticky: a full-range window of a clipped series stays
+	// clipped — it still is not the whole recording.
+	cut := full.Window(3*sim.Second, 6*sim.Second)
+	if w := cut.Window(0, 20*sim.Second); !w.Clipped() {
+		t.Error("window of a clipped series lost the clipped flag")
+	}
+}

@@ -4,6 +4,7 @@
 # Usage:
 #   scripts/benchdiff.sh capture NAME        run bench-micro, save to bench/NAME.txt
 #   scripts/benchdiff.sh compare OLD NEW     diff two captures
+#   scripts/benchdiff.sh obs-gate            fail if any obs benchmark allocates
 #
 # Capture before and after a change, then compare:
 #   scripts/benchdiff.sh capture base
@@ -55,6 +56,22 @@ compare)
 		echo "+++ $new"
 		grep '^Benchmark' "$new" || true
 	fi
+	;;
+obs-gate)
+	# The observability layer promises zero allocations on every hot-path
+	# instrument, enabled or disabled, and zero overhead beyond one pointer
+	# comparison when off. Run its benchmarks with -benchmem and fail on
+	# any non-zero allocs/op.
+	[ $# -eq 0 ] || usage
+	out=$(go test -run '^$' -bench . -benchmem -benchtime 1000x ./internal/obs)
+	echo "$out"
+	bad=$(echo "$out" | awk '/^Benchmark/ && $(NF-1) + 0 > 0 { print "  " $1 ": " $(NF-1) " allocs/op" }')
+	if [ -n "$bad" ]; then
+		echo "obs-gate FAILED: observability benchmarks allocated:" >&2
+		echo "$bad" >&2
+		exit 1
+	fi
+	echo "obs-gate OK: every observability benchmark at 0 allocs/op" >&2
 	;;
 *)
 	usage

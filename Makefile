@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json obs-gate repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json bench-scale obs-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -41,7 +41,14 @@ obs-gate:
 bench-json:
 	$(GO) run ./cmd/topobench -quick -json BENCH_quick.json
 
-# Regenerate the paper's evaluation at full scale (~2 minutes).
+# Scaling curve toward the 10^5-receiver north star: the fig_scale tree
+# ladder, exported to BENCH_scale.json for cross-commit tracking. The
+# largest point is a few minutes of wall clock on one core.
+bench-scale:
+	$(GO) run ./cmd/topobench -fig fig_scale -json BENCH_scale.json
+
+# Regenerate the paper's evaluation at full scale (~2 minutes, plus the
+# fig_scale ladder — see bench-scale — which dominates at full size).
 repro:
 	$(GO) run ./cmd/topobench
 

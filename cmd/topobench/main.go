@@ -35,10 +35,12 @@ import (
 	"toposense/internal/obs"
 	"toposense/internal/prof"
 	"toposense/internal/runner"
+	"toposense/internal/topology"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
+	topoFlag := flag.String("topo", "", "topology selection for experiments that take one (fig_scale): a registered family ("+strings.Join(topology.Names(), ", ")+") for its ladder, or a full name,key=val spec for a single point")
 	quick := flag.Bool("quick", false, "scaled-down runs (shorter duration, fewer points)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
@@ -72,7 +74,16 @@ func main() {
 	// Enumerate every selected experiment's specs into one flat work list,
 	// remembering each experiment's slice so results can be rendered per
 	// experiment afterwards.
-	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick}
+	// A non-family -topo must be a parseable generator spec; reject it
+	// before burning sweep time.
+	if *topoFlag != "" {
+		if _, ok := topology.Get(strings.SplitN(*topoFlag, ",", 2)[0]); !ok {
+			fmt.Fprintf(os.Stderr, "unknown -topo generator %q; registered: %s\n",
+				*topoFlag, strings.Join(topology.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag}
 	var specs []experiments.Spec
 	type slice struct{ lo, hi int }
 	slices := make([]slice, len(selected))

@@ -13,6 +13,8 @@
 //	toposim -topology B -sessions 8 -staleness 6
 //	toposim -topology B -failat 200 -outage 60   # cut the bottleneck mid-run
 //	toposim -topology tiered -seed 3
+//	toposim -topo tree,depth=3,branch=8,rxleaf=2 -duration 30   # generated large topology
+//	toposim -topo list                           # list registered generators and keys
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
 //	toposim -topology B -obs OBS_sim.json        # observability export (.json or .csv)
@@ -60,6 +62,7 @@ type simResult struct {
 
 func main() {
 	topo := flag.String("topology", "A", "A, B or tiered")
+	topoSpec := flag.String("topo", "", "topology generator spec name[,key=val,...] resolved against the registry ("+strings.Join(topology.Names(), ", ")+"); overrides -topology; \"list\" prints every generator and its keys")
 	receivers := flag.Int("receivers", 2, "topology A: receivers per set; tiered: receivers per leaf")
 	sessions := flag.Int("sessions", 4, "topology B: number of competing sessions")
 	traffic := flag.String("traffic", "cbr", "cbr, vbr3 or vbr6")
@@ -98,12 +101,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
 		os.Exit(2)
 	}
+	if *topoSpec == "list" {
+		fmt.Print(topology.Usage())
+		return
+	}
+	var topoCfg topology.Config
 	topoName := strings.ToUpper(*topo)
-	switch topoName {
-	case "A", "B", "TIERED":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
-		os.Exit(2)
+	if *topoSpec != "" {
+		var err error
+		if _, topoCfg, err = topology.Parse(*topoSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		topoName = *topoSpec
+	} else {
+		switch topoName {
+		case "A", "B", "TIERED":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+			os.Exit(2)
+		}
 	}
 	algoName := strings.ToLower(*algo)
 	switch algoName {
@@ -139,18 +156,25 @@ func main() {
 		func(m *experiments.Meter) (any, error) {
 			e := sim.NewEngine(*seed)
 			var b *topology.Build
-			switch topoName {
-			case "A":
-				b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
-			case "B":
-				b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
-			case "TIERED":
-				b = topology.BuildTiered(e, topology.TieredConfig{
-					Seed:             *seed,
-					FanOut:           []int{2, 3},
-					Bandwidth:        []float64{10e6, 600e3},
-					ReceiversPerLeaf: *receivers,
-				})
+			if topoCfg != nil {
+				var err error
+				if b, err = topology.Generate(e, topoCfg); err != nil {
+					return nil, err
+				}
+			} else {
+				switch topoName {
+				case "A":
+					b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
+				case "B":
+					b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
+				case "TIERED":
+					b = topology.BuildTiered(e, topology.TieredConfig{
+						Seed:             *seed,
+						FanOut:           []int{2, 3},
+						Bandwidth:        []float64{10e6, 600e3},
+						ReceiversPerLeaf: *receivers,
+					})
+				}
 			}
 			m.Observe(e, b.Net)
 			runObs = m.Obs()

@@ -10,6 +10,7 @@ package controller
 
 import (
 	"sort"
+	"time"
 
 	"toposense/internal/core"
 	"toposense/internal/mcast"
@@ -84,6 +85,12 @@ type Controller struct {
 	SuggestionsSent int64
 	ReportsRecv     int64
 	RegistersRecv   int64
+	// PassWallNanos / PassWallMaxNanos accumulate the host wall-clock time
+	// spent inside step() — total and worst single pass. Wall time feeds
+	// only reporting (the fig_scale controller-latency column); simulation
+	// behaviour never reads the host clock, so determinism is unaffected.
+	PassWallNanos    int64
+	PassWallMaxNanos int64
 
 	// OnStep, if set, observes each step's inputs and outputs. The out
 	// slice is backed by the algorithm's scratch arena and only valid for
@@ -210,6 +217,14 @@ func (c *Controller) consume(payload any) {
 // step runs one TopoSense interval: assemble topologies and reports, run
 // the algorithm, send suggestions.
 func (c *Controller) step() {
+	passStart := time.Now()
+	defer func() {
+		d := int64(time.Since(passStart))
+		c.PassWallNanos += d
+		if d > c.PassWallMaxNanos {
+			c.PassWallMaxNanos = d
+		}
+	}()
 	now := c.net.Engine().Now()
 
 	// Expire receivers that have gone silent for several intervals: they

@@ -12,6 +12,10 @@ import (
 type SweepConfig struct {
 	Seed  int64
 	Quick bool
+	// Topo is a topology generator selection for the experiments that take
+	// one (fig_scale): a family name for its whole ladder, or a full
+	// "name,key=val" spec for a single point. Empty = the default sweep.
+	Topo string
 }
 
 // Experiment is one registry entry: a named sweep that can enumerate its
@@ -176,6 +180,14 @@ func Registry() []Experiment {
 				b.WriteString("\n")
 				return b.String(), nil
 			},
+		},
+		{
+			Name:  "fig_scale",
+			Title: "Scaling curve: receivers vs events/s, memory, pass latency",
+			Specs: func(cfg SweepConfig) []Spec {
+				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo})
+			},
+			Render: ScaleTable,
 		},
 		{
 			Name:  "baseline",

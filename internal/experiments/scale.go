@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"toposense/internal/metrics"
+	"toposense/internal/sim"
+	"toposense/internal/topology"
+)
+
+// The fig_scale experiment is not a paper figure: it tracks how far toward
+// the ROADMAP's 10^5–10^6-receiver north star the simulator currently
+// scales, and at what cost. Each point builds one large generated topology,
+// runs a short full-stack simulation (sources, multicast, receivers,
+// controller), and reports the scaling health numbers: events/s, bytes per
+// receiver, forwarding-state memory against the dense nodes×groups
+// equivalent, and controller pass wall latency.
+
+// DefaultScaleDuration is simulated seconds per scale point — long enough
+// for ~7 controller passes and for receivers to reach their optimal level,
+// short enough that the 10^5-receiver point stays minutes of wall clock.
+const DefaultScaleDuration = 30 * sim.Second
+
+// QuickScaleDuration is the CI smoke duration.
+const QuickScaleDuration = 10 * sim.Second
+
+// scaleLadders maps a generator family to its sweep of spec strings,
+// roughly decade steps in receiver count. The mesh family has cycles, so
+// it routes through the dense O(N²) tables and its ladder stays small; the
+// tree-routable families climb to 10^5 receivers.
+var scaleLadders = map[string][]string{
+	"tree": {
+		"tree,depth=2,branch=5,rxleaf=4",   // 100 receivers
+		"tree,depth=3,branch=8,rxleaf=2",   // 1 024
+		"tree,depth=4,branch=10,rxleaf=1",  // 10 000
+		"tree,depth=4,branch=10,rxleaf=10", // 100 000
+	},
+	"star": {
+		"star,arms=10,rxarm=10",    // 100
+		"star,arms=100,rxarm=10",   // 1 000
+		"star,arms=100,rxarm=100",  // 10 000
+		"star,arms=1000,rxarm=100", // 100 000
+	},
+	"linear": {
+		"linear,chains=4,length=5,rxhop=5",      // 100
+		"linear,chains=10,length=10,rxhop=10",   // 1 000
+		"linear,chains=32,length=31,rxhop=10",   // ~10 000
+		"linear,chains=100,length=100,rxhop=10", // 100 000
+	},
+	"mesh": {
+		"mesh,routers=10,rxrouter=10",  // 100
+		"mesh,routers=50,rxrouter=20",  // 1 000
+		"mesh,routers=100,rxrouter=30", // 3 000
+	},
+}
+
+// ScaleRow is one point of the scaling curve.
+type ScaleRow struct {
+	Topo      string `json:"topo"`      // the generator spec string
+	Nodes     int    `json:"nodes"`     // network nodes
+	Links     int    `json:"links"`     // directed links
+	Receivers int    `json:"receivers"` // session receivers
+	Groups    int    `json:"groups"`    // registered multicast groups
+
+	// Forwarding-state memory after the run, against what the old dense
+	// [node][group] pointer table would have held.
+	TableEntries    int `json:"table_entries"`
+	TableBytes      int `json:"table_bytes"`
+	DenseEquivBytes int `json:"dense_equiv_bytes"`
+	DenseNodes      int `json:"dense_nodes"` // nodes promoted to dense form
+
+	// Controller pass wall-clock latency (host time; reporting only).
+	Passes     int64   `json:"passes"`
+	PassMeanMs float64 `json:"pass_mean_ms"`
+	PassMaxMs  float64 `json:"pass_max_ms"`
+
+	// Delivered volume and quality.
+	RxBytes          int64   `json:"rx_bytes"` // bytes serialized onto receiver last-hop links
+	BytesPerReceiver float64 `json:"bytes_per_receiver"`
+	MeanDev          float64 `json:"mean_dev"` // mean relative deviation from optimal
+}
+
+// ScaleConfig parameterizes the scaling study.
+type ScaleConfig struct {
+	Seed     int64
+	Duration sim.Time // 0 = DefaultScaleDuration
+	// Topo selects what to sweep: "" or a family name ("tree", "star",
+	// "linear", "mesh") runs that family's ladder; any other generator spec
+	// string runs as a single point.
+	Topo    string
+	Quick   bool // first two ladder points at QuickScaleDuration
+	Traffic Traffic
+}
+
+func (c *ScaleConfig) normalize() {
+	if c.Duration == 0 {
+		c.Duration = DefaultScaleDuration
+		if c.Quick {
+			c.Duration = QuickScaleDuration
+		}
+	}
+	if c.Topo == "" {
+		c.Topo = "tree"
+	}
+	if c.Traffic.Name == "" {
+		c.Traffic = CBR
+	}
+}
+
+// scalePoints resolves the configured sweep into generator spec strings.
+func scalePoints(cfg ScaleConfig) []string {
+	points, ok := scaleLadders[cfg.Topo]
+	if !ok {
+		return []string{cfg.Topo} // a single explicit generator spec
+	}
+	if cfg.Quick && len(points) > 2 {
+		points = points[:2]
+	}
+	return points
+}
+
+// ScaleSpecs enumerates the scaling curve, one run per topology point.
+func ScaleSpecs(cfg ScaleConfig) []Spec {
+	cfg.normalize()
+	var specs []Spec
+	for _, point := range scalePoints(cfg) {
+		point := point
+		specs = append(specs, NewSpec("fig_scale", "fig_scale/"+point,
+			cfg.Seed, cfg.Duration,
+			func(m *Meter) (any, error) {
+				_, tcfg, err := topology.Parse(point)
+				if err != nil {
+					return nil, err
+				}
+				e := sim.NewEngine(cfg.Seed)
+				b, err := topology.Generate(e, tcfg)
+				if err != nil {
+					return nil, err
+				}
+				w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+				m.ObserveWorld(w)
+				w.Run(cfg.Duration)
+
+				row := ScaleRow{
+					Topo:      point,
+					Nodes:     b.Net.NumNodes(),
+					Links:     len(b.Net.Links()),
+					Receivers: len(b.AllReceivers()),
+					Groups:    w.Domain.NumGroups(),
+				}
+				st := w.Domain.StateStats()
+				row.TableEntries = st.Entries
+				row.TableBytes = st.Bytes
+				row.DenseNodes = st.DenseNodes
+				row.DenseEquivBytes = row.Nodes * row.Groups * 8
+				row.Passes = w.Controller.StepsRun
+				if row.Passes > 0 {
+					row.PassMeanMs = float64(w.Controller.PassWallNanos) / float64(row.Passes) / 1e6
+				}
+				row.PassMaxMs = float64(w.Controller.PassWallMaxNanos) / 1e6
+				for _, rx := range b.AllReceivers() {
+					for _, l := range rx.Links() {
+						if r := l.Reverse(); r != nil {
+							row.RxBytes += r.Stats().TxBytes
+						}
+					}
+				}
+				if row.Receivers > 0 {
+					row.BytesPerReceiver = float64(row.RxBytes) / float64(row.Receivers)
+				}
+				traces, optima := w.AllTraces()
+				row.MeanDev = metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration)
+				return []ScaleRow{row}, nil
+			}))
+	}
+	return specs
+}
+
+// RunScale executes the scaling sweep serially.
+func RunScale(cfg ScaleConfig) []ScaleRow {
+	return mustGather[ScaleRow](ExecuteAll(ScaleSpecs(cfg)))
+}
+
+// ScaleTable renders the curve, joining each row with its run's event
+// throughput from the Result (events/s and wall seconds live there, not in
+// the row, so the renderer takes both).
+func ScaleTable(results []Result) (string, error) {
+	t := &Table{
+		Title: "fig_scale: receivers vs cost (events/s, state bytes, pass latency)",
+		Header: []string{"topology", "rx", "nodes", "events/s", "wall s",
+			"state bytes", "dense equiv", "pass mean ms", "pass max ms", "B/rx", "dev"},
+	}
+	for _, r := range results {
+		if r.Failed() {
+			return "", fmt.Errorf("run %s failed: %s", r.Name, r.Err)
+		}
+		rows, ok := r.Rows.([]ScaleRow)
+		if !ok || len(rows) != 1 {
+			return "", fmt.Errorf("run %s: rows are %T, want one ScaleRow", r.Name, r.Rows)
+		}
+		row := rows[0]
+		t.AddRow(
+			strings.TrimPrefix(row.Topo, "fig_scale/"),
+			fmt.Sprintf("%d", row.Receivers),
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.3g", r.EventsPerSecond),
+			fmt.Sprintf("%.1f", r.WallSeconds),
+			fmt.Sprintf("%d", row.TableBytes),
+			fmt.Sprintf("%d", row.DenseEquivBytes),
+			fmt.Sprintf("%.2f", row.PassMeanMs),
+			fmt.Sprintf("%.2f", row.PassMaxMs),
+			fmt.Sprintf("%.0f", row.BytesPerReceiver),
+			fmt.Sprintf("%.3f", row.MeanDev),
+		)
+	}
+	return t.String() + "\n", nil
+}

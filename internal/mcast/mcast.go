@@ -17,16 +17,21 @@
 // keeps congesting the bottleneck for a while after the receiver drops it.
 // The paper calls this out as a core difficulty of layered multicast.
 //
-// Forwarding state is dense: NodeIDs and GroupIDs are both small sequential
-// ints, so per-(node, group) entries live in slices indexed directly by
-// those IDs, and each entry caches its downstream children as a sorted
-// slice with the outgoing links resolved alongside. Replicating a data
-// packet is therefore two slice indexes and a loop — no map access and no
-// allocation — while the caches are rebuilt only on graft and prune.
+// Forwarding state is a sparse-dense hybrid. A router in a large topology
+// touches only the handful of groups whose trees cross it, so a dense
+// [node][group] table would waste nodes×groups pointer slots — the memory
+// wall at 10^5 receivers. Instead each node holds a short sorted list of
+// (group, entry) pairs, answered by binary search, and is promoted to a
+// dense group-indexed slice only once it joins enough trees (a source or a
+// hub router). Either way the data path does no map access and no
+// allocation — one slice index plus at worst a few comparisons — and each
+// entry caches its downstream children as a sorted slice with the outgoing
+// links resolved alongside, rebuilt only on graft and prune.
 package mcast
 
 import (
 	"fmt"
+	"unsafe"
 
 	"toposense/internal/netsim"
 	"toposense/internal/obs"
@@ -59,10 +64,10 @@ type groupInfo struct {
 // to each child cached in the parallel links slice, so the data path
 // iterates both without consulting any map.
 type nodeGroupState struct {
-	children []netsim.NodeID // downstream children, ascending
-	links    []*netsim.Link  // links[i] carries traffic to children[i]; lazily resolved
-	members  []Member        // locally attached members
-	pruneTimer sim.Handle    // pending leave-latency expiry, if any
+	children   []netsim.NodeID // downstream children, ascending
+	links      []*netsim.Link  // links[i] carries traffic to children[i]; lazily resolved
+	members    []Member        // locally attached members
+	pruneTimer sim.Handle      // pending leave-latency expiry, if any
 
 	// parent is the upstream node this router grafted toward, or NoNode
 	// when off-tree (or orphaned by a failure). Tree repair needs it to
@@ -104,6 +109,74 @@ func (s *nodeGroupState) removeChild(c netsim.NodeID) {
 	}
 }
 
+// denseGroupsPerNode is the promotion threshold: once a node carries state
+// for this many groups, its sorted-list container is promoted to a dense
+// group-indexed slice. Sources and hub routers cross it quickly; leaf
+// routers in a large topology never do.
+const denseGroupsPerNode = 32
+
+// nodeGroups holds one node's forwarding entries across groups: sorted
+// (ids, sts) pairs while sparse, a group-indexed slice once promoted.
+type nodeGroups struct {
+	ids   []netsim.GroupID  // sorted group IDs (sparse form)
+	sts   []*nodeGroupState // sts[i] is the entry for ids[i]
+	dense []*nodeGroupState // non-nil once promoted; indexed by GroupID
+}
+
+// get returns the node's entry for g, or nil. Zero allocations: the data
+// path calls it per packet per hop.
+func (ng *nodeGroups) get(g netsim.GroupID) *nodeGroupState {
+	if ng.dense != nil {
+		if int(g) >= len(ng.dense) {
+			return nil
+		}
+		return ng.dense[g]
+	}
+	lo, hi := uint(0), uint(len(ng.ids))
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ng.ids[mid] < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < uint(len(ng.ids)) && ng.ids[lo] == g {
+		return ng.sts[lo]
+	}
+	return nil
+}
+
+// put installs st as the entry for g (which must not be present) and
+// promotes the container to dense form past the threshold.
+func (ng *nodeGroups) put(g netsim.GroupID, st *nodeGroupState) {
+	if ng.dense != nil {
+		for int(g) >= len(ng.dense) {
+			ng.dense = append(ng.dense, nil)
+		}
+		ng.dense[g] = st
+		return
+	}
+	i := 0
+	for i < len(ng.ids) && ng.ids[i] < g {
+		i++
+	}
+	ng.ids = append(ng.ids, 0)
+	ng.sts = append(ng.sts, nil)
+	copy(ng.ids[i+1:], ng.ids[i:])
+	copy(ng.sts[i+1:], ng.sts[i:])
+	ng.ids[i] = g
+	ng.sts[i] = st
+	if len(ng.ids) >= denseGroupsPerNode {
+		max := int(ng.ids[len(ng.ids)-1]) // ids are sorted
+		dense := make([]*nodeGroupState, max+1)
+		for k, id := range ng.ids {
+			dense[id] = ng.sts[k]
+		}
+		ng.ids, ng.sts, ng.dense = nil, nil, dense
+	}
+}
+
 // Domain manages multicast state for an entire network. It installs itself
 // as the MulticastHandler on every node.
 type Domain struct {
@@ -113,10 +186,11 @@ type Domain struct {
 	groups []groupInfo                 // indexed by GroupID
 	byKey  map[groupKey]netsim.GroupID // (session,layer) -> id
 
-	// state[node][group] is the forwarding entry, nil while the node is off
-	// that group's tree. Both dimensions grow lazily on the control path
-	// (graft/join); the data path only indexes.
-	state [][]*nodeGroupState
+	// state[node] holds the node's forwarding entries across groups —
+	// sparse (sorted pairs) for the common leaf router, dense past the
+	// promotion threshold. It grows lazily on the control path
+	// (graft/join); the data path only reads.
+	state []nodeGroups
 
 	// Grafts and Prunes count tree maintenance operations (for tests and
 	// reporting). Repairs counts nodes re-homed (or orphaned) by route
@@ -221,18 +295,14 @@ func (d *Domain) NumGroups() int { return len(d.groups) }
 
 func (d *Domain) stateOf(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
 	for int(n) >= len(d.state) {
-		d.state = append(d.state, nil)
+		d.state = append(d.state, nodeGroups{})
 	}
-	byGroup := d.state[n]
-	for int(g) >= len(byGroup) {
-		byGroup = append(byGroup, nil)
+	ng := &d.state[n]
+	if st := ng.get(g); st != nil {
+		return st
 	}
-	d.state[n] = byGroup
-	st := byGroup[g]
-	if st == nil {
-		st = &nodeGroupState{parent: netsim.NoNode}
-		byGroup[g] = st
-	}
+	st := &nodeGroupState{parent: netsim.NoNode}
+	ng.put(g, st)
 	return st
 }
 
@@ -240,11 +310,7 @@ func (d *Domain) lookup(n netsim.NodeID, g netsim.GroupID) *nodeGroupState {
 	if int(n) >= len(d.state) {
 		return nil
 	}
-	byGroup := d.state[n]
-	if int(g) >= len(byGroup) {
-		return nil
-	}
-	return byGroup[g]
+	return d.state[n].get(g)
 }
 
 // upstream returns the next hop from n toward the group source, or NoNode
@@ -491,4 +557,53 @@ func (d *Domain) HasLocalMembers(n netsim.NodeID, g netsim.GroupID) bool {
 func (d *Domain) OnTree(n netsim.NodeID, g netsim.GroupID) bool {
 	st := d.lookup(n, g)
 	return st != nil && st.active()
+}
+
+// StateStats sizes the forwarding state — the numbers the fig_scale study
+// tracks to show memory stays sublinear in nodes×groups.
+type StateStats struct {
+	Nodes      int // nodes with any forwarding container
+	Entries    int // live (node, group) forwarding entries
+	DenseNodes int // nodes promoted to the dense container
+	Bytes      int // approximate resident bytes of all containers and entries
+}
+
+// StateStats walks the forwarding state and reports its size. Control-path
+// only (reporting); cost is O(entries).
+func (d *Domain) StateStats() StateStats {
+	const (
+		ptrSize   = int(unsafe.Sizeof((*nodeGroupState)(nil)))
+		idSize    = int(unsafe.Sizeof(netsim.GroupID(0)))
+		nodeSize  = int(unsafe.Sizeof(netsim.NodeID(0)))
+		entrySize = int(unsafe.Sizeof(nodeGroupState{}))
+		ifaceSize = int(unsafe.Sizeof(Member(nil)))
+		ngSize    = int(unsafe.Sizeof(nodeGroups{}))
+	)
+	s := StateStats{Nodes: len(d.state), Bytes: cap(d.state) * ngSize}
+	count := func(st *nodeGroupState) {
+		if st == nil {
+			return
+		}
+		s.Entries++
+		s.Bytes += entrySize +
+			cap(st.children)*nodeSize +
+			cap(st.links)*ptrSize +
+			cap(st.members)*ifaceSize
+	}
+	for i := range d.state {
+		ng := &d.state[i]
+		if ng.dense != nil {
+			s.DenseNodes++
+			s.Bytes += cap(ng.dense) * ptrSize
+			for _, st := range ng.dense {
+				count(st)
+			}
+			continue
+		}
+		s.Bytes += cap(ng.ids)*idSize + cap(ng.sts)*ptrSize
+		for _, st := range ng.sts {
+			count(st)
+		}
+	}
+	return s
 }

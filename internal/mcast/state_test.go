@@ -1,0 +1,100 @@
+package mcast
+
+import (
+	"testing"
+
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+type nullMember struct{}
+
+func (nullMember) RecvMulticast(*netsim.Packet) {}
+
+// buildStarDomain joins one member per (arm, group): the hub crosses the
+// dense-promotion threshold while every arm stays sparse.
+func buildStarDomain(t *testing.T, groups int) (*Domain, *netsim.Network) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := netsim.New(e)
+	cfg := netsim.LinkConfig{Bandwidth: 1e6, Delay: sim.Millisecond}
+	src := net.AddNode("src")
+	d := NewDomain(net)
+	for g := 0; g < groups; g++ {
+		arm := net.AddNode("arm")
+		net.Connect(src, arm, cfg)
+		id := d.RegisterGroup(g, 1, src.ID)
+		d.Join(arm.ID, id, nullMember{})
+	}
+	e.RunUntil(sim.Second)
+	return d, net
+}
+
+func TestStatePromotionAtSource(t *testing.T) {
+	const groups = 2 * denseGroupsPerNode
+	d, net := buildStarDomain(t, groups)
+	stats := d.StateStats()
+	if stats.DenseNodes != 1 {
+		t.Errorf("DenseNodes = %d, want 1 (only the source hub)", stats.DenseNodes)
+	}
+	// Source carries all groups; each arm exactly one.
+	if want := 2 * groups; stats.Entries != want {
+		t.Errorf("Entries = %d, want %d", stats.Entries, want)
+	}
+	// Every entry still answers, through both container forms.
+	for g := 0; g < groups; g++ {
+		id := d.GroupOf(g, 1)
+		if !d.OnTree(0, id) {
+			t.Fatalf("source off tree for group %d after promotion", g)
+		}
+		if kids := d.ForwardingChildren(0, id); len(kids) != 1 {
+			t.Fatalf("source children for group %d = %v, want one arm", g, kids)
+		}
+	}
+	// Memory must be far below the dense nodes×groups table the old layout
+	// kept: with one sparse entry per arm it is O(entries), not O(N×G).
+	denseEquiv := net.NumNodes() * groups * 8
+	if stats.Bytes >= denseEquiv {
+		t.Errorf("Bytes = %d, not sublinear vs dense nodes×groups = %d", stats.Bytes, denseEquiv)
+	}
+	if stats.Nodes != net.NumNodes() {
+		t.Errorf("Nodes = %d, want %d", stats.Nodes, net.NumNodes())
+	}
+}
+
+func TestStateSparseLookupMisses(t *testing.T) {
+	d, _ := buildStarDomain(t, 4)
+	// Arm node 1 joined exactly one group; other group IDs must miss
+	// cleanly in the sparse container (below, between, above its ID).
+	for g := netsim.GroupID(0); g < 4; g++ {
+		st := d.lookup(1, g)
+		if (st != nil) != d.OnTree(1, g) {
+			t.Fatalf("lookup/OnTree disagree at node 1 group %d", g)
+		}
+	}
+	if d.lookup(1, 99) != nil {
+		t.Error("lookup hit for an unregistered group")
+	}
+	if d.lookup(netsim.NodeID(1000), 0) != nil {
+		t.Error("lookup hit for an unknown node")
+	}
+}
+
+func TestStateDenseContainerGrowsForNewGroups(t *testing.T) {
+	const groups = denseGroupsPerNode + 3
+	d, net := buildStarDomain(t, groups)
+	// The source promoted mid-way; groups registered after promotion must
+	// land in the grown dense container.
+	src := netsim.NodeID(0)
+	last := d.GroupOf(groups-1, 1)
+	if !d.OnTree(src, last) {
+		t.Fatal("post-promotion group missing at the promoted node")
+	}
+	stats := d.StateStats()
+	if stats.DenseNodes != 1 {
+		t.Errorf("DenseNodes = %d, want 1", stats.DenseNodes)
+	}
+	if stats.Nodes != net.NumNodes() {
+		t.Errorf("Nodes = %d, want %d", stats.Nodes, net.NumNodes())
+	}
+}

@@ -119,9 +119,11 @@ func (l *Link) SetDown() {
 	if l.down {
 		return
 	}
-	// Materialize the pre-change routing tables while the link is still
-	// up, so the recomputation below can report exactly what changed.
-	l.net.ensureRoutes()
+	// Materialize the pre-change dense routing tables while the link is
+	// still up, so the recomputation below can report exactly what changed.
+	// (Tree-mode routing cannot diff columns, so fault injection pins the
+	// network to dense tables.)
+	l.net.ensureDenseRoutes()
 	l.down = true
 	l.dropCarried()
 	l.net.linkStateChanged(l, true)
@@ -134,7 +136,7 @@ func (l *Link) SetUp() {
 	if !l.down {
 		return
 	}
-	l.net.ensureRoutes()
+	l.net.ensureDenseRoutes()
 	l.down = false
 	l.net.linkStateChanged(l, false)
 }

@@ -16,6 +16,13 @@ type Network struct {
 	// or NoNode. Built lazily and invalidated on topology changes.
 	nextHop [][]NodeID
 
+	// tree is O(N) tree-mode routing, used instead of the O(N²) nextHop
+	// table when the network is large and the live graph is a symmetric
+	// forest (see routes_tree.go). denseOnly pins the network to the dense
+	// tables once fault injection has been used.
+	tree      *treeRoutes
+	denseOnly bool
+
 	// Unroutable counts unicast packets dropped for lack of a route.
 	Unroutable int64
 
@@ -84,7 +91,7 @@ func (n *Network) AddNode(name string) *Node {
 		links: make(map[NodeID]*Link),
 	}
 	n.nodes = append(n.nodes, node)
-	n.nextHop = nil // invalidate routes
+	n.nextHop, n.tree = nil, nil // invalidate routes
 	if n.OnAddNode != nil {
 		n.OnAddNode(node)
 	}
@@ -152,7 +159,7 @@ func (n *Network) addLink(from, to *Node, cfg LinkConfig) *Link {
 	l.txDoneFn = l.txDone
 	l.deliverFn = l.deliverHead
 	from.links[to.ID] = l
-	n.nextHop = nil
+	n.nextHop, n.tree = nil, nil
 	return l
 }
 
@@ -170,15 +177,27 @@ func (n *Network) Links() []*Link {
 // after any topology change. Down links carry no routes.
 func (n *Network) NextHop(src, dst NodeID) NodeID {
 	n.ensureRoutes()
+	if n.tree != nil {
+		return n.tree.nextHop(src, dst)
+	}
 	return n.nextHop[src][dst]
 }
 
-// ensureRoutes materializes the next-hop tables if a topology change
-// invalidated them.
+// ensureRoutes materializes routing state if a topology change invalidated
+// it: tree mode for large forests, the dense all-pairs tables otherwise.
+// On trees the two answer identically (paths are unique and both tie-break
+// toward the lowest node ID), so which mode serves a query is invisible.
 func (n *Network) ensureRoutes() {
-	if n.nextHop == nil {
-		n.computeRoutes()
+	if n.nextHop != nil || n.tree != nil {
+		return
 	}
+	if !n.denseOnly && len(n.nodes) >= treeRouteMinNodes {
+		if t := n.buildTreeRoutes(); t != nil {
+			n.tree = t
+			return
+		}
+	}
+	n.computeRoutes()
 }
 
 // RouteChange describes one routing-table update: the set of nodes whose

@@ -2,12 +2,18 @@
 // — Topology A (one session, two receiver sets with different bandwidth
 // constraints) and Topology B (N sessions, one receiver each, competing on
 // a shared bottleneck link) — plus a tiered-Internet generator in the shape
-// of the paper's Figure 2 for broader testing.
+// of the paper's Figure 2, and the large-scale star / ring-mesh / k-ary
+// tree / linear-chain families (families.go) used by the fig_scale study.
+//
+// Every family is a Config registered behind the Generator registry
+// (generator.go): construct a config, Validate it, Generate the Build — or
+// resolve a "name,key=val,..." spec string with Parse. The historical
+// BuildA/BuildB/BuildTiered entry points remain as thin wrappers.
 //
 // All links default to the paper's parameters: 200 ms propagation delay and
-// drop-tail queues. Every built topology keeps the source-to-receiver path
-// at three hops, giving the 600 ms maximum path latency the paper quotes
-// for its simulations.
+// drop-tail queues. The canonical topologies keep the source-to-receiver
+// path at three hops, giving the 600 ms maximum path latency the paper
+// quotes for its simulations.
 package topology
 
 import (
@@ -55,10 +61,18 @@ func (b *Build) AllReceivers() []*netsim.Node {
 	return out
 }
 
+// validLayers rejects layer counts the source model cannot express.
+func validLayers(layers int) error {
+	if layers < 0 || layers > 62 {
+		return fmt.Errorf("Layers %d out of range [0, 62]", layers)
+	}
+	return nil
+}
+
 // AConfig parameterizes Topology A: one session; receiver set 1 sits behind
 // a slow access link, set 2 behind a faster one.
 type AConfig struct {
-	ReceiversPerSet int
+	ReceiversPerSet int      // 0 means 1
 	Set1Bandwidth   float64  // bits/s; 0 means 100 Kbps (optimal: 2 layers)
 	Set2Bandwidth   float64  // bits/s; 0 means 500 Kbps (optimal: 4 layers)
 	Delay           sim.Time // 0 means DefaultDelay
@@ -66,8 +80,27 @@ type AConfig struct {
 	Layers          int      // 0 means source.DefaultLayers
 }
 
-func (c *AConfig) normalize() {
-	if c.ReceiversPerSet <= 0 {
+// Validate implements Config: zero means default, anything else must be
+// buildable.
+func (c *AConfig) Validate() error {
+	switch {
+	case c.ReceiversPerSet < 0:
+		return fmt.Errorf("topology a: ReceiversPerSet %d is negative", c.ReceiversPerSet)
+	case c.Set1Bandwidth < 0 || c.Set2Bandwidth < 0:
+		return fmt.Errorf("topology a: bandwidths must be positive (got %g, %g)", c.Set1Bandwidth, c.Set2Bandwidth)
+	case c.Delay < 0:
+		return fmt.Errorf("topology a: Delay %v is negative", c.Delay)
+	case c.QueueLimit < 0:
+		return fmt.Errorf("topology a: QueueLimit %d is negative", c.QueueLimit)
+	}
+	if err := validLayers(c.Layers); err != nil {
+		return fmt.Errorf("topology a: %w", err)
+	}
+	return nil
+}
+
+func (c AConfig) withDefaults() AConfig {
+	if c.ReceiversPerSet == 0 {
 		c.ReceiversPerSet = 1
 	}
 	if c.Set1Bandwidth == 0 {
@@ -85,9 +118,10 @@ func (c *AConfig) normalize() {
 	if c.Layers == 0 {
 		c.Layers = source.DefaultLayers
 	}
+	return c
 }
 
-// BuildA constructs Topology A:
+// Generate constructs Topology A:
 //
 //	src ── hub ──(set1 bottleneck)── g1 ── set-1 receivers
 //	            └(set2 bottleneck)── g2 ── set-2 receivers
@@ -96,8 +130,8 @@ func (c *AConfig) normalize() {
 // each once, so every receiver in a set shares the set's constraint — the
 // paper's "two sets of receivers, each having different bandwidth
 // constraints".
-func BuildA(e *sim.Engine, cfg AConfig) *Build {
-	cfg.normalize()
+func (c *AConfig) Generate(e *sim.Engine) (*Build, error) {
+	cfg := c.withDefaults()
 	n := netsim.New(e)
 	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
 	src := n.AddNode("src")
@@ -126,21 +160,47 @@ func BuildA(e *sim.Engine, cfg AConfig) *Build {
 	}
 	addSet("set1", cfg.Set1Bandwidth)
 	addSet("set2", cfg.Set2Bandwidth)
-	return b
+	return b, nil
+}
+
+// BuildA constructs Topology A.
+//
+// Deprecated: use Generate (or the registry's "a" entry) and handle the
+// error; BuildA panics on an invalid config.
+func BuildA(e *sim.Engine, cfg AConfig) *Build {
+	return MustGenerate(e, &cfg)
 }
 
 // BConfig parameterizes Topology B: Sessions independent sessions, one
 // receiver each, all crossing one shared link sized PerSession × Sessions.
 type BConfig struct {
-	Sessions   int
+	Sessions   int      // 0 means 1
 	PerSession float64  // bits/s of shared capacity per session; 0 means 500 Kbps
 	Delay      sim.Time // 0 means DefaultDelay
 	QueueLimit int      // 0 means DefaultQueueLimit
 	Layers     int      // 0 means source.DefaultLayers
 }
 
-func (c *BConfig) normalize() {
-	if c.Sessions <= 0 {
+// Validate implements Config.
+func (c *BConfig) Validate() error {
+	switch {
+	case c.Sessions < 0:
+		return fmt.Errorf("topology b: Sessions %d is negative", c.Sessions)
+	case c.PerSession < 0:
+		return fmt.Errorf("topology b: PerSession %g is negative", c.PerSession)
+	case c.Delay < 0:
+		return fmt.Errorf("topology b: Delay %v is negative", c.Delay)
+	case c.QueueLimit < 0:
+		return fmt.Errorf("topology b: QueueLimit %d is negative", c.QueueLimit)
+	}
+	if err := validLayers(c.Layers); err != nil {
+		return fmt.Errorf("topology b: %w", err)
+	}
+	return nil
+}
+
+func (c BConfig) withDefaults() BConfig {
+	if c.Sessions == 0 {
 		c.Sessions = 1
 	}
 	if c.PerSession == 0 {
@@ -155,17 +215,18 @@ func (c *BConfig) normalize() {
 	if c.Layers == 0 {
 		c.Layers = source.DefaultLayers
 	}
+	return c
 }
 
-// BuildB constructs Topology B:
+// Generate constructs Topology B:
 //
 //	src_i ── X ══(shared link, Sessions × PerSession)══ Y ── rx_i
 //
 // The shared link's capacity is scaled with the number of sessions so each
 // session can ideally receive PerSession (4 layers at the default 500 Kbps),
 // exactly as in the paper's inter-session fairness experiments.
-func BuildB(e *sim.Engine, cfg BConfig) *Build {
-	cfg.normalize()
+func (c *BConfig) Generate(e *sim.Engine) (*Build, error) {
+	cfg := c.withDefaults()
 	n := netsim.New(e)
 	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
 	x := n.AddNode("X")
@@ -189,7 +250,15 @@ func BuildB(e *sim.Engine, cfg BConfig) *Build {
 		b.Optimal = append(b.Optimal, []int{opt})
 	}
 	b.Controller = b.Sources[0]
-	return b
+	return b, nil
+}
+
+// BuildB constructs Topology B.
+//
+// Deprecated: use Generate (or the registry's "b" entry) and handle the
+// error; BuildB panics on an invalid config.
+func BuildB(e *sim.Engine, cfg BConfig) *Build {
+	return MustGenerate(e, &cfg)
 }
 
 // TieredConfig parameterizes the tiered-Internet generator (Figure 2): a
@@ -202,32 +271,63 @@ type TieredConfig struct {
 	FanOut []int
 	// Bandwidth[i] is the capacity of links from tier i to tier i+1.
 	Bandwidth []float64
-	// ReceiversPerLeaf attaches receivers at the deepest tier.
+	// ReceiversPerLeaf attaches receivers at the deepest tier; 0 means 1.
 	ReceiversPerLeaf int
 	Delay            sim.Time
 	QueueLimit       int
 	Layers           int
 }
 
-// BuildTiered constructs a random tiered topology with one session rooted
-// at the top tier. The optimal level of each receiver is the min bandwidth
+// Validate implements Config.
+func (c *TieredConfig) Validate() error {
+	if len(c.FanOut) == 0 || len(c.FanOut) != len(c.Bandwidth) {
+		return fmt.Errorf("topology tiered: FanOut and Bandwidth must be non-empty and equal length (got %d, %d)", len(c.FanOut), len(c.Bandwidth))
+	}
+	for i, f := range c.FanOut {
+		if f < 1 {
+			return fmt.Errorf("topology tiered: FanOut[%d] = %d, want >= 1", i, f)
+		}
+	}
+	for i, bw := range c.Bandwidth {
+		if bw <= 0 {
+			return fmt.Errorf("topology tiered: Bandwidth[%d] = %g, want > 0", i, bw)
+		}
+	}
+	switch {
+	case c.ReceiversPerLeaf < 0:
+		return fmt.Errorf("topology tiered: ReceiversPerLeaf %d is negative", c.ReceiversPerLeaf)
+	case c.Delay < 0:
+		return fmt.Errorf("topology tiered: Delay %v is negative", c.Delay)
+	case c.QueueLimit < 0:
+		return fmt.Errorf("topology tiered: QueueLimit %d is negative", c.QueueLimit)
+	}
+	if err := validLayers(c.Layers); err != nil {
+		return fmt.Errorf("topology tiered: %w", err)
+	}
+	return nil
+}
+
+func (c TieredConfig) withDefaults() TieredConfig {
+	if c.ReceiversPerLeaf == 0 {
+		c.ReceiversPerLeaf = 1
+	}
+	if c.Delay == 0 {
+		c.Delay = DefaultDelay
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.Layers == 0 {
+		c.Layers = source.DefaultLayers
+	}
+	return c
+}
+
+// Generate constructs a random tiered topology with one session rooted at
+// the top tier. The optimal level of each receiver is the min bandwidth
 // along its path.
-func BuildTiered(e *sim.Engine, cfg TieredConfig) *Build {
-	if len(cfg.FanOut) == 0 || len(cfg.FanOut) != len(cfg.Bandwidth) {
-		panic("topology: FanOut and Bandwidth must be non-empty and equal length")
-	}
-	if cfg.ReceiversPerLeaf <= 0 {
-		cfg.ReceiversPerLeaf = 1
-	}
-	if cfg.Delay == 0 {
-		cfg.Delay = DefaultDelay
-	}
-	if cfg.QueueLimit == 0 {
-		cfg.QueueLimit = DefaultQueueLimit
-	}
-	if cfg.Layers == 0 {
-		cfg.Layers = source.DefaultLayers
-	}
+func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
+	cfg := c.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := netsim.New(e)
 	rates := source.Rates(cfg.Layers)
@@ -273,5 +373,55 @@ func BuildTiered(e *sim.Engine, cfg TieredConfig) *Build {
 			b.Optimal[0] = append(b.Optimal[0], source.LevelForBandwidth(rates, leaf.minBW))
 		}
 	}
-	return b
+	return b, nil
+}
+
+// BuildTiered constructs a random tiered topology.
+//
+// Deprecated: use Generate (or the registry's "tiered" entry) and handle
+// the error; BuildTiered panics on an invalid config.
+func BuildTiered(e *sim.Engine, cfg TieredConfig) *Build {
+	return MustGenerate(e, &cfg)
+}
+
+func init() {
+	Register(Generator{
+		Name:  "a",
+		Title: "Topology A: two receiver sets behind different bottlenecks (paper Fig. 5)",
+		New:   func() Config { return &AConfig{} },
+		Keys: []Key{
+			key("rxset", "receivers per set (default 1)", func(c *AConfig, v string) error { return parseInt(&c.ReceiversPerSet, v) }),
+			key("bw1", "set-1 access bandwidth in bits/s (default 100e3)", func(c *AConfig, v string) error { return parseFloat(&c.Set1Bandwidth, v) }),
+			key("bw2", "set-2 access bandwidth in bits/s (default 500e3)", func(c *AConfig, v string) error { return parseFloat(&c.Set2Bandwidth, v) }),
+			key("delay", "per-link propagation delay in seconds (default 0.2)", func(c *AConfig, v string) error { return parseSeconds(&c.Delay, v) }),
+			key("queue", "drop-tail queue limit in packets (default 20)", func(c *AConfig, v string) error { return parseInt(&c.QueueLimit, v) }),
+			key("layers", "session layers (default 6)", func(c *AConfig, v string) error { return parseInt(&c.Layers, v) }),
+		},
+	})
+	Register(Generator{
+		Name:  "b",
+		Title: "Topology B: N sessions competing on one shared link (paper Fig. 5)",
+		New:   func() Config { return &BConfig{} },
+		Keys: []Key{
+			key("sessions", "competing sessions (default 1)", func(c *BConfig, v string) error { return parseInt(&c.Sessions, v) }),
+			key("persession", "shared capacity per session in bits/s (default 500e3)", func(c *BConfig, v string) error { return parseFloat(&c.PerSession, v) }),
+			key("delay", "per-link propagation delay in seconds (default 0.2)", func(c *BConfig, v string) error { return parseSeconds(&c.Delay, v) }),
+			key("queue", "per-session queue limit in packets (default 20)", func(c *BConfig, v string) error { return parseInt(&c.QueueLimit, v) }),
+			key("layers", "session layers (default 6)", func(c *BConfig, v string) error { return parseInt(&c.Layers, v) }),
+		},
+	})
+	Register(Generator{
+		Name:  "tiered",
+		Title: "Tiered Internet: backbone fanning into slower tiers (paper Fig. 2)",
+		New:   func() Config { return &TieredConfig{FanOut: []int{2, 3}, Bandwidth: []float64{10e6, 600e3}} },
+		Keys: []Key{
+			key("seed", "bandwidth-jitter seed (default 0)", func(c *TieredConfig, v string) error { return parseInt64(&c.Seed, v) }),
+			key("fanout", "':'-separated per-tier fan-out (default 2:3)", func(c *TieredConfig, v string) error { return parseInts(&c.FanOut, v) }),
+			key("bw", "':'-separated per-tier bandwidth in bits/s (default 10e6:600e3)", func(c *TieredConfig, v string) error { return parseFloats(&c.Bandwidth, v) }),
+			key("rxleaf", "receivers per deepest-tier node (default 1)", func(c *TieredConfig, v string) error { return parseInt(&c.ReceiversPerLeaf, v) }),
+			key("delay", "per-link propagation delay in seconds (default 0.2)", func(c *TieredConfig, v string) error { return parseSeconds(&c.Delay, v) }),
+			key("queue", "drop-tail queue limit in packets (default 20)", func(c *TieredConfig, v string) error { return parseInt(&c.QueueLimit, v) }),
+			key("layers", "session layers (default 6)", func(c *TieredConfig, v string) error { return parseInt(&c.Layers, v) }),
+		},
+	})
 }

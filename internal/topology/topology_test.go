@@ -134,17 +134,132 @@ func TestBuildTieredValidation(t *testing.T) {
 }
 
 func TestBuildsAreRoutable(t *testing.T) {
+	// Every registered generator, at its defaults, must yield a build that
+	// is fully connected and routable both ways between each session's
+	// source and its receivers, with sane session wiring and recorded
+	// bottlenecks.
+	for _, gen := range Generators() {
+		t.Run(gen.Name, func(t *testing.T) {
+			e := sim.NewEngine(1)
+			b := MustGenerate(e, gen.New())
+			if len(b.Sources) == 0 || b.Controller == nil {
+				t.Fatal("no sources or controller")
+			}
+			if len(b.Receivers) != len(b.Sources) || len(b.Optimal) != len(b.Sources) {
+				t.Fatalf("sessions mismatched: %d sources, %d receiver sets, %d optima sets",
+					len(b.Sources), len(b.Receivers), len(b.Optimal))
+			}
+			if len(b.AllReceivers()) == 0 {
+				t.Fatal("no receivers")
+			}
+			if len(b.Bottlenecks) == 0 {
+				t.Error("no bottleneck links recorded")
+			}
+			for s, src := range b.Sources {
+				if len(b.Receivers[s]) != len(b.Optimal[s]) {
+					t.Fatalf("session %d: %d receivers vs %d optima", s, len(b.Receivers[s]), len(b.Optimal[s]))
+				}
+				for i, rx := range b.Receivers[s] {
+					if b.Net.NextHop(rx.ID, src.ID) == netsim.NoNode {
+						t.Errorf("no route rx %v -> src %v", rx, src)
+					}
+					if b.Net.NextHop(src.ID, rx.ID) == netsim.NoNode {
+						t.Errorf("no route src %v -> rx %v", src, rx)
+					}
+					if opt := b.Optimal[s][i]; opt < 1 {
+						t.Errorf("optimal[%d][%d] = %d, want >= 1", s, i, opt)
+					}
+				}
+			}
+			// Full connectivity: the controller reaches every node.
+			for _, node := range b.Net.Nodes() {
+				if node != b.Controller && b.Net.NextHop(b.Controller.ID, node.ID) == netsim.NoNode {
+					t.Errorf("controller cannot reach %v", node)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildsDeterministic builds every registered generator twice at its
+// defaults and demands identical node naming/ordering and optima — the
+// property seeded experiments rely on.
+func TestBuildsDeterministic(t *testing.T) {
+	for _, gen := range Generators() {
+		t.Run(gen.Name, func(t *testing.T) {
+			snapshot := func() ([]string, []int) {
+				b := MustGenerate(sim.NewEngine(1), gen.New())
+				var names []string
+				for _, n := range b.Net.Nodes() {
+					names = append(names, n.Name)
+				}
+				var opts []int
+				for _, o := range b.Optimal {
+					opts = append(opts, o...)
+				}
+				return names, opts
+			}
+			names1, opts1 := snapshot()
+			names2, opts2 := snapshot()
+			if len(names1) != len(names2) {
+				t.Fatalf("node counts differ: %d vs %d", len(names1), len(names2))
+			}
+			for i := range names1 {
+				if names1[i] != names2[i] {
+					t.Fatalf("node %d named %q then %q", i, names1[i], names2[i])
+				}
+			}
+			for i := range opts1 {
+				if opts1[i] != opts2[i] {
+					t.Fatalf("optimal %d = %d then %d", i, opts1[i], opts2[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	// A valid spec with keys round-trips into a validated config.
+	gen, cfg, err := Parse("tree,depth=2,branch=3,rxleaf=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Name != "tree" {
+		t.Errorf("generator = %q, want tree", gen.Name)
+	}
+	tc, ok := cfg.(*TreeConfig)
+	if !ok || tc.Depth != 2 || tc.Branch != 3 || tc.ReceiversPerLeaf != 4 {
+		t.Errorf("parsed config = %+v", cfg)
+	}
+	for _, bad := range []string{
+		"nosuch",           // unknown generator
+		"tree,depth",       // not key=val
+		"tree,nosuchkey=1", // unknown key
+		"tree,depth=x",     // unparseable value
+		"star,jitter=2",    // fails Validate
+		"mesh,routers=2",   // fails Validate (ring needs 3)
+		"tiered,fanout=2",  // fails Validate (bandwidth mismatch)
+	} {
+		if _, _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
 	e := sim.NewEngine(1)
-	b := BuildB(e, BConfig{Sessions: 3})
-	// Every receiver can reach every source (for reports) and back.
-	for s, src := range b.Sources {
-		for _, rx := range b.Receivers[s] {
-			if b.Net.NextHop(rx.ID, src.ID) == netsim.NoNode {
-				t.Errorf("no route rx %v -> src %v", rx, src)
-			}
-			if b.Net.NextHop(src.ID, rx.ID) == netsim.NoNode {
-				t.Errorf("no route src %v -> rx %v", src, rx)
-			}
+	for name, cfg := range map[string]Config{
+		"a-negative-rx":     &AConfig{ReceiversPerSet: -1},
+		"a-bad-layers":      &AConfig{Layers: 99},
+		"b-negative-rate":   &BConfig{PerSession: -1},
+		"star-bad-jitter":   &StarConfig{Jitter: 1.5},
+		"mesh-tiny-ring":    &MeshConfig{Routers: 2},
+		"tree-negative":     &TreeConfig{Depth: -1},
+		"linear-negative":   &LinearConfig{Chains: -1},
+		"tiered-mismatched": &TieredConfig{FanOut: []int{2}, Bandwidth: nil},
+	} {
+		if _, err := Generate(e, cfg); err == nil {
+			t.Errorf("%s: Generate succeeded, want validation error", name)
 		}
 	}
 }

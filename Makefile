@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json bench-scale obs-gate repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards obs-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -46,6 +46,14 @@ bench-json:
 # largest point is a few minutes of wall clock on one core.
 bench-scale:
 	$(GO) run ./cmd/topobench -fig fig_scale -json BENCH_scale.json
+
+# Shard speedup capture: the fig_scale tree ladder run on both engines —
+# single-threaded baseline plus a $(SHARDS)-worker sharded twin per point —
+# exported to BENCH_shards.json. The speedup column is each sharded run's
+# baseline wall time over its own; the 10^5-receiver point dominates.
+SHARDS ?= 4
+bench-shards:
+	$(GO) run ./cmd/topobench -fig fig_scale -topo tree -shards $(SHARDS) -json BENCH_shards.json
 
 # Regenerate the paper's evaluation at full scale (~2 minutes, plus the
 # fig_scale ladder — see bench-scale — which dominates at full size).

@@ -14,6 +14,7 @@
 //	toposim -topology B -failat 200 -outage 60   # cut the bottleneck mid-run
 //	toposim -topology tiered -seed 3
 //	toposim -topo tree,depth=3,branch=8,rxleaf=2 -duration 30   # generated large topology
+//	toposim -topo tree,depth=4,branch=10,rxleaf=10 -shards 4    # sharded engine, 4 workers
 //	toposim -topo list                           # list registered generators and keys
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
@@ -71,6 +72,7 @@ func main() {
 	failAt := flag.Float64("failat", 0, "cut the topology's bottleneck link at this simulated second (0 = no failure)")
 	outage := flag.Float64("outage", 60, "with -failat: seconds until the link is repaired")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 0, "engine workers: 0 = single-threaded engine, N >= 1 = sharded engine with N workers")
 	algo := flag.String("algo", "toposense", "toposense or rlm")
 	probe := flag.Bool("probe", false, "use mtrace-style probe-based topology discovery")
 	billing := flag.Bool("billing", false, "print the controller's billing ledger (toposense only)")
@@ -133,6 +135,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
 		os.Exit(2)
 	}
+	if *failAt > 0 && *shards >= 1 {
+		fmt.Fprintln(os.Stderr, "-failat: fault injection is not supported on the sharded engine (tree repair needs the whole network in one partition); drop -shards to run single-threaded")
+		os.Exit(2)
+	}
 	obsExt := strings.ToLower(filepath.Ext(*obsPath))
 	if *obsPath != "" && obsExt != ".json" && obsExt != ".csv" {
 		fmt.Fprintf(os.Stderr, "-obs %q: extension must be .json or .csv\n", *obsPath)
@@ -154,7 +160,7 @@ func main() {
 		fmt.Sprintf("toposim/topo=%s/%s/%s", topoName, tr.Name, algoName),
 		*seed, dur,
 		func(m *experiments.Meter) (any, error) {
-			e := sim.NewEngine(*seed)
+			e := experiments.NewRunEngine(*seed, *shards)
 			var b *topology.Build
 			if topoCfg != nil {
 				var err error
@@ -164,11 +170,11 @@ func main() {
 			} else {
 				switch topoName {
 				case "A":
-					b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: *receivers})
+					b = topology.MustGenerate(e, &topology.AConfig{ReceiversPerSet: *receivers})
 				case "B":
-					b = topology.BuildB(e, topology.BConfig{Sessions: *sessions})
+					b = topology.MustGenerate(e, &topology.BConfig{Sessions: *sessions})
 				case "TIERED":
-					b = topology.BuildTiered(e, topology.TieredConfig{
+					b = topology.MustGenerate(e, &topology.TieredConfig{
 						Seed:             *seed,
 						FanOut:           []int{2, 3},
 						Bandwidth:        []float64{10e6, 600e3},

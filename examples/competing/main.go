@@ -28,14 +28,14 @@ func main() {
 	// TopoSense.
 	e1 := sim.NewEngine(3)
 	w1 := experiments.NewWorld(e1,
-		topology.BuildB(e1, topology.BConfig{Sessions: sessions}),
+		topology.MustGenerate(e1, &topology.BConfig{Sessions: sessions}),
 		experiments.WorldConfig{Seed: 3, Traffic: experiments.VBR3})
 	w1.Run(duration)
 
 	// RLM baseline on the identical topology and traffic.
 	e2 := sim.NewEngine(3)
 	w2 := experiments.NewRLMWorld(e2,
-		topology.BuildB(e2, topology.BConfig{Sessions: sessions}),
+		topology.MustGenerate(e2, &topology.BConfig{Sessions: sessions}),
 		experiments.WorldConfig{Seed: 3, Traffic: experiments.VBR3})
 	w2.Run(duration)
 

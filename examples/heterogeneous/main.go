@@ -18,7 +18,7 @@ import (
 
 func main() {
 	engine := sim.NewEngine(7)
-	build := topology.BuildA(engine, topology.AConfig{
+	build := topology.MustGenerate(engine, &topology.AConfig{
 		ReceiversPerSet: 3,
 		Set1Bandwidth:   100e3, // ~2 layers
 		Set2Bandwidth:   500e3, // ~4 layers

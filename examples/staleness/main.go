@@ -21,7 +21,7 @@ func main() {
 	fmt.Printf("\n%-14s  %-20s\n", "staleness (s)", "mean rel. deviation")
 	for _, stale := range []float64{0, 2, 4, 8, 12, 18} {
 		e := sim.NewEngine(11)
-		b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: 2})
+		b := topology.MustGenerate(e, &topology.AConfig{ReceiversPerSet: 2})
 		w := experiments.NewWorld(e, b, experiments.WorldConfig{
 			Seed:      11,
 			Traffic:   experiments.VBR3,

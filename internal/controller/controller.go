@@ -126,6 +126,16 @@ func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, tool *top
 // Node returns the node the controller runs on.
 func (c *Controller) Node() *netsim.Node { return c.node }
 
+// global returns the scheduler for the controller's domain-wide work. The
+// decision pass reads cross-shard state (discovery snapshots, algorithm
+// runs spanning every session), so on a partitioned network it runs as a
+// stop-the-world global event at window barriers.
+func (c *Controller) global() sim.Scheduler { return sim.GlobalOf(c.net.Engine()) }
+
+// nodeSched returns the scheduler owning the controller's node: report and
+// registration consumption happens in node context, on the node's shard.
+func (c *Controller) nodeSched() sim.Scheduler { return c.net.SchedulerFor(c.node.ID) }
+
 // Algorithm returns the underlying TopoSense instance.
 func (c *Controller) Algorithm() *core.Algorithm { return c.alg }
 
@@ -140,7 +150,7 @@ func (c *Controller) Start() {
 		return
 	}
 	c.tool.Start()
-	c.ticker = c.net.Engine().Every(c.interval, c.step)
+	c.ticker = sim.Every(c.global(), c.interval, c.step)
 }
 
 // Stop halts the decision timer (the discovery tool keeps running so a
@@ -160,14 +170,14 @@ func (c *Controller) Stop() {
 func (c *Controller) Recv(p *netsim.Packet) {
 	if c.Staleness > 0 {
 		payload := p.Payload
-		c.net.Engine().Schedule(c.Staleness, func() { c.consume(payload) })
+		c.nodeSched().Schedule(c.Staleness, func() { c.consume(payload) })
 		return
 	}
 	c.consume(p.Payload)
 }
 
 func (c *Controller) consume(payload any) {
-	now := c.net.Engine().Now()
+	now := c.nodeSched().Now()
 	switch pl := payload.(type) {
 	case report.Register:
 		c.RegistersRecv++
@@ -225,7 +235,7 @@ func (c *Controller) step() {
 			c.PassWallMaxNanos = d
 		}
 	}()
-	now := c.net.Engine().Now()
+	now := c.global().Now()
 
 	// Expire receivers that have gone silent for several intervals: they
 	// left (or died) and instructing them would steer the tree with ghost
@@ -340,7 +350,7 @@ func (c *Controller) step() {
 			continue // never instruct an unregistered receiver
 		}
 		send := func() {
-			at := c.net.Engine().Now()
+			at := c.global().Now()
 			pkt := report.NewControlPacket(c.node.ID, sg.Node, report.SuggestionSize, at,
 				report.Suggestion{Node: sg.Node, Session: sg.Session, Level: sg.Level, Sent: at})
 			c.node.SendUnicast(pkt)
@@ -356,7 +366,7 @@ func (c *Controller) step() {
 		// new incarnation (even within this same pass), in the meantime.
 		if !c.DisableResend {
 			gen := c.gen
-			c.net.Engine().Schedule(c.interval/2, func() {
+			c.global().Schedule(c.interval/2, func() {
 				if c.ticker == nil || c.gen != gen {
 					return
 				}
@@ -368,7 +378,12 @@ func (c *Controller) step() {
 		}
 	}
 	if c.obs != nil {
-		fired := c.net.Engine().Fired()
+		var fired uint64
+		// Schedulers expose the fired-event counter only through their
+		// concrete engines; a scheduler without one reports zero distance.
+		if f, ok := c.net.Engine().(interface{ Fired() uint64 }); ok {
+			fired = f.Fired()
+		}
 		since := fired - c.lastPassFired
 		c.lastPassFired = fired
 		c.obs.Passes.Inc()

@@ -72,12 +72,12 @@ func AblationSpecs(cfg AblationConfig) []Spec {
 					v.alg(&algCfg)
 				}
 				e := sim.NewEngine(cfg.Seed)
-				b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+				b := topology.MustGenerate(e, &topology.BConfig{Sessions: cfg.Sessions})
 				w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Alg: algCfg})
 				m.ObserveWorld(w)
 				w.Controller.DisableResend = v.disableResend
 				lossSum, lossN := 0.0, 0
-				w.Engine.Every(sim.Second, func() {
+				sim.Every(sim.GlobalOf(w.Engine), sim.Second, func() {
 					for _, rxs := range w.Receivers {
 						lossSum += rxs[0].LastLoss
 						lossN++

@@ -15,7 +15,7 @@ import (
 // receivers instead of a TopoSense controller — the baseline class of
 // approaches the paper contrasts with.
 type RLMWorld struct {
-	Engine    *sim.Engine
+	Engine    sim.Runner
 	Build     *topology.Build
 	Domain    *mcast.Domain
 	Sources   []*source.Source
@@ -26,7 +26,7 @@ type RLMWorld struct {
 }
 
 // NewRLMWorld assembles an RLM world on a built topology.
-func NewRLMWorld(e *sim.Engine, b *topology.Build, cfg WorldConfig) *RLMWorld {
+func NewRLMWorld(e sim.Runner, b *topology.Build, cfg WorldConfig) *RLMWorld {
 	layers := cfg.Layers
 	if layers == 0 {
 		layers = source.DefaultLayers
@@ -138,9 +138,9 @@ func BaselineSpecs(cfg BaselineConfig) []Spec {
 				e := sim.NewEngine(cfg.Seed)
 				var b *topology.Build
 				if scenario == "A" {
-					b = topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.PerSet})
+					b = topology.MustGenerate(e, &topology.AConfig{ReceiversPerSet: cfg.PerSet})
 				} else {
-					b = topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+					b = topology.MustGenerate(e, &topology.BConfig{Sessions: cfg.Sessions})
 				}
 				m.Observe(e, b.Net)
 				var traces []*metrics.Trace

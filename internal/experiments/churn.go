@@ -78,7 +78,7 @@ func RunChurn(cfg ChurnConfig) []ChurnRow {
 func runChurnOnce(cfg ChurnConfig, meanOn, meanOff sim.Time, m *Meter) ChurnRow {
 	e := sim.NewEngine(cfg.Seed)
 	// Fast set large enough for the reference + churners; slow set minimal.
-	b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: cfg.Slots + 1})
+	b := topology.MustGenerate(e, &topology.AConfig{ReceiversPerSet: cfg.Slots + 1})
 	w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
 	m.Observe(e, b.Net)
 

@@ -56,7 +56,7 @@ func (c *DomainsConfig) normalize() {
 //	src ── bb ── gw1 ──(100 Kbps)── d1r ── domain-1 receivers
 //	        └─── gw2 ──(500 Kbps)── d2r ── domain-2 receivers
 type domainsWorld struct {
-	engine      *sim.Engine
+	engine      sim.Runner
 	net         *netsim.Network
 	domain      *mcast.Domain
 	src         *netsim.Node

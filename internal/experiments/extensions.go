@@ -112,7 +112,7 @@ func GranularitySpecs(cfg ExtensionConfig) []Spec {
 				seed, cfg.Duration,
 				func(m *Meter) (any, error) {
 					e := sim.NewEngine(seed)
-					b := topology.BuildA(e, topology.AConfig{
+					b := topology.MustGenerate(e, &topology.AConfig{
 						ReceiversPerSet: 2,
 						Set1Bandwidth:   g.bottle,
 						Set2Bandwidth:   g.bottle,
@@ -229,7 +229,7 @@ func RunIntervalSize(cfg ExtensionConfig) []ExtensionRow {
 
 func worldBWithOverrides(seed int64, wc WorldConfig, m *Meter) *World {
 	e := sim.NewEngine(seed)
-	b := topology.BuildB(e, topology.BConfig{Sessions: 4})
+	b := topology.MustGenerate(e, &topology.BConfig{Sessions: 4})
 	m.Observe(e, b.Net)
 	return NewWorld(e, b, wc)
 }

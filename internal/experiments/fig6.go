@@ -24,6 +24,7 @@ type Fig6Config struct {
 	Duration sim.Time  // 0 = the paper's 1200 s
 	PerSet   []int     // receivers per set; nil = {1, 2, 4, 8}
 	Traffic  []Traffic // nil = AllTraffic
+	Shards   int       // engine worker count; <= 1 = single-threaded
 }
 
 func (c *Fig6Config) normalize() {
@@ -47,7 +48,7 @@ func Fig6Specs(cfg Fig6Config) []Spec {
 				fmt.Sprintf("fig6/rx=%d/%s", 2*per, tr.Name),
 				cfg.Seed, cfg.Duration,
 				func(m *Meter) (any, error) {
-					w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+					w := NewWorldA(per, WorldConfig{Seed: cfg.Seed, Traffic: tr, Shards: cfg.Shards})
 					m.ObserveWorld(w)
 					w.Run(cfg.Duration)
 					traces, _ := w.AllTraces()

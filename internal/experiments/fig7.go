@@ -13,6 +13,7 @@ type Fig7Config struct {
 	Duration sim.Time  // 0 = the paper's 1200 s
 	Sessions []int     // nil = {2, 4, 8, 16}
 	Traffic  []Traffic // nil = AllTraffic
+	Shards   int       // engine worker count; <= 1 = single-threaded
 }
 
 func (c *Fig7Config) normalize() {
@@ -37,7 +38,7 @@ func Fig7Specs(cfg Fig7Config) []Spec {
 				fmt.Sprintf("fig7/sessions=%d/%s", sessions, tr.Name),
 				cfg.Seed, cfg.Duration,
 				func(m *Meter) (any, error) {
-					w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr})
+					w := NewWorldB(sessions, WorldConfig{Seed: cfg.Seed, Traffic: tr, Shards: cfg.Shards})
 					m.ObserveWorld(w)
 					w.Run(cfg.Duration)
 					traces, _ := w.AllTraces()

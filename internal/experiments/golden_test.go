@@ -26,14 +26,16 @@ type goldenRun struct {
 
 // checkGolden executes the named figure's quick sweep at seed 1 and compares
 // the deterministic subset of every result against testdata/<file>. With
-// -update it rewrites the file instead.
-func checkGolden(t *testing.T, figure, file string) {
+// -update it rewrites the file instead. shards selects the engine (0 = the
+// single-threaded oracle the goldens were recorded on); any shard count
+// must reproduce the same files.
+func checkGolden(t *testing.T, figure, file string, shards int) {
 	t.Helper()
 	ex, ok := Lookup(figure)
 	if !ok {
 		t.Fatalf("figure %s missing from registry", figure)
 	}
-	specs := ex.Specs(SweepConfig{Seed: 1, Quick: true})
+	specs := ex.Specs(SweepConfig{Seed: 1, Quick: true, Shards: shards})
 	results := ExecuteAll(specs)
 
 	runs := make([]goldenRun, len(results))
@@ -105,7 +107,7 @@ func TestGoldenFig6Determinism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick fig6 sweep is a few seconds of simulation")
 	}
-	checkGolden(t, "6", "golden_fig6_quick.json")
+	checkGolden(t, "6", "golden_fig6_quick.json", 0)
 }
 
 // TestGoldenFig7Determinism is the Topology B counterpart: the quick
@@ -117,5 +119,33 @@ func TestGoldenFig7Determinism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick fig7 sweep is a few seconds of simulation")
 	}
-	checkGolden(t, "7", "golden_fig7_quick.json")
+	checkGolden(t, "7", "golden_fig7_quick.json", 0)
+}
+
+// TestGoldenShardedDeterminism locks the sharded engine's worker-count
+// invariance on both golden figures: the *_sharded golden files are
+// recorded with -shards 1 (the sharded execution model on one worker) and
+// every higher worker count must reproduce them byte-identically — the
+// worker count is physical, the logical partitioning comes from the
+// topology. Topology A and B have no generator-emitted domain labels, so
+// this also exercises the min-cut fallback partitioner end to end.
+//
+// The sharded files differ slightly from the single-threaded goldens on
+// the longer quick runs: same-timestamp events meeting at a partition
+// boundary serialize in partition order rather than the serial engine's
+// schedule-call order, and on a saturated queue one reordered tie can
+// cascade. Both orders are valid serializations; each engine is
+// bit-reproducible against its own record.
+func TestGoldenShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quick figure sweeps of simulation")
+	}
+	if *updateGolden {
+		// Record with one worker; the normal run verifies with four.
+		checkGolden(t, "6", "golden_fig6_quick_sharded.json", 1)
+		checkGolden(t, "7", "golden_fig7_quick_sharded.json", 1)
+		return
+	}
+	checkGolden(t, "6", "golden_fig6_quick_sharded.json", 4)
+	checkGolden(t, "7", "golden_fig7_quick_sharded.json", 4)
 }

@@ -106,7 +106,7 @@ func TestIntegrationLateJoiner(t *testing.T) {
 
 func TestIntegrationTieredTopologyConverges(t *testing.T) {
 	e := sim.NewEngine(13)
-	b := topology.BuildTiered(e, topology.TieredConfig{
+	b := topology.MustGenerate(e, &topology.TieredConfig{
 		Seed:             13,
 		FanOut:           []int{2, 2},
 		Bandwidth:        []float64{20e6, 500e3},

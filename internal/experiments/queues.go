@@ -65,7 +65,7 @@ func QueuePolicySpecs(cfg QueueConfig) []Spec {
 			"queues/"+v.key, cfg.Seed, cfg.Duration,
 			func(m *Meter) (any, error) {
 				e := sim.NewEngine(cfg.Seed)
-				b := topology.BuildB(e, topology.BConfig{Sessions: cfg.Sessions})
+				b := topology.MustGenerate(e, &topology.BConfig{Sessions: cfg.Sessions})
 				m.Observe(e, b.Net)
 				for _, l := range b.Net.Links() {
 					l.Policy = v.policy
@@ -76,7 +76,7 @@ func QueuePolicySpecs(cfg QueueConfig) []Spec {
 				lossSum, lossN := 0.0, 0
 				if v.toposense {
 					w := NewWorld(e, b, wc)
-					w.Engine.Every(sim.Second, func() {
+					sim.Every(sim.GlobalOf(w.Engine), sim.Second, func() {
 						for _, rxs := range w.Receivers {
 							lossSum += rxs[0].LastLoss
 							lossN++

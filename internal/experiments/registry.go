@@ -16,6 +16,12 @@ type SweepConfig struct {
 	// one (fig_scale): a family name for its whole ladder, or a full
 	// "name,key=val" spec for a single point. Empty = the default sweep.
 	Topo string
+	// Shards is the engine worker count for the sweeps that honour it
+	// (figures 6 and 7, fig_scale): <= 1 runs the single-threaded oracle,
+	// N > 1 the conservative sharded engine. Simulation results are
+	// byte-identical either way. fig_scale with Shards > 1 additionally
+	// runs each point's single-threaded twin for the speedup column.
+	Shards int
 }
 
 // Experiment is one registry entry: a named sweep that can enumerate its
@@ -57,7 +63,7 @@ func Registry() []Experiment {
 			Name:  "6",
 			Title: "Figure 6: stability in Topology A",
 			Specs: func(cfg SweepConfig) []Spec {
-				c := Fig6Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				c := Fig6Config{Seed: cfg.Seed, Duration: quickDur(cfg), Shards: cfg.Shards}
 				if cfg.Quick {
 					c.PerSet = []int{1, 2}
 				}
@@ -75,7 +81,7 @@ func Registry() []Experiment {
 			Name:  "7",
 			Title: "Figure 7: stability in Topology B",
 			Specs: func(cfg SweepConfig) []Spec {
-				c := Fig7Config{Seed: cfg.Seed, Duration: quickDur(cfg)}
+				c := Fig7Config{Seed: cfg.Seed, Duration: quickDur(cfg), Shards: cfg.Shards}
 				if cfg.Quick {
 					c.Sessions = []int{2, 4}
 				}
@@ -185,7 +191,7 @@ func Registry() []Experiment {
 			Name:  "fig_scale",
 			Title: "Scaling curve: receivers vs events/s, memory, pass latency",
 			Specs: func(cfg SweepConfig) []Spec {
-				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo})
+				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo, Shards: cfg.Shards})
 			},
 			Render: ScaleTable,
 		},

@@ -75,6 +75,11 @@ type ScaleRow struct {
 	PassMeanMs float64 `json:"pass_mean_ms"`
 	PassMaxMs  float64 `json:"pass_max_ms"`
 
+	// Shards is the engine worker count the run used (0 = the
+	// single-threaded engine). Results are byte-identical across worker
+	// counts >= 1; only wall-clock differs.
+	Shards int `json:"shards,omitempty"`
+
 	// Delivered volume and quality.
 	RxBytes          int64   `json:"rx_bytes"` // bytes serialized onto receiver last-hop links
 	BytesPerReceiver float64 `json:"bytes_per_receiver"`
@@ -91,6 +96,11 @@ type ScaleConfig struct {
 	Topo    string
 	Quick   bool // first two ladder points at QuickScaleDuration
 	Traffic Traffic
+	// Shards > 1 runs every ladder point twice — once on the
+	// single-threaded engine, once on the sharded engine with that many
+	// workers — so ScaleTable can report the wall-clock speedup next to
+	// each point. 0 or 1 runs the single-threaded engine only.
+	Shards int
 }
 
 func (c *ScaleConfig) normalize() {
@@ -120,61 +130,78 @@ func scalePoints(cfg ScaleConfig) []string {
 	return points
 }
 
-// ScaleSpecs enumerates the scaling curve, one run per topology point.
+// ScaleSpecs enumerates the scaling curve: one run per topology point,
+// plus — when cfg.Shards > 1 — a second run of each point on the sharded
+// engine, named "<point>/shards=N", so the rendered table and the
+// BENCH_*.json capture carry events/s at both shard counts and the
+// wall-clock speedup.
 func ScaleSpecs(cfg ScaleConfig) []Spec {
 	cfg.normalize()
 	var specs []Spec
 	for _, point := range scalePoints(cfg) {
-		point := point
-		specs = append(specs, NewSpec("fig_scale", "fig_scale/"+point,
-			cfg.Seed, cfg.Duration,
-			func(m *Meter) (any, error) {
-				_, tcfg, err := topology.Parse(point)
-				if err != nil {
-					return nil, err
-				}
-				e := sim.NewEngine(cfg.Seed)
-				b, err := topology.Generate(e, tcfg)
-				if err != nil {
-					return nil, err
-				}
-				w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
-				m.ObserveWorld(w)
-				w.Run(cfg.Duration)
-
-				row := ScaleRow{
-					Topo:      point,
-					Nodes:     b.Net.NumNodes(),
-					Links:     len(b.Net.Links()),
-					Receivers: len(b.AllReceivers()),
-					Groups:    w.Domain.NumGroups(),
-				}
-				st := w.Domain.StateStats()
-				row.TableEntries = st.Entries
-				row.TableBytes = st.Bytes
-				row.DenseNodes = st.DenseNodes
-				row.DenseEquivBytes = row.Nodes * row.Groups * 8
-				row.Passes = w.Controller.StepsRun
-				if row.Passes > 0 {
-					row.PassMeanMs = float64(w.Controller.PassWallNanos) / float64(row.Passes) / 1e6
-				}
-				row.PassMaxMs = float64(w.Controller.PassWallMaxNanos) / 1e6
-				for _, rx := range b.AllReceivers() {
-					for _, l := range rx.Links() {
-						if r := l.Reverse(); r != nil {
-							row.RxBytes += r.Stats().TxBytes
-						}
-					}
-				}
-				if row.Receivers > 0 {
-					row.BytesPerReceiver = float64(row.RxBytes) / float64(row.Receivers)
-				}
-				traces, optima := w.AllTraces()
-				row.MeanDev = metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration)
-				return []ScaleRow{row}, nil
-			}))
+		specs = append(specs, scaleSpec(cfg, point, 0))
+		if cfg.Shards > 1 {
+			specs = append(specs, scaleSpec(cfg, point, cfg.Shards))
+		}
 	}
 	return specs
+}
+
+// scaleSpec builds the Spec for one ladder point on one engine flavour
+// (shards == 0 for the single-threaded oracle).
+func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
+	name := "fig_scale/" + point
+	if shards > 1 {
+		name = fmt.Sprintf("%s/shards=%d", name, shards)
+	}
+	return NewSpec("fig_scale", name,
+		cfg.Seed, cfg.Duration,
+		func(m *Meter) (any, error) {
+			_, tcfg, err := topology.Parse(point)
+			if err != nil {
+				return nil, err
+			}
+			e := NewRunEngine(cfg.Seed, shards)
+			b, err := topology.Generate(e, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+			m.ObserveWorld(w)
+			w.Run(cfg.Duration)
+
+			row := ScaleRow{
+				Topo:      point,
+				Nodes:     b.Net.NumNodes(),
+				Links:     len(b.Net.Links()),
+				Receivers: len(b.AllReceivers()),
+				Groups:    w.Domain.NumGroups(),
+				Shards:    shards,
+			}
+			st := w.Domain.StateStats()
+			row.TableEntries = st.Entries
+			row.TableBytes = st.Bytes
+			row.DenseNodes = st.DenseNodes
+			row.DenseEquivBytes = row.Nodes * row.Groups * 8
+			row.Passes = w.Controller.StepsRun
+			if row.Passes > 0 {
+				row.PassMeanMs = float64(w.Controller.PassWallNanos) / float64(row.Passes) / 1e6
+			}
+			row.PassMaxMs = float64(w.Controller.PassWallMaxNanos) / 1e6
+			for _, rx := range b.AllReceivers() {
+				for _, l := range rx.Links() {
+					if r := l.Reverse(); r != nil {
+						row.RxBytes += r.Stats().TxBytes
+					}
+				}
+			}
+			if row.Receivers > 0 {
+				row.BytesPerReceiver = float64(row.RxBytes) / float64(row.Receivers)
+			}
+			traces, optima := w.AllTraces()
+			row.MeanDev = metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration)
+			return []ScaleRow{row}, nil
+		})
 }
 
 // RunScale executes the scaling sweep serially.
@@ -184,11 +211,21 @@ func RunScale(cfg ScaleConfig) []ScaleRow {
 
 // ScaleTable renders the curve, joining each row with its run's event
 // throughput from the Result (events/s and wall seconds live there, not in
-// the row, so the renderer takes both).
+// the row, so the renderer takes both). When the sweep ran points on both
+// engines (ScaleConfig.Shards > 1), the sharded run's speedup column is
+// its single-threaded twin's wall time divided by its own.
 func ScaleTable(results []Result) (string, error) {
+	// Wall time of each point's single-threaded run, for the speedup
+	// column of its sharded twin.
+	baseWall := map[string]float64{}
+	for _, r := range results {
+		if rows, ok := r.Rows.([]ScaleRow); ok && len(rows) == 1 && rows[0].Shards <= 1 {
+			baseWall[rows[0].Topo] = r.WallSeconds
+		}
+	}
 	t := &Table{
 		Title: "fig_scale: receivers vs cost (events/s, state bytes, pass latency)",
-		Header: []string{"topology", "rx", "nodes", "events/s", "wall s",
+		Header: []string{"topology", "rx", "nodes", "shards", "events/s", "wall s", "speedup",
 			"state bytes", "dense equiv", "pass mean ms", "pass max ms", "B/rx", "dev"},
 	}
 	for _, r := range results {
@@ -200,12 +237,21 @@ func ScaleTable(results []Result) (string, error) {
 			return "", fmt.Errorf("run %s: rows are %T, want one ScaleRow", r.Name, r.Rows)
 		}
 		row := rows[0]
+		shards, speedup := "st", "-"
+		if row.Shards >= 1 {
+			shards = fmt.Sprintf("%d", row.Shards)
+			if base, ok := baseWall[row.Topo]; ok && r.WallSeconds > 0 {
+				speedup = fmt.Sprintf("%.2fx", base/r.WallSeconds)
+			}
+		}
 		t.AddRow(
 			strings.TrimPrefix(row.Topo, "fig_scale/"),
 			fmt.Sprintf("%d", row.Receivers),
 			fmt.Sprintf("%d", row.Nodes),
+			shards,
 			fmt.Sprintf("%.3g", r.EventsPerSecond),
 			fmt.Sprintf("%.1f", r.WallSeconds),
+			speedup,
 			fmt.Sprintf("%d", row.TableBytes),
 			fmt.Sprintf("%d", row.DenseEquivBytes),
 			fmt.Sprintf("%.2f", row.PassMeanMs),

@@ -59,7 +59,7 @@ type Meter struct {
 	start    time.Time
 	deadline time.Duration // 0 = no timeout
 	timedOut bool
-	engines  []*sim.Engine
+	engines  []sim.Runner
 	nets     []*netsim.Network
 	obs      *obs.Obs // nil unless the Spec enabled observability
 }
@@ -73,12 +73,15 @@ func (m *Meter) Obs() *obs.Obs { return m.obs }
 // Observe registers an engine and/or network with the meter. Either
 // argument may be nil; bodies that run several worlds call it once per
 // world.
-func (m *Meter) Observe(e *sim.Engine, n *netsim.Network) {
+func (m *Meter) Observe(e sim.Runner, n *netsim.Network) {
 	if e != nil {
 		m.engines = append(m.engines, e)
 		m.obs.ObserveEngine(e)
 		if m.deadline > 0 {
-			e.Every(sim.Second, func() {
+			// The watchdog runs on the global context: on a sharded engine
+			// it fires at barriers with every shard parked, so Stop is a
+			// plain store no shard races with.
+			sim.Every(sim.GlobalOf(e), sim.Second, func() {
 				if !m.timedOut && time.Since(m.start) > m.deadline {
 					m.timedOut = true
 					e.Stop()
@@ -88,8 +91,8 @@ func (m *Meter) Observe(e *sim.Engine, n *netsim.Network) {
 	}
 	if n != nil {
 		m.nets = append(m.nets, n)
-		if m.obs != nil && e != nil {
-			n.AttachProbe(obs.NewNetProbe(e, m.obs))
+		if m.obs != nil {
+			n.AttachProbe(obs.NewNetProbe(m.obs))
 		}
 	}
 }

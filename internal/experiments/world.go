@@ -46,7 +46,7 @@ const PaperDuration = 1200 * sim.Second
 
 // World is an assembled TopoSense simulation.
 type World struct {
-	Engine     *sim.Engine
+	Engine     sim.Runner
 	Net        *netsim.Network
 	Domain     *mcast.Domain
 	Build      *topology.Build
@@ -74,6 +74,11 @@ type WorldConfig struct {
 	// ProbeDiscovery switches topology discovery to the mtrace-style
 	// hop-by-hop probe mode instead of the instantaneous oracle.
 	ProbeDiscovery bool
+	// Shards selects the engine the NewWorldA/NewWorldB helpers build: 0
+	// or 1 is the single-threaded oracle, N > 1 the conservative sharded
+	// engine with N workers. Results are byte-identical either way — only
+	// wall-clock changes. Ignored by NewWorld, which takes the engine.
+	Shards int
 	// Algorithm overrides; zero values take core defaults.
 	Alg core.Config
 }
@@ -81,7 +86,21 @@ type WorldConfig struct {
 // NewWorld assembles a world on a built topology. One source per session is
 // placed at Build.Sources[i]; the controller at Build.Controller; one
 // receiver per entry of Build.Receivers.
-func NewWorld(e *sim.Engine, b *topology.Build, cfg WorldConfig) *World {
+//
+// When e is a ShardedEngine the network is partitioned across e's shards
+// before any component is wired, so every subsequently created timer lands
+// on its owning shard. Builds without generator-emitted domain labels
+// (Topology A/B, mesh) fall back to the min-cut heuristic; if that finds
+// no usable cut either, the sharded engine degenerates to one partition —
+// same results, no parallelism.
+func NewWorld(e sim.Runner, b *topology.Build, cfg WorldConfig) *World {
+	if se, ok := e.(*sim.ShardedEngine); ok {
+		doms := b.Domains
+		if doms == nil {
+			doms = b.FallbackDomains()
+		}
+		b.Net.Partition(se, doms)
+	}
 	layers := cfg.Layers
 	if len(cfg.Rates) > 0 {
 		layers = len(cfg.Rates)
@@ -156,7 +175,7 @@ func (w *World) WireObs(o *obs.Obs) {
 	if o == nil {
 		return
 	}
-	w.Net.AttachProbe(obs.NewNetProbe(w.Engine, o))
+	w.Net.AttachProbe(obs.NewNetProbe(o))
 	w.Domain.SetObs(o)
 	w.Controller.SetObs(o)
 	o.ObserveEngine(w.Engine)
@@ -194,22 +213,39 @@ func (w *World) AllTraces() (traces []*metrics.Trace, optima []int) {
 	return traces, optima
 }
 
+// NewRunEngine builds the engine a run executes on. shards <= 0 is the
+// default single-threaded engine. shards >= 1 selects the sharded
+// execution model with that many workers — the worker count is purely
+// physical: the logical partitioning comes from the topology's domain
+// labels, so any two worker counts (including 1) produce byte-identical
+// results. Against the single-threaded engine the sharded model executes
+// the same events with the same clocks and RNG stream; the one defined
+// difference is the serialization of same-timestamp events that meet at a
+// partition boundary (partition order instead of schedule-call order), so
+// the two engines are separate golden lineages rather than bit-equal.
+func NewRunEngine(seed int64, shards int) sim.Runner {
+	if shards >= 1 {
+		return sim.NewShardedEngine(seed, shards)
+	}
+	return sim.NewEngine(seed)
+}
+
 // NewWorldA builds the paper's Topology A world.
 func NewWorldA(receiversPerSet int, cfg WorldConfig) *World {
-	e := sim.NewEngine(cfg.Seed)
-	b := topology.BuildA(e, topology.AConfig{ReceiversPerSet: receiversPerSet})
+	e := NewRunEngine(cfg.Seed, cfg.Shards)
+	b := topology.MustGenerate(e, &topology.AConfig{ReceiversPerSet: receiversPerSet})
 	return NewWorld(e, b, cfg)
 }
 
 // NewWorldB builds the paper's Topology B world with the given number of
 // competing sessions.
 func NewWorldB(sessions int, cfg WorldConfig) *World {
-	e := sim.NewEngine(cfg.Seed)
-	b := topology.BuildB(e, topology.BConfig{Sessions: sessions})
+	e := NewRunEngine(cfg.Seed, cfg.Shards)
+	b := topology.MustGenerate(e, &topology.BConfig{Sessions: sessions})
 	return NewWorld(e, b, cfg)
 }
 
 // buildTestB is a tiny helper for tests that need a raw Build.
 func buildTestB(e *sim.Engine, sessions int) *topology.Build {
-	return topology.BuildB(e, topology.BConfig{Sessions: sessions})
+	return topology.MustGenerate(e, &topology.BConfig{Sessions: sessions})
 }

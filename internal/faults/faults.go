@@ -30,7 +30,7 @@ import (
 // counters afterwards. All methods must be called on the simulation
 // goroutine (like everything else bound to the engine).
 type Injector struct {
-	engine *sim.Engine
+	engine sim.Scheduler
 
 	// Failures and Repairs count state transitions actually applied
 	// (a SetDown on an already-down link does not count).
@@ -43,8 +43,15 @@ type Injector struct {
 	handles []sim.Handle
 }
 
-// New creates an injector bound to the network's engine.
+// New creates an injector bound to the network's engine. Fault injection
+// is not supported on a partitioned network: a failure invalidates routes
+// and repairs trees across shard boundaries mid-window, which the
+// conservative parallel engine cannot order. Run fault experiments on the
+// single-threaded engine (shards = 1).
 func New(net *netsim.Network) *Injector {
+	if net.Partitioned() {
+		panic("faults: fault injection is not supported on a partitioned network; run with a single shard")
+	}
 	return &Injector{engine: net.Engine()}
 }
 

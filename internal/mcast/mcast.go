@@ -31,6 +31,7 @@ package mcast
 
 import (
 	"fmt"
+	"sync/atomic"
 	"unsafe"
 
 	"toposense/internal/netsim"
@@ -194,7 +195,9 @@ type Domain struct {
 
 	// Grafts and Prunes count tree maintenance operations (for tests and
 	// reporting). Repairs counts nodes re-homed (or orphaned) by route
-	// changes after link failures.
+	// changes after link failures. Grafts and prunes can fire from any
+	// shard of a partitioned network, so the counters move atomically;
+	// read them only while the engine is quiescent.
 	Grafts, Prunes, Repairs int64
 
 	// obs, when set, mirrors the tree-maintenance counters into the
@@ -224,7 +227,7 @@ func (d *Domain) noteTree(kind obs.EventKind, n, to netsim.NodeID, g netsim.Grou
 	}
 	session, layer := d.SessionLayer(g)
 	d.obs.Rec.Record(obs.Event{
-		At:      d.net.Engine().Now(),
+		At:      d.net.SchedulerFor(n).Now(),
 		Kind:    kind,
 		From:    int32(n),
 		To:      int32(to),
@@ -242,9 +245,18 @@ func NewDomain(net *netsim.Network) *Domain {
 		net:          net,
 		LeaveLatency: DefaultLeaveLatency,
 		byKey:        make(map[groupKey]netsim.GroupID),
+		// Preallocate one container per node: on a partitioned network each
+		// shard touches only its own nodes' containers, but a lazy append
+		// of the backing slice itself would race across shards.
+		state: make([]nodeGroups, net.NumNodes()),
 	}
 	d.Install()
-	net.OnAddNode = func(n *netsim.Node) { n.SetMulticastHandler(d) }
+	net.OnAddNode = func(n *netsim.Node) {
+		n.SetMulticastHandler(d)
+		for int(n.ID) >= len(d.state) {
+			d.state = append(d.state, nodeGroups{})
+		}
+	}
 	net.OnRouteChange(d.onRouteChange)
 	return d
 }
@@ -336,7 +348,7 @@ func (d *Domain) Join(n netsim.NodeID, g netsim.GroupID, m Member) {
 	}
 	wasActive := st.active()
 	st.members = append(st.members, m)
-	d.cancelPrune(st)
+	d.cancelPrune(n, st)
 	if !wasActive {
 		d.graftUpstream(n, g)
 	}
@@ -361,16 +373,23 @@ func (d *Domain) graftUpstream(n netsim.NodeID, g netsim.GroupID) {
 		return
 	}
 	st.parent = up
-	d.Grafts++
+	atomic.AddInt64(&d.Grafts, 1)
 	d.noteTree(obs.EvGraft, n, up, g)
-	d.net.Engine().Schedule(link.Delay, func() {
-		if cur := d.lookup(n, g); cur == nil || cur.parent != up {
-			return // rerouted while the graft was in flight
+	// A graft crossing a partition boundary executes in up's shard, where
+	// reading n's state back would race. The reroute guard exists only for
+	// link-failure repair, and faults are unsupported on partitioned
+	// networks, so across a boundary the guard is provably never needed.
+	cross := d.net.CrossPartition(n, up)
+	d.net.SchedulerBetween(n, up).Schedule(link.Delay, func() {
+		if !cross {
+			if cur := d.lookup(n, g); cur == nil || cur.parent != up {
+				return // rerouted while the graft was in flight
+			}
 		}
 		upSt := d.stateOf(up, g)
 		wasActive := upSt.active()
 		upSt.addChild(n, d.net.Node(up).LinkTo(n))
-		d.cancelPrune(upSt)
+		d.cancelPrune(up, upSt)
 		if !wasActive {
 			d.graftUpstream(up, g)
 		}
@@ -398,7 +417,9 @@ func (d *Domain) maybeSchedulePrune(n netsim.NodeID, g netsim.GroupID, st *nodeG
 	if st.active() || !st.pruneTimer.IsZero() {
 		return
 	}
-	st.pruneTimer = d.net.Engine().Schedule(d.LeaveLatency, func() {
+	// The timer fires in n's own context, so it lives on n's shard — which
+	// also keeps the handle cancellable (cross-shard schedules are not).
+	st.pruneTimer = d.net.SchedulerFor(n).Schedule(d.LeaveLatency, func() {
 		st.pruneTimer = sim.Handle{}
 		if st.active() {
 			return // re-joined during the leave-latency window
@@ -423,9 +444,9 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 	if link == nil {
 		return
 	}
-	d.Prunes++
+	atomic.AddInt64(&d.Prunes, 1)
 	d.noteTree(obs.EvPrune, n, up, g)
-	d.net.Engine().Schedule(link.Delay, func() {
+	d.net.SchedulerBetween(n, up).Schedule(link.Delay, func() {
 		upSt := d.lookup(up, g)
 		if upSt == nil {
 			return
@@ -439,9 +460,11 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 	})
 }
 
-func (d *Domain) cancelPrune(st *nodeGroupState) {
+// cancelPrune clears n's pending leave-latency expiry. The handle must be
+// cancelled on the scheduler that owns it — n's shard.
+func (d *Domain) cancelPrune(n netsim.NodeID, st *nodeGroupState) {
 	if !st.pruneTimer.IsZero() {
-		d.net.Engine().Cancel(st.pruneTimer)
+		d.net.SchedulerFor(n).Cancel(st.pruneTimer)
 		st.pruneTimer = sim.Handle{}
 	}
 }
@@ -477,13 +500,13 @@ func (d *Domain) repair(n netsim.NodeID, g netsim.GroupID) {
 	if newUp == st.parent {
 		return
 	}
-	d.Repairs++
+	atomic.AddInt64(&d.Repairs, 1)
 	d.noteTree(obs.EvRepair, n, newUp, g)
 	old := st.parent
 	st.parent = netsim.NoNode
 	if old != netsim.NoNode {
 		if link := d.net.Node(n).LinkTo(old); link != nil {
-			d.net.Engine().Schedule(link.Delay, func() {
+			d.net.SchedulerBetween(n, old).Schedule(link.Delay, func() {
 				if cur := d.lookup(n, g); cur != nil && cur.parent == old {
 					return // flapped back to the old parent before the detach landed
 				}

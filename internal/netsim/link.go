@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"toposense/internal/sim"
 )
@@ -86,7 +87,29 @@ type Link struct {
 	txDoneFn  func()
 	deliverFn func()
 	deliver   func(*Packet, *Link)
+
+	// sched owns the transmitter side (Send/transmit/txDone run in From's
+	// context); dsched carries the delivery schedule to the receiving side;
+	// recvSched is the receiving context itself (its clock is the one probes
+	// must read at delivery). All three are the network engine until
+	// Partition rebinds them, and dsched differs from recvSched only on a
+	// partition-boundary link, where it is a cross-shard channel.
+	sched     sim.Scheduler
+	dsched    sim.Scheduler
+	recvSched sim.Scheduler
+	// mu guards inflight/ifhead on partition-boundary links, where the
+	// transmitting shard pushes and the receiving shard pops concurrently.
+	// nil everywhere else: single-shard links never pay for it.
+	mu *sync.Mutex
 }
+
+// NowTx returns the transmitting side's current time: the clock Send-path
+// probe callbacks (Enqueue, Drop) must read.
+func (l *Link) NowTx() sim.Time { return l.sched.Now() }
+
+// NowRx returns the receiving side's current time: the clock delivery-path
+// probe callbacks must read.
+func (l *Link) NowRx() sim.Time { return l.recvSched.Now() }
 
 // Stats returns a copy of the link's counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -274,7 +297,7 @@ func (l *Link) Send(p *Packet) {
 func (l *Link) transmit(p *Packet) {
 	l.busy = true
 	l.txp = p
-	l.net.engine.Schedule(sim.TransmitTime(p.Size, l.Bandwidth), l.txDoneFn)
+	l.sched.Schedule(sim.TransmitTime(p.Size, l.Bandwidth), l.txDoneFn)
 }
 
 // txDone finishes serialization: the packet enters the propagation pipeline
@@ -302,8 +325,14 @@ func (l *Link) txDone() {
 	l.txp = nil
 	l.stats.Delivered++
 	l.stats.TxBytes += int64(p.Size)
-	l.inflight = append(l.inflight, p)
-	l.net.engine.Schedule(l.Delay, l.deliverFn)
+	if l.mu != nil {
+		l.mu.Lock()
+		l.inflight = append(l.inflight, p)
+		l.mu.Unlock()
+	} else {
+		l.inflight = append(l.inflight, p)
+	}
+	l.dsched.Schedule(l.Delay, l.deliverFn)
 	if l.qhead < len(l.queue) {
 		next := l.queue[l.qhead]
 		l.queue[l.qhead] = nil
@@ -327,6 +356,22 @@ func (l *Link) deliverHead() {
 		l.squelch--
 		return
 	}
+	var p *Packet
+	if l.mu != nil {
+		l.mu.Lock()
+		p = l.popInflight()
+		l.mu.Unlock()
+	} else {
+		p = l.popInflight()
+	}
+	l.noteDeliver(p)
+	l.deliver(p, l)
+	p.unref()
+}
+
+// popInflight removes and returns the oldest in-flight packet. Boundary
+// links call it under l.mu.
+func (l *Link) popInflight() *Packet {
 	p := l.inflight[l.ifhead]
 	l.inflight[l.ifhead] = nil
 	l.ifhead++
@@ -334,7 +379,5 @@ func (l *Link) deliverHead() {
 		l.inflight = l.inflight[:0]
 		l.ifhead = 0
 	}
-	l.noteDeliver(p)
-	l.deliver(p, l)
-	p.unref()
+	return p
 }

@@ -2,15 +2,29 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"toposense/internal/sim"
 )
 
 // Network owns the nodes and links of one simulated topology and the routing
-// tables between them. It is bound to a single sim.Engine.
+// tables between them. It is bound to a single scheduler — the plain
+// sim.Engine, or a sim.ShardedEngine once Partition has mapped each node to
+// a shard.
 type Network struct {
-	engine *Engineish
+	engine sim.Scheduler
 	nodes  []*Node
+
+	// Sharded-run state (nil / false on single-threaded networks): the
+	// engine the network was partitioned onto, the per-node domain labels,
+	// and each node's shard scheduler. See Partition.
+	se     *sim.ShardedEngine
+	doms   []int
+	scheds []sim.Scheduler
+	// parallel switches the packet pool and the drop counters to their
+	// synchronized variants. Single-threaded networks never pay for it.
+	parallel bool
+	poolMu   sync.Mutex
 
 	// nextHop[src][dst] is the neighbor of src on the shortest path to dst,
 	// or NoNode. Built lazily and invalidated on topology changes.
@@ -44,17 +58,122 @@ type Network struct {
 	pktAllocs uint64
 }
 
-// Engineish is a thin alias so that netsim code reads naturally; it is the
-// simulation engine.
-type Engineish = sim.Engine
-
-// New creates an empty network on the given engine.
-func New(engine *sim.Engine) *Network {
+// New creates an empty network on the given scheduler. Passing the plain
+// *sim.Engine keeps the fully deterministic single-threaded semantics;
+// passing a *sim.ShardedEngine and later calling Partition runs the model
+// as a conservative parallel simulation.
+func New(engine sim.Scheduler) *Network {
 	return &Network{engine: engine}
 }
 
-// Engine returns the simulation engine the network runs on.
-func (n *Network) Engine() *sim.Engine { return n.engine }
+// Engine returns the scheduler the network was built on. On a partitioned
+// network this is the engine handle, not any particular shard: model code
+// that runs inside node events must use SchedulerFor/SchedulerBetween so
+// its clock and queue are the owning shard's.
+func (n *Network) Engine() sim.Scheduler { return n.engine }
+
+// Partitioned reports whether the network executes on more than one shard.
+func (n *Network) Partitioned() bool { return n.parallel }
+
+// SchedulerFor returns the scheduler that owns id's events: the node's
+// shard on a partitioned network, the network's engine otherwise.
+func (n *Network) SchedulerFor(id NodeID) sim.Scheduler {
+	if n.scheds == nil {
+		return n.engine
+	}
+	return n.scheds[id]
+}
+
+// SchedulerBetween returns the scheduler that code running in from's
+// context must use to schedule an event that will execute in to's context
+// (protocol continuations traveling a link, like multicast grafts). On a
+// partitioned network with from and to in different shards this is a
+// cross-shard channel: the delay must be at least the lookahead — true by
+// construction for anything riding a boundary link — and the schedule is
+// not cancellable.
+func (n *Network) SchedulerBetween(from, to NodeID) sim.Scheduler {
+	if n.se == nil {
+		return n.engine
+	}
+	return n.se.Cross(n.doms[from], n.doms[to])
+}
+
+// CrossPartition reports whether a and b live in different shards — i.e.
+// whether an event scheduled between them executes in a different shard's
+// context than the caller's, so it must not touch the caller's shard state.
+func (n *Network) CrossPartition(a, b NodeID) bool {
+	return n.parallel && n.doms[a] != n.doms[b]
+}
+
+// Partition maps each node onto a shard of se according to domains (one
+// dense label per node, in node-ID order) and shapes se to match: the
+// lookahead becomes the minimum propagation delay over partition-boundary
+// links, routing tables are materialized eagerly (lazy builds would race),
+// every link is bound to its endpoints' shard schedulers, and the packet
+// pool switches to its synchronized variant. With zero or one distinct
+// labels the engine stays degenerate — byte-identical to the plain Engine —
+// and the network stays on the single-threaded fast paths.
+//
+// The topology must be complete: adding nodes or links after Partition
+// panics. Fault injection is not supported on a partitioned network.
+func (n *Network) Partition(se *sim.ShardedEngine, domains []int) {
+	if n.se != nil {
+		panic("netsim: Partition called twice")
+	}
+	if domains != nil && len(domains) != len(n.nodes) {
+		panic(fmt.Sprintf("netsim: Partition with %d domain labels for %d nodes", len(domains), len(n.nodes)))
+	}
+	p := 1
+	for _, d := range domains {
+		if d < 0 {
+			panic("netsim: negative domain label")
+		}
+		if d+1 > p {
+			p = d + 1
+		}
+	}
+	if p <= 1 {
+		return // degenerate: single-threaded semantics on se
+	}
+	lookahead := sim.Time(-1)
+	for _, node := range n.nodes {
+		for _, l := range node.Links() {
+			if domains[l.From] == domains[l.To] {
+				continue
+			}
+			if l.Delay <= 0 {
+				panic(fmt.Sprintf("netsim: partition-boundary link %v has zero delay", l))
+			}
+			if lookahead < 0 || l.Delay < lookahead {
+				lookahead = l.Delay
+			}
+		}
+	}
+	if lookahead <= 0 {
+		panic("netsim: partitioning has no boundary links between distinct domains")
+	}
+	se.SetPartitions(p, lookahead)
+	n.se = se
+	n.doms = domains
+	n.parallel = true
+	n.scheds = make([]sim.Scheduler, len(n.nodes))
+	for i := range n.nodes {
+		n.scheds[i] = se.Shard(domains[i])
+	}
+	n.ensureRoutes()
+	for _, node := range n.nodes {
+		for _, l := range node.Links() {
+			l.sched = n.scheds[l.From]
+			l.recvSched = n.scheds[l.To]
+			if domains[l.From] != domains[l.To] {
+				l.dsched = se.Cross(domains[l.From], domains[l.To])
+				l.mu = &sync.Mutex{}
+			} else {
+				l.dsched = n.scheds[l.To]
+			}
+		}
+	}
+}
 
 // AttachProbe registers a probe observing packet events on every link of
 // the network, including links created later.
@@ -66,6 +185,10 @@ func (n *Network) AttachProbe(p Probe) { n.probes = append(n.probes, p) }
 // Release; the struct is recycled once every link that accepted it has
 // delivered or dropped it.
 func (n *Network) NewPacket() *Packet {
+	if n.parallel {
+		n.poolMu.Lock()
+		defer n.poolMu.Unlock()
+	}
 	if k := len(n.pktFree); k > 0 {
 		p := n.pktFree[k-1]
 		n.pktFree[k-1] = nil
@@ -84,6 +207,9 @@ func (n *Network) PacketAllocs() uint64 { return n.pktAllocs }
 
 // AddNode creates a node with a human-readable name and returns it.
 func (n *Network) AddNode(name string) *Node {
+	if n.se != nil {
+		panic("netsim: AddNode on a partitioned network")
+	}
 	node := &Node{
 		ID:    NodeID(len(n.nodes)),
 		Name:  name,
@@ -132,6 +258,9 @@ func (n *Network) ConnectAsym(a, b *Node, cfg LinkConfig) *Link {
 }
 
 func (n *Network) addLink(from, to *Node, cfg LinkConfig) *Link {
+	if n.se != nil {
+		panic("netsim: Connect on a partitioned network")
+	}
 	if cfg.Bandwidth <= 0 {
 		panic("netsim: link bandwidth must be positive")
 	}
@@ -158,6 +287,8 @@ func (n *Network) addLink(from, to *Node, cfg LinkConfig) *Link {
 	l.deliver = func(p *Packet, via *Link) { n.nodes[via.To].deliver(p, via) }
 	l.txDoneFn = l.txDone
 	l.deliverFn = l.deliverHead
+	// Single-scheduler default; Partition rebinds these per shard.
+	l.sched, l.dsched, l.recvSched = n.engine, n.engine, n.engine
 	from.links[to.ID] = l
 	n.nextHop, n.tree = nil, nil
 	return l

@@ -1,6 +1,9 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Agent receives unicast packets addressed to the node it is attached to.
 // Receivers, sources and the controller all implement Agent.
@@ -114,7 +117,8 @@ func (n *Node) route(p *Packet) {
 	next := n.net.NextHop(n.ID, p.Dst)
 	if next == NoNode {
 		// Unroutable packets are silently dropped, like in a real network.
-		n.net.Unroutable++
+		// Any shard can hit this; the counter is cold, so always atomic.
+		atomic.AddInt64(&n.net.Unroutable, 1)
 		return
 	}
 	n.links[next].Send(p)

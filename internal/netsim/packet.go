@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"toposense/internal/sim"
 )
@@ -87,17 +88,39 @@ func (p *Packet) Multicast() bool { return p.Group != NoGroup }
 // Pooled reports whether the packet came from a network's packet pool.
 func (p *Packet) Pooled() bool { return p.pool != nil }
 
-// ref takes one reference on a pooled packet; a no-op for literals.
+// ref takes one reference on a pooled packet; a no-op for literals. On a
+// partitioned network a multicast packet is referenced concurrently by
+// links in different shards, so the count moves atomically there.
 func (p *Packet) ref() {
-	if p.pool != nil {
-		p.refs++
+	if p.pool == nil {
+		return
 	}
+	if p.pool.parallel {
+		atomic.AddInt32(&p.refs, 1)
+		return
+	}
+	p.refs++
 }
 
 // unref drops one reference; the last drop returns the packet to its pool.
 // A no-op for literals.
 func (p *Packet) unref() {
 	if p.pool == nil {
+		return
+	}
+	if p.pool.parallel {
+		switch r := atomic.AddInt32(&p.refs, -1); {
+		case r > 0:
+			return
+		case r < 0:
+			panic(fmt.Sprintf("netsim: packet %v released below zero references", p))
+		}
+		// r == 0: this was the last holder; the struct is exclusively ours.
+		pool := p.pool
+		*p = Packet{}
+		pool.poolMu.Lock()
+		pool.pktFree = append(pool.pktFree, p)
+		pool.poolMu.Unlock()
 		return
 	}
 	p.refs--

@@ -76,7 +76,7 @@ func benchForward(b *testing.B, probed bool) {
 	n.Connect(src, dst, netsim.LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond, QueueLimit: 64})
 	if probed {
 		o := New(Options{})
-		n.AttachProbe(NewNetProbe(e, o))
+		n.AttachProbe(NewNetProbe(o))
 	}
 	inject := func(count int) {
 		const gap = 8 * sim.Microsecond // one serialization slot: 1000 B at 1 Gbps

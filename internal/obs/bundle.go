@@ -51,7 +51,13 @@ type Obs struct {
 	QueueDepth   *Histogram
 	LinkLatency  *Histogram // per-link queuing+serialization+propagation, in milliseconds
 
-	engines []*sim.Engine
+	engines []EngineSource
+}
+
+// EngineSource is anything whose scheduler statistics a Dump can snapshot
+// — both sim.Engine and sim.ShardedEngine satisfy it.
+type EngineSource interface {
+	Stats() sim.EngineStats
 }
 
 // New builds an Obs with every core instrument registered.
@@ -93,7 +99,7 @@ func New(opt Options) *Obs {
 
 // ObserveEngine registers a simulation engine whose scheduler stats are
 // snapshotted into every Dump.
-func (o *Obs) ObserveEngine(e *sim.Engine) {
+func (o *Obs) ObserveEngine(e EngineSource) {
 	if o == nil || e == nil {
 		return
 	}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"sync"
+
 	"toposense/internal/netsim"
 	"toposense/internal/sim"
 )
@@ -15,6 +17,12 @@ import (
 // simulation without a NetProbe attached runs the exact pre-obs hot path:
 // the disabled cost of this instrument is zero by construction.
 //
+// The probe carries no engine handle: on a sharded engine there is no one
+// clock, so each callback reads the observed link's own context — the
+// sending side's clock for Enqueue/Drop, the receiving side's for Deliver
+// (Link.NowTx / Link.NowRx). A mutex guards the latency-matching map,
+// which links in different shards touch concurrently.
+//
 // Latency is measured by remembering, per (link, packet), when the link
 // accepted the packet. Two edge cases lose the enqueue timestamp and are
 // skipped rather than guessed: a packet accepted before the probe was
@@ -22,8 +30,8 @@ import (
 // (the link transfers the victim's accounting to the arrival without a
 // fresh enqueue).
 type NetProbe struct {
-	engine  *sim.Engine
 	o       *Obs
+	mu      sync.Mutex
 	pending map[pendKey]sim.Time
 }
 
@@ -33,20 +41,22 @@ type pendKey struct {
 }
 
 // NewNetProbe builds a probe feeding o's packet-plane instruments.
-func NewNetProbe(e *sim.Engine, o *Obs) *NetProbe {
-	if e == nil || o == nil {
-		panic("obs: NewNetProbe requires an engine and an Obs")
+func NewNetProbe(o *Obs) *NetProbe {
+	if o == nil {
+		panic("obs: NewNetProbe requires an Obs")
 	}
-	return &NetProbe{engine: e, o: o, pending: make(map[pendKey]sim.Time)}
+	return &NetProbe{o: o, pending: make(map[pendKey]sim.Time)}
 }
 
 // Enqueue implements netsim.Probe.
 func (np *NetProbe) Enqueue(l *netsim.Link, p *netsim.Packet) {
-	now := np.engine.Now()
+	now := l.NowTx()
 	depth := l.QueueLen() // depth the arrival saw (it is not queued yet)
 	np.o.Enqueues.Inc()
 	np.o.QueueDepth.Observe(float64(depth))
+	np.mu.Lock()
 	np.pending[pendKey{l, p}] = now
+	np.mu.Unlock()
 	np.o.Rec.Record(Event{
 		At: now, Kind: EvEnqueue,
 		From: int32(l.From), To: int32(l.To),
@@ -57,7 +67,7 @@ func (np *NetProbe) Enqueue(l *netsim.Link, p *netsim.Packet) {
 
 // Drop implements netsim.Probe.
 func (np *NetProbe) Drop(l *netsim.Link, p *netsim.Packet) {
-	now := np.engine.Now()
+	now := l.NowTx()
 	cause := DropQueue
 	if l.Down() {
 		cause = DropLinkDown
@@ -70,7 +80,9 @@ func (np *NetProbe) Drop(l *netsim.Link, p *netsim.Packet) {
 	} else {
 		np.o.DropsData.Inc()
 	}
+	np.mu.Lock()
 	delete(np.pending, pendKey{l, p})
+	np.mu.Unlock()
 	np.o.Rec.Record(Event{
 		At: now, Kind: EvDrop,
 		From: int32(l.From), To: int32(l.To),
@@ -81,12 +93,17 @@ func (np *NetProbe) Drop(l *netsim.Link, p *netsim.Packet) {
 
 // Deliver implements netsim.Probe.
 func (np *NetProbe) Deliver(l *netsim.Link, p *netsim.Packet) {
-	now := np.engine.Now()
+	now := l.NowRx()
 	np.o.Delivers.Inc()
 	lat := int64(-1)
 	k := pendKey{l, p}
-	if t, ok := np.pending[k]; ok {
+	np.mu.Lock()
+	t, ok := np.pending[k]
+	if ok {
 		delete(np.pending, k)
+	}
+	np.mu.Unlock()
+	if ok {
 		lat = int64(now - t)
 		np.o.LinkLatency.Observe(float64(now-t) / float64(sim.Millisecond))
 	}

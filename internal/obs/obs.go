@@ -27,11 +27,14 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing int64 counter. The zero value is
 // ready to use; all methods are no-ops on a nil receiver so wiring can be
-// left unconditioned.
+// left unconditioned. Counts move atomically: on a sharded engine the same
+// instrument is hit from every shard's worker.
 type Counter struct {
 	name string
 	v    int64
@@ -40,14 +43,14 @@ type Counter struct {
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		atomic.AddInt64(&c.v, 1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		atomic.AddInt64(&c.v, n)
 	}
 }
 
@@ -56,7 +59,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return atomic.LoadInt64(&c.v)
 }
 
 // Name returns the registered name.
@@ -71,8 +74,13 @@ func (c *Counter) Name() string {
 // v <= Bounds[i] (and greater than Bounds[i-1]); one overflow bucket counts
 // values above the last bound. Bounds are fixed at registration, so
 // Observe never allocates. All methods are no-ops on a nil receiver.
+// Observations are serialized by a mutex (min/max/sum update together);
+// note the sum of float observations arriving from different shards is
+// order-dependent in the last bits, so cross-shard comparisons should key
+// on counts, not sums.
 type Histogram struct {
 	name   string
+	mu     sync.Mutex
 	bounds []float64 // ascending upper bounds; counts has len(bounds)+1
 	counts []int64
 	count  int64
@@ -86,6 +94,8 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -110,6 +120,8 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.count
 }
 
@@ -118,12 +130,19 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
 // Mean returns the arithmetic mean (0 with no observations).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
 	return h.sum / float64(h.count)

@@ -280,7 +280,7 @@ func netProbeRig(t *testing.T) (*sim.Engine, *Obs, *netsim.Link) {
 	n.Connect(a, b, netsim.LinkConfig{Bandwidth: 8e5, Delay: 5 * sim.Millisecond, QueueLimit: 2})
 
 	o := New(Options{FlightRecorder: 64, AuditPasses: -1})
-	n.AttachProbe(NewNetProbe(e, o))
+	n.AttachProbe(NewNetProbe(o))
 	o.ObserveEngine(e)
 
 	for i := 0; i < 5; i++ {
@@ -344,7 +344,7 @@ func TestNetProbeLinkDownCause(t *testing.T) {
 	b := n.AddNode("b")
 	l, _ := n.Connect(a, b, netsim.LinkConfig{Bandwidth: 8e5, Delay: 0})
 	o := New(Options{FlightRecorder: 8, AuditPasses: -1})
-	n.AttachProbe(NewNetProbe(e, o))
+	n.AttachProbe(NewNetProbe(o))
 	l.SetDown()
 	// Offer the packet straight to the failed link, as cached multicast
 	// forwarding state would (routing no longer points at it).

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"toposense/internal/sim"
 )
@@ -84,8 +85,12 @@ type Event struct {
 // Recorder is a fixed-capacity ring buffer of the most recent events — a
 // flight recorder: always on once enabled, never growing, dumpable after
 // the fact to reconstruct what led up to an anomaly. Record on a nil
-// Recorder is a no-op, so call sites need no guard.
+// Recorder is a no-op, so call sites need no guard. A mutex serializes the
+// ring: shards of a parallel engine record concurrently, so the retained
+// interleaving (not the per-link event streams) is scheduling-dependent
+// there — disable the recorder when comparing exports across shard counts.
 type Recorder struct {
+	mu    sync.Mutex
 	buf   []Event
 	next  int
 	total uint64
@@ -104,6 +109,8 @@ func (r *Recorder) Record(ev Event) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, ev)
 	} else {
@@ -121,6 +128,8 @@ func (r *Recorder) Total() uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.total
 }
 
@@ -134,7 +143,12 @@ func (r *Recorder) Cap() int {
 
 // Events returns the retained events oldest-first, as a copy.
 func (r *Recorder) Events() []Event {
-	if r == nil || len(r.buf) == 0 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
 		return nil
 	}
 	out := make([]Event, 0, len(r.buf))

@@ -123,6 +123,12 @@ func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, cfg Confi
 	return r
 }
 
+// sched returns the scheduler owning the receiver node's events: the
+// node's shard on a partitioned network. The Start-time Rand() draw is safe
+// there because Start runs before the engine does, while the model is still
+// single-threaded.
+func (r *Receiver) sched() sim.Scheduler { return r.net.SchedulerFor(r.node.ID) }
+
 // Node returns the node the receiver is attached to.
 func (r *Receiver) Node() *netsim.Node { return r.node }
 
@@ -142,7 +148,7 @@ func (r *Receiver) Start() {
 		return
 	}
 	r.started = true
-	e := r.net.Engine()
+	e := r.sched()
 	r.lastSuggestion = e.Now()
 	r.setLevel(r.cfg.InitialLevel)
 	if r.cfg.Controller != netsim.NoNode {
@@ -157,7 +163,7 @@ func (r *Receiver) Start() {
 			if r.stopped {
 				return
 			}
-			r.reportTicker = e.Every(r.cfg.ReportInterval, r.tick)
+			r.reportTicker = sim.Every(e, r.cfg.ReportInterval, r.tick)
 		})
 	}
 }
@@ -241,7 +247,7 @@ func (r *Receiver) Recv(p *netsim.Packet) {
 		return
 	}
 	r.SuggestionsRecv++
-	r.lastSuggestion = r.net.Engine().Now()
+	r.lastSuggestion = r.sched().Now()
 	r.applySuggestion(sg.Level)
 }
 
@@ -287,7 +293,7 @@ func (r *Receiver) setLevel(lvl int) {
 		r.layers[l-1].joined = false
 	}
 	r.level = lvl
-	ch := Change{At: r.net.Engine().Now(), From: from, To: lvl}
+	ch := Change{At: r.sched().Now(), From: from, To: lvl}
 	r.changes = append(r.changes, ch)
 	if r.OnChange != nil {
 		r.OnChange(ch)
@@ -304,7 +310,7 @@ func (r *Receiver) setLevel(lvl int) {
 // while the cumulative reported losses still sum to exactly
 // total-expected - total-received.
 func (r *Receiver) tick() {
-	e := r.net.Engine()
+	e := r.sched()
 	var lost, expected, bytes int64
 	for i := range r.layers {
 		ls := &r.layers[i]

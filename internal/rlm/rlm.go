@@ -117,6 +117,12 @@ func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, cfg Confi
 // Node returns the attachment node.
 func (r *Receiver) Node() *netsim.Node { return r.node }
 
+// sched returns the scheduler owning this receiver's node, so timers and
+// clock reads stay in the node's shard on a partitioned network. The Rand
+// draw in Start happens before the run begins, which is the one context a
+// shard scheduler may touch the run-wide RNG.
+func (r *Receiver) sched() sim.Scheduler { return r.net.SchedulerFor(r.node.ID) }
+
 // Level returns the current subscription level.
 func (r *Receiver) Level() int { return r.level }
 
@@ -129,11 +135,11 @@ func (r *Receiver) Start() {
 		return
 	}
 	r.setLevel(1)
-	e := r.net.Engine()
+	e := r.sched()
 	// Small deterministic desynchronization so a fleet of RLM receivers
 	// does not run experiments in lockstep.
 	r.nextTry = e.Now() + r.joinTimers[0] + sim.Time(e.Rand().Int63n(int64(sim.Second)))
-	r.ticker = e.Every(r.cfg.Detection, r.tick)
+	r.ticker = sim.Every(e, r.cfg.Detection, r.tick)
 }
 
 // Stop leaves all layers and halts the loop.
@@ -166,7 +172,7 @@ func (r *Receiver) RecvMulticast(p *netsim.Packet) {
 
 // tick closes a detection window: evaluate loss, end or start experiments.
 func (r *Receiver) tick() {
-	e := r.net.Engine()
+	e := r.sched()
 	loss := 0.0
 	if r.expected > 0 {
 		loss = float64(r.expected-r.received) / float64(r.expected)
@@ -257,7 +263,7 @@ func (r *Receiver) setLevel(lvl int) {
 		r.domain.Leave(r.node.ID, r.domain.GroupOf(r.cfg.Session, l), r)
 	}
 	r.level = lvl
-	ch := Change{At: r.net.Engine().Now(), From: from, To: lvl}
+	ch := Change{At: r.sched().Now(), From: from, To: lvl}
 	r.changes = append(r.changes, ch)
 	if r.OnChange != nil {
 		r.OnChange(ch)

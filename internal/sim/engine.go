@@ -6,7 +6,7 @@ import (
 )
 
 // Event is one slot of the engine's scheduler. Slots are owned and recycled
-// by the Engine: after an event fires or is cancelled its struct returns to
+// by their queue: after an event fires or is cancelled its struct returns to
 // a free list and is reused by a later Schedule/At call. User code never
 // holds *Event directly — Schedule and At return a Handle, which pairs the
 // slot with the generation it was issued for, so operations on a handle
@@ -15,10 +15,14 @@ type Event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same timestamp
 	fn     func()
-	index  int32  // heap index, -1 once popped or cancelled
+	index  int32  // heap index; -1 once popped or cancelled, spilledIndex while parked
 	gen    uint32 // bumped each time the slot is acquired from the free list
 	cancel bool
 }
+
+// spilledIndex marks an event parked in a shard's far-future spill rather
+// than its heap (see shardSched). Still pending, just not heap-resident.
+const spilledIndex int32 = -2
 
 // Handle identifies one scheduled firing. The zero Handle is valid and
 // refers to nothing; all its methods are no-ops. Handles are plain values —
@@ -42,8 +46,11 @@ func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 func (h Handle) Cancelled() bool { return h.live() && h.ev.cancel }
 
 // Active reports whether the event is still queued: scheduled, not yet
-// fired, not cancelled.
-func (h Handle) Active() bool { return h.live() && h.ev.index >= 0 }
+// fired, not cancelled. A spilled event (parked outside a shard's heap
+// until its window) is still queued.
+func (h Handle) Active() bool {
+	return h.live() && !h.ev.cancel && (h.ev.index >= 0 || h.ev.index == spilledIndex)
+}
 
 // When returns the simulated time the event is scheduled for. It reads 0
 // once the slot has been recycled.
@@ -58,21 +65,16 @@ func (h Handle) When() Time {
 // concurrent use; all model code runs inside event callbacks on the same
 // goroutine, which is what makes the simulation deterministic.
 //
-// The ready queue is an indexed 4-ary min-heap ordered by (time, sequence)
-// with the sift loops inlined (no container/heap interface calls), and
-// fired or cancelled events are recycled through a free list, so the
-// steady-state schedule/fire cycle performs no allocations.
+// The ready queue is an equeue: an indexed 4-ary min-heap ordered by
+// (time, sequence) with a slot free list, so the steady-state schedule/fire
+// cycle performs no allocations. Engine implements Scheduler and Runner; it
+// is the determinism oracle the ShardedEngine is validated against.
 type Engine struct {
 	now     Time
-	queue   []*Event
-	seq     uint64
+	q       equeue
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
-
-	free       []*Event // recycled event slots (single-threaded: no sync)
-	slotAllocs uint64   // Event structs ever allocated
-	slotReuses uint64   // acquisitions served from the free list
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -89,7 +91,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -97,20 +99,50 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // EventAllocs returns how many Event structs the engine has ever allocated;
 // once the model reaches steady state this stops growing because every new
 // schedule is served from the free list.
-func (e *Engine) EventAllocs() uint64 { return e.slotAllocs }
+func (e *Engine) EventAllocs() uint64 { return e.q.slotAllocs }
 
 // EventReuses returns how many schedules were served from the free list.
-func (e *Engine) EventReuses() uint64 { return e.slotReuses }
+func (e *Engine) EventReuses() uint64 { return e.q.slotReuses }
+
+// ShardEngineStats is one shard's slice of a ShardedEngine's meters. The
+// single-threaded Engine never emits these; on a plain engine the Shards
+// field of EngineStats is absent from JSON output entirely.
+type ShardEngineStats struct {
+	Shard   int    `json:"shard"`
+	Fired   uint64 `json:"events_fired"`
+	Pending int    `json:"events_pending"`
+	// CrossIn counts events that arrived from other shards through the
+	// barrier mailboxes (the payload carried by the null-message protocol).
+	CrossIn uint64 `json:"cross_events_in"`
+	// Windows is how many lookahead windows the shard executed; each window
+	// costs one barrier synchronization per shard, which is this engine's
+	// analog of a null message.
+	Windows uint64 `json:"windows"`
+	// StallNanos is wall-clock time the shard spent finished-and-waiting at
+	// barriers for slower shards. Wall-clock: nondeterministic across runs.
+	StallNanos int64 `json:"barrier_stall_nanos"`
+}
 
 // EngineStats is a point-in-time snapshot of the scheduler's meters, in
-// one struct so observability exports can capture them atomically.
+// one struct so observability exports can capture them atomically. The
+// sharded-engine fields are tagged omitempty and stay absent for the
+// single-threaded Engine, so existing JSON consumers see an unchanged
+// document.
 type EngineStats struct {
-	Now         Time   `json:"-"`
+	Now         Time    `json:"-"`
 	NowSeconds  float64 `json:"now_seconds"`
-	Fired       uint64 `json:"events_fired"`
-	Pending     int    `json:"events_pending"`
-	EventAllocs uint64 `json:"event_allocs"`
-	EventReuses uint64 `json:"event_reuses"`
+	Fired       uint64  `json:"events_fired"`
+	Pending     int     `json:"events_pending"`
+	EventAllocs uint64  `json:"event_allocs"`
+	EventReuses uint64  `json:"event_reuses"`
+
+	// Sharded-engine extensions (zero / absent on the plain Engine).
+	LookaheadSeconds float64            `json:"lookahead_seconds,omitempty"`
+	Windows          uint64             `json:"windows,omitempty"`
+	CrossEvents      uint64             `json:"cross_events,omitempty"`
+	GlobalFired      uint64             `json:"global_events_fired,omitempty"`
+	BarrierStall     int64              `json:"barrier_stall_nanos,omitempty"`
+	Shards           []ShardEngineStats `json:"shards,omitempty"`
 }
 
 // Stats snapshots the engine's meters.
@@ -119,147 +151,10 @@ func (e *Engine) Stats() EngineStats {
 		Now:         e.now,
 		NowSeconds:  e.now.Seconds(),
 		Fired:       e.fired,
-		Pending:     len(e.queue),
-		EventAllocs: e.slotAllocs,
-		EventReuses: e.slotReuses,
+		Pending:     e.q.len(),
+		EventAllocs: e.q.slotAllocs,
+		EventReuses: e.q.slotReuses,
 	}
-}
-
-// acquire takes an event slot from the free list (bumping its generation so
-// stale handles go inert) or allocates a fresh one.
-func (e *Engine) acquire(t Time, fn func()) *Event {
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.gen++
-		ev.cancel = false
-		e.slotReuses++
-	} else {
-		ev = &Event{}
-		e.slotAllocs++
-	}
-	ev.at = t
-	ev.seq = e.seq
-	ev.fn = fn
-	e.seq++
-	return ev
-}
-
-// release returns a slot to the free list. The generation is bumped on the
-// next acquire, not here, so handles to the completed event still read
-// their Cancelled state until the slot is reused.
-func (e *Engine) release(ev *Event) {
-	ev.fn = nil // drop the closure reference immediately
-	e.free = append(e.free, ev)
-}
-
-// less orders events by (time, sequence); sequence numbers are unique so
-// the order is total and FIFO among equal timestamps.
-func eventLess(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// heapPush appends ev and restores the 4-ary heap invariant.
-func (e *Engine) heapPush(ev *Event) {
-	i := len(e.queue)
-	e.queue = append(e.queue, ev)
-	ev.index = int32(i)
-	e.siftUp(i)
-}
-
-// heapPop removes and returns the earliest event.
-func (e *Engine) heapPop() *Event {
-	q := e.queue
-	root := q[0]
-	n := len(q) - 1
-	last := q[n]
-	q[n] = nil
-	e.queue = q[:n]
-	if n > 0 {
-		q[0] = last
-		last.index = 0
-		e.siftDown(0)
-	}
-	root.index = -1
-	return root
-}
-
-// heapRemove removes the event at heap index i (cancellation).
-func (e *Engine) heapRemove(i int) {
-	q := e.queue
-	n := len(q) - 1
-	ev := q[i]
-	last := q[n]
-	q[n] = nil
-	e.queue = q[:n]
-	if i < n {
-		q[i] = last
-		last.index = int32(i)
-		if !e.siftDown(i) {
-			e.siftUp(i)
-		}
-	}
-	ev.index = -1
-}
-
-// siftUp moves the event at index i toward the root until its parent is not
-// later than it.
-func (e *Engine) siftUp(i int) {
-	q := e.queue
-	ev := q[i]
-	for i > 0 {
-		p := (i - 1) >> 2
-		par := q[p]
-		if !eventLess(ev, par) {
-			break
-		}
-		q[i] = par
-		par.index = int32(i)
-		i = p
-	}
-	q[i] = ev
-	ev.index = int32(i)
-}
-
-// siftDown moves the event at index i toward the leaves, swapping with its
-// earliest child while that child sorts before it. It reports whether the
-// event moved.
-func (e *Engine) siftDown(i0 int) bool {
-	q := e.queue
-	n := len(q)
-	i := i0
-	ev := q[i]
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		// Earliest of the up-to-four children.
-		m, mc := c, q[c]
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if eventLess(q[j], mc) {
-				m, mc = j, q[j]
-			}
-		}
-		if !eventLess(mc, ev) {
-			break
-		}
-		q[i] = mc
-		mc.index = int32(i)
-		i = m
-	}
-	q[i] = ev
-	ev.index = int32(i)
-	return i > i0
 }
 
 // Schedule runs fn after delay. A negative delay panics: models must never
@@ -279,8 +174,8 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	ev := e.acquire(t, fn)
-	e.heapPush(ev)
+	ev := e.q.acquire(t, fn)
+	e.q.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -289,21 +184,7 @@ func (e *Engine) At(t Time, fn func()) Handle {
 // already cancelled, and — because handles carry the slot generation — a
 // stale handle whose event slot has since been recycled for a newer event:
 // all of those are no-ops.
-func (e *Engine) Cancel(h Handle) {
-	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.cancel {
-		return
-	}
-	if ev.index >= 0 {
-		ev.cancel = true
-		e.heapRemove(int(ev.index))
-		e.release(ev)
-		return
-	}
-	// Already fired (and released); record the cancel so Cancelled() reads
-	// true until the slot is reused, matching the pre-pool semantics.
-	ev.cancel = true
-}
+func (e *Engine) Cancel(h Handle) { e.q.cancel(h) }
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -312,14 +193,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // empty. The slot is recycled before the callback runs, so a callback that
 // schedules new work reuses it immediately.
 func (e *Engine) step() bool {
-	if len(e.queue) == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := e.heapPop()
+	ev := e.q.pop()
 	e.now = ev.at
 	e.fired++
 	fn := ev.fn
-	e.release(ev)
+	e.q.release(ev)
 	fn()
 	return true
 }
@@ -336,7 +217,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		if h := e.q.head(); h == nil || h.at > deadline {
 			break
 		}
 		e.step()
@@ -346,22 +227,30 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// Every schedules fn to run every period, starting after the first period,
-// until the returned Ticker is stopped or the engine drains. Period must be
-// positive.
+// Every schedules fn to run every period on this engine. It is equivalent
+// to the package-level Every(e, period, fn).
 func (e *Engine) Every(period Time, fn func()) *Ticker {
+	return Every(e, period, fn)
+}
+
+// Every schedules fn to run every period on s, starting after the first
+// period, until the returned Ticker is stopped or the scheduler drains.
+// Period must be positive. The ticker lives entirely on s, so on a
+// ShardedEngine it repeats inside whichever shard (or the global barrier
+// queue) s addresses.
+func Every(s Scheduler, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: Every requires a positive period")
 	}
-	t := &Ticker{engine: e, period: period, fn: fn}
+	t := &Ticker{sched: s, period: period, fn: fn}
 	t.tick = t.onTick // bound once; re-arming reuses it
 	t.arm()
 	return t
 }
 
-// Ticker repeats a callback at a fixed period.
+// Ticker repeats a callback at a fixed period on one Scheduler.
 type Ticker struct {
-	engine  *Engine
+	sched   Scheduler
 	period  Time
 	fn      func()
 	tick    func()
@@ -370,7 +259,7 @@ type Ticker struct {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.engine.Schedule(t.period, t.tick)
+	t.ev = t.sched.Schedule(t.period, t.tick)
 }
 
 func (t *Ticker) onTick() {
@@ -389,5 +278,5 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	t.engine.Cancel(t.ev)
+	t.sched.Cancel(t.ev)
 }

@@ -1,0 +1,673 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const noEvent = Time(math.MaxInt64)
+
+// ShardedEngine is a conservative parallel discrete-event engine in the
+// Chandy–Misra tradition. The model is partitioned into shards separated by
+// links whose propagation delay is at least the lookahead L; each shard owns
+// an independent event queue and executes one lookahead window
+// [T, min(T+L, next global event)) at a time on a pool of worker goroutines.
+// Events a shard schedules into another shard (packet handoffs across
+// partition-boundary links, multicast graft/prune continuations traveling
+// upstream) are conservative by construction — they land at least L in the
+// future — so they are accumulated in per-source mailboxes during the window
+// and merged into the destination queues at the barrier, sorted by
+// (time, source shard, source order). Because the merge order, the per-shard
+// execution order, and the window boundaries depend only on the model and
+// the partitioning — never on goroutine timing — a run is deterministic for
+// a given seed and partitioning, independent of the worker count.
+//
+// A separate global queue holds stop-the-world work (the controller pass,
+// topology-discovery sweeps, watchdogs): its events define barrier points,
+// truncating the current window, and run with every shard quiescent so they
+// may read and mutate cross-shard state freely. Components reach it through
+// GlobalOf.
+//
+// With a single partition the engine degenerates to exactly the
+// single-threaded Engine semantics — one queue, one (time, sequence) order,
+// the same RNG draw sequence — so seeds reproduce byte-identically against
+// the oracle Engine.
+//
+// The run-wide random stream (Rand) is shared, not per-shard: it may only be
+// drawn from shard 0, the global context, or while the engine is idle. The
+// topology partitioners keep every stochastic component (sources, the
+// controller) in partition 0 to honor this.
+type ShardedEngine struct {
+	rng      *rand.Rand
+	workers  int
+	shards   []*shardSched
+	gq       *shardSched // global barrier queue; nil while degenerate
+	now      Time        // committed global time (window start)
+	lookahead Time
+
+	stopped atomic.Bool
+	running atomic.Bool // workers active: guards misuse of the global queue
+
+	windows    uint64
+	crossTotal uint64
+	mergeBuf   crossEvents
+	finish     []int64 // scratch: per-worker finish nanos
+}
+
+// NewShardedEngine returns an engine seeded like NewEngine(seed) that will
+// run shard windows on up to workers goroutines. Until SetPartitions is
+// called (or when it is called with a single partition) the engine is
+// degenerate: one queue with plain Engine semantics.
+func NewShardedEngine(seed int64, workers int) *ShardedEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	se := &ShardedEngine{
+		rng:     rand.New(rand.NewSource(seed)),
+		workers: workers,
+	}
+	se.shards = []*shardSched{{eng: se, idx: 0}}
+	return se
+}
+
+// SetPartitions shapes the engine into p shards with the given lookahead
+// (the minimum propagation delay of any partition-boundary link). It must be
+// called before the run starts. p <= 1 leaves the engine degenerate. Events
+// already queued stay on shard 0.
+func (se *ShardedEngine) SetPartitions(p int, lookahead Time) {
+	if se.running.Load() {
+		panic("sim: SetPartitions while running")
+	}
+	if p <= 1 {
+		return
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: SetPartitions(%d) requires a positive lookahead, got %v", p, lookahead))
+	}
+	if se.gq != nil {
+		panic("sim: SetPartitions called twice")
+	}
+	se.lookahead = lookahead
+	for len(se.shards) < p {
+		se.shards = append(se.shards, &shardSched{eng: se, idx: len(se.shards)})
+	}
+	for _, s := range se.shards {
+		s.out = make([]crossEvents, p)
+		s.spillOn = true
+		s.spillMin = noEvent
+	}
+	se.gq = &shardSched{eng: se, idx: -1, global: true}
+	se.finish = make([]int64, p)
+}
+
+// degenerate reports whether the engine runs as a single plain queue.
+func (se *ShardedEngine) degenerate() bool { return se.gq == nil }
+
+// NumShards returns the partition count (1 while degenerate).
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Lookahead returns the conservative window size (0 while degenerate).
+func (se *ShardedEngine) Lookahead() Time { return se.lookahead }
+
+// Workers returns the configured worker-goroutine cap.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Shard returns partition i's scheduler. Events scheduled on it run in that
+// shard's context; it must only be invoked from that shard's own events,
+// from the global context, or while the engine is idle.
+func (se *ShardedEngine) Shard(i int) Scheduler { return se.shards[i] }
+
+// Global returns the stop-the-world scheduler (see GlobalOf). While
+// degenerate it is the single queue itself.
+func (se *ShardedEngine) Global() Scheduler {
+	if se.gq == nil {
+		return se.shards[0]
+	}
+	return se.gq
+}
+
+// Cross returns the scheduler that shard src uses to schedule events into
+// shard dst. Its schedules must respect the lookahead (land at least L after
+// the source shard's clock) and are not cancellable (they return the zero
+// Handle). The returned value is cached per source shard and must only be
+// used from src's own execution context.
+func (se *ShardedEngine) Cross(src, dst int) Scheduler {
+	s := se.shards[src]
+	if src == dst {
+		return s
+	}
+	if s.cross == nil {
+		s.cross = make([]Scheduler, len(se.shards))
+	}
+	c := s.cross[dst]
+	if c == nil {
+		c = &crossSched{src: s, dst: dst}
+		s.cross[dst] = c
+	}
+	return c
+}
+
+// Now returns the clock of the current sequential context: the committed
+// global time between windows, or the event time while degenerate. Code
+// running inside a shard must use its own shard scheduler's clock instead.
+func (se *ShardedEngine) Now() Time { return se.Global().Now() }
+
+// Rand returns the engine's deterministic random stream (see the type
+// comment for the sharded-draw contract).
+func (se *ShardedEngine) Rand() *rand.Rand { return se.rng }
+
+// Schedule queues fn on the global (stop-the-world) context after delay.
+func (se *ShardedEngine) Schedule(delay Time, fn func()) Handle {
+	return se.Global().Schedule(delay, fn)
+}
+
+// At queues fn on the global (stop-the-world) context at absolute time t.
+func (se *ShardedEngine) At(t Time, fn func()) Handle { return se.Global().At(t, fn) }
+
+// Cancel cancels a handle issued by the global context.
+func (se *ShardedEngine) Cancel(h Handle) { se.Global().Cancel(h) }
+
+// Stop makes Run/RunUntil return at the next barrier (or after the current
+// event while degenerate).
+func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
+
+// Fired returns the total events executed across all shards and the global
+// queue.
+func (se *ShardedEngine) Fired() uint64 {
+	var n uint64
+	for _, s := range se.shards {
+		n += s.fired
+	}
+	if se.gq != nil {
+		n += se.gq.fired
+	}
+	return n
+}
+
+// Pending returns the total queued events across all shards, the global
+// queue, and undrained cross-shard mailboxes.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, s := range se.shards {
+		n += s.q.len() + s.pendingSpill()
+		for _, mb := range s.out {
+			n += len(mb)
+		}
+	}
+	if se.gq != nil {
+		n += se.gq.q.len()
+	}
+	return n
+}
+
+// Stats snapshots the engine's meters. Degenerate engines report exactly
+// what the equivalent plain Engine would; partitioned engines add the
+// per-shard breakdown and barrier accounting.
+func (se *ShardedEngine) Stats() EngineStats {
+	if se.degenerate() {
+		s := se.shards[0]
+		return EngineStats{
+			Now:         s.now,
+			NowSeconds:  s.now.Seconds(),
+			Fired:       s.fired,
+			Pending:     s.q.len(),
+			EventAllocs: s.q.slotAllocs,
+			EventReuses: s.q.slotReuses,
+		}
+	}
+	st := EngineStats{
+		Now:              se.now,
+		NowSeconds:       se.now.Seconds(),
+		Fired:            se.Fired(),
+		Pending:          se.Pending(),
+		LookaheadSeconds: se.lookahead.Seconds(),
+		Windows:          se.windows,
+		CrossEvents:      se.crossTotal,
+		GlobalFired:      se.gq.fired,
+		Shards:           make([]ShardEngineStats, len(se.shards)),
+	}
+	for i, s := range se.shards {
+		st.EventAllocs += s.q.slotAllocs
+		st.EventReuses += s.q.slotReuses
+		st.BarrierStall += s.stall
+		st.Shards[i] = ShardEngineStats{
+			Shard:      i,
+			Fired:      s.fired,
+			Pending:    s.q.len() + s.pendingSpill(),
+			CrossIn:    s.crossIn,
+			Windows:    s.windows,
+			StallNanos: s.stall,
+		}
+	}
+	st.EventAllocs += se.gq.q.slotAllocs
+	st.EventReuses += se.gq.q.slotReuses
+	return st
+}
+
+// Run executes events until every queue and mailbox is empty or Stop is
+// called.
+func (se *ShardedEngine) Run() {
+	se.stopped.Store(false)
+	if se.degenerate() {
+		s := se.shards[0]
+		for !se.stopped.Load() && s.step() {
+		}
+		return
+	}
+	se.runWindows(noEvent, true)
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline. Events scheduled beyond the deadline remain queued.
+func (se *ShardedEngine) RunUntil(deadline Time) {
+	se.stopped.Store(false)
+	if se.degenerate() {
+		s := se.shards[0]
+		for !se.stopped.Load() {
+			if h := s.q.head(); h == nil || h.at > deadline {
+				break
+			}
+			s.step()
+		}
+		if s.now < deadline {
+			s.now = deadline
+		}
+		return
+	}
+	se.runWindows(deadline, false)
+	if se.stopped.Load() {
+		return
+	}
+	// Deadline edge: windows run strictly below their bound, so events at
+	// exactly the deadline are still queued. Mirror the plain engine's
+	// inclusive deadline — globals first (they were scheduled further in
+	// advance, hence carry earlier sequence numbers in the oracle ordering),
+	// then the shards.
+	se.runGlobal(deadline)
+	se.runShardsWindow(deadline, true)
+	se.drainMailboxes()
+}
+
+// earliest returns the earliest queued timestamp across shards and the
+// global queue (mailboxes are empty between windows), or noEvent.
+func (se *ShardedEngine) earliest() Time {
+	t := noEvent
+	for _, s := range se.shards {
+		if h := s.q.head(); h != nil && h.at < t {
+			t = h.at
+		}
+		if len(s.spill) > 0 && s.spillMin < t {
+			// May be a cancelled entry's stale minimum; the worst case is
+			// one empty window whose promote sweep reclaims it.
+			t = s.spillMin
+		}
+	}
+	if h := se.gq.q.head(); h != nil && h.at < t {
+		t = h.at
+	}
+	return t
+}
+
+// syncClocks commits t as every context's current time.
+func (se *ShardedEngine) syncClocks(t Time) {
+	se.now = t
+	se.gq.now = t
+	for _, s := range se.shards {
+		s.now = t
+	}
+}
+
+// runWindows is the conservative window/barrier loop: pick the window end
+// (lookahead, horizon, or next global event, whichever is nearest), execute
+// each shard's slice of the window in parallel, merge the cross-shard
+// mailboxes deterministically, then run any global events at the barrier.
+func (se *ShardedEngine) runWindows(deadline Time, untilEmpty bool) {
+	for !se.stopped.Load() {
+		next := se.earliest()
+		if next == noEvent {
+			if !untilEmpty {
+				se.syncClocks(deadline)
+			}
+			return
+		}
+		if next > deadline {
+			se.syncClocks(deadline)
+			return
+		}
+		if next > se.now {
+			// Idle gap: jump straight to the next event. Mailboxes are
+			// drained, so nothing can land in between.
+			se.syncClocks(next)
+		}
+		tStop := se.now + se.lookahead
+		if tStop < se.now || tStop > deadline { // overflow or horizon clamp
+			tStop = deadline
+		}
+		if g := se.gq.q.head(); g != nil && g.at < tStop {
+			tStop = g.at
+		}
+		se.windows++
+		se.runShardsWindow(tStop, false)
+		se.drainMailboxes()
+		se.syncClocks(tStop)
+		se.runGlobal(tStop)
+		if tStop == deadline && !untilEmpty {
+			return
+		}
+	}
+}
+
+// runGlobal fires global events with timestamps <= bound, world stopped.
+func (se *ShardedEngine) runGlobal(bound Time) {
+	g := se.gq
+	for !se.stopped.Load() {
+		h := g.q.head()
+		if h == nil || h.at > bound {
+			return
+		}
+		g.step()
+	}
+}
+
+// runShardsWindow executes every shard's events below (or, when incl, up
+// to) tStop, spreading shards across the worker pool. Shard i always runs
+// on worker i%W, alone on its goroutine, so execution inside a shard is
+// strictly sequential and ordered by its own queue.
+func (se *ShardedEngine) runShardsWindow(tStop Time, incl bool) {
+	w := se.workers
+	if w > len(se.shards) {
+		w = len(se.shards)
+	}
+	if w <= 1 {
+		for _, s := range se.shards {
+			s.runWindow(tStop, incl)
+		}
+		return
+	}
+	se.running.Store(true)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := i; j < len(se.shards); j += w {
+				s := se.shards[j]
+				s.runWindow(tStop, incl)
+				s.finish = time.Since(start).Nanoseconds()
+			}
+		}(i)
+	}
+	wg.Wait()
+	se.running.Store(false)
+	end := time.Since(start).Nanoseconds()
+	for _, s := range se.shards {
+		s.stall += end - s.finish
+	}
+}
+
+// drainMailboxes merges the windows' cross-shard events into their
+// destination queues in (time, source shard, source order) — an order that
+// depends only on the model, never on worker timing.
+func (se *ShardedEngine) drainMailboxes() {
+	for dst, d := range se.shards {
+		buf := se.mergeBuf[:0]
+		for _, src := range se.shards {
+			if mb := src.out[dst]; len(mb) > 0 {
+				buf = append(buf, mb...)
+				for k := range mb {
+					mb[k].fn = nil
+				}
+				src.out[dst] = mb[:0]
+			}
+		}
+		se.mergeBuf = buf[:0]
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Sort(buf)
+		for i := range buf {
+			d.enqueue(d.q.acquire(buf[i].at, buf[i].fn))
+			buf[i].fn = nil
+		}
+		d.crossIn += uint64(len(buf))
+		se.crossTotal += uint64(len(buf))
+	}
+}
+
+// shardSched is one shard's execution context: an independent event queue
+// with a local clock that may lead the committed global time by up to the
+// lookahead. It implements Scheduler for events local to the shard.
+type shardSched struct {
+	eng    *ShardedEngine
+	idx    int
+	global bool
+	q      equeue
+	now    Time
+	fired  uint64
+
+	// Far-future spill (partitioned shards only, never the global queue or
+	// a degenerate engine): events due at or beyond the current window's
+	// end are parked here instead of entering the heap, and promoted into
+	// it at the start of the window that covers them. The heap then holds
+	// only the current window's events — a few hundred instead of the
+	// shard's whole pending set — so sift paths touch a cache-resident
+	// array. Entries carry the timestamp by value so the per-window sweep
+	// is a sequential scan that dereferences an *Event only when due.
+	// Promotion preserves the (time, sequence) firing order exactly: seq
+	// is assigned at acquire time, and every event due in a window is in
+	// the heap before that window runs.
+	spillOn  bool
+	spill    []spillEntry
+	spillMin Time // earliest spilled timestamp; noEvent when empty
+	inWindow bool
+	winEnd   Time
+	winIncl  bool
+
+	out    []crossEvents // per-destination mailboxes for the current window
+	outSeq uint64
+	cross  []Scheduler // cached crossScheds, lazily built by the owner
+
+	crossIn uint64
+	windows uint64
+	finish  int64 // scratch: nanos into the window when this shard finished
+	stall   int64
+}
+
+// spillEntry parks one far-future event outside the heap.
+type spillEntry struct {
+	at Time
+	ev *Event
+}
+
+// enqueue routes a freshly acquired event to the heap or the spill. Inside
+// a window, events due before the window end must be in the heap (they fire
+// this window); everything else can wait in the spill until the window that
+// covers it promotes it.
+func (s *shardSched) enqueue(ev *Event) {
+	if s.spillOn && (!s.inWindow || ev.at > s.winEnd || (!s.winIncl && ev.at == s.winEnd)) {
+		ev.index = spilledIndex
+		s.spill = append(s.spill, spillEntry{at: ev.at, ev: ev})
+		if ev.at < s.spillMin {
+			s.spillMin = ev.at
+		}
+		return
+	}
+	s.q.push(ev)
+}
+
+// promote moves every spilled event due in the window ending at tStop into
+// the heap, dropping cancelled entries it passes. Entries not yet due are
+// compacted in place without touching their Event.
+func (s *shardSched) promote(tStop Time, incl bool) {
+	if len(s.spill) == 0 || s.spillMin > tStop || (!incl && s.spillMin == tStop) {
+		return
+	}
+	kept := s.spill[:0]
+	min := Time(noEvent)
+	for _, e := range s.spill {
+		if e.at < tStop || (incl && e.at == tStop) {
+			if e.ev.cancel {
+				e.ev.index = -1
+				s.q.release(e.ev)
+				continue
+			}
+			s.q.push(e.ev)
+			continue
+		}
+		kept = append(kept, e)
+		if e.at < min {
+			min = e.at
+		}
+	}
+	for i := len(kept); i < len(s.spill); i++ {
+		s.spill[i] = spillEntry{}
+	}
+	s.spill = kept
+	s.spillMin = min
+}
+
+// pendingSpill counts spilled events (including not-yet-reclaimed cancelled
+// entries, which are dropped when their timestamp comes due).
+func (s *shardSched) pendingSpill() int { return len(s.spill) }
+
+func (s *shardSched) Now() Time { return s.now }
+
+func (s *shardSched) Rand() *rand.Rand { return s.eng.rng }
+
+func (s *shardSched) Schedule(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, s.now))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+func (s *shardSched) At(t Time, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if s.global && s.eng.running.Load() {
+		panic("sim: global schedule from inside a shard window; use the shard or cross-shard scheduler")
+	}
+	ev := s.q.acquire(t, fn)
+	s.enqueue(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+func (s *shardSched) Cancel(h Handle) {
+	if ev := h.ev; ev != nil && ev.gen == h.gen && !ev.cancel && ev.index == spilledIndex {
+		// Spilled: mark only; the slot is reclaimed when the sweep reaches
+		// its timestamp (the spill slice still references it).
+		ev.cancel = true
+		return
+	}
+	s.q.cancel(h)
+}
+
+// step pops and fires the earliest event (degenerate mode and the global
+// queue use plain Engine stepping).
+func (s *shardSched) step() bool {
+	if s.q.len() == 0 {
+		return false
+	}
+	ev := s.q.pop()
+	s.now = ev.at
+	s.fired++
+	fn := ev.fn
+	s.q.release(ev)
+	fn()
+	return true
+}
+
+// runWindow executes this shard's events below (or up to, when incl) tStop,
+// then parks the local clock at tStop.
+func (s *shardSched) runWindow(tStop Time, incl bool) {
+	s.inWindow, s.winEnd, s.winIncl = true, tStop, incl
+	s.promote(tStop, incl)
+	for {
+		ev := s.q.head()
+		if ev == nil || ev.at > tStop || (!incl && ev.at == tStop) {
+			break
+		}
+		s.q.pop()
+		s.now = ev.at
+		s.fired++
+		fn := ev.fn
+		s.q.release(ev)
+		fn()
+	}
+	s.now = tStop
+	s.windows++
+	s.inWindow = false
+}
+
+// crossEvent is a schedule bound for another shard, parked in the source
+// shard's mailbox until the barrier.
+type crossEvent struct {
+	at  Time
+	seq uint64 // source-shard schedule order
+	src int32
+	fn  func()
+}
+
+type crossEvents []crossEvent
+
+func (c crossEvents) Len() int      { return len(c) }
+func (c crossEvents) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c crossEvents) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	if c[i].src != c[j].src {
+		return c[i].src < c[j].src
+	}
+	return c[i].seq < c[j].seq
+}
+
+// crossSched carries schedules from one shard into another. Schedules must
+// land at least the lookahead past the source clock (conservative
+// synchronization depends on it) and are not cancellable: the returned
+// Handle is zero.
+type crossSched struct {
+	src *shardSched
+	dst int
+}
+
+func (c *crossSched) Now() Time { return c.src.now }
+
+func (c *crossSched) Rand() *rand.Rand { return c.src.eng.rng }
+
+func (c *crossSched) Schedule(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, c.src.now))
+	}
+	return c.At(c.src.now+delay, fn)
+}
+
+func (c *crossSched) At(t Time, fn func()) Handle {
+	s := c.src
+	if t-s.now < s.eng.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard At(%v) violates lookahead %v (now %v)",
+			t, s.eng.lookahead, s.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	s.out[c.dst] = append(s.out[c.dst], crossEvent{at: t, seq: s.outSeq, src: int32(s.idx), fn: fn})
+	s.outSeq++
+	return Handle{}
+}
+
+func (c *crossSched) Cancel(h Handle) {
+	if !h.IsZero() {
+		panic("sim: Cancel of a foreign handle on a cross-shard scheduler")
+	}
+}

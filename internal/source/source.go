@@ -143,6 +143,12 @@ func New(net *netsim.Network, domain *mcast.Domain, node *netsim.Node, cfg Confi
 	return s
 }
 
+// sched returns the scheduler owning the source node's events. On a
+// partitioned network this is the node's shard; the topology partitioners
+// pin source nodes to partition 0 so the VBR model's runtime Rand() draws
+// stay on the shard that is allowed to touch the run-wide stream.
+func (s *Source) sched() sim.Scheduler { return s.net.SchedulerFor(s.node.ID) }
+
 // Node returns the node the source transmits from.
 func (s *Source) Node() *netsim.Node { return s.node }
 
@@ -166,13 +172,13 @@ func (s *Source) Start() {
 		return
 	}
 	s.started = true
-	e := s.net.Engine()
+	e := s.sched()
 	for l := 1; l <= s.cfg.layers(); l++ {
 		layer := l
 		if s.cfg.VBR() {
 			// Emit one batch immediately, then every interval.
 			s.emitVBRBatch(layer)
-			tk := e.Every(VBRInterval, func() { s.emitVBRBatch(layer) })
+			tk := sim.Every(e, VBRInterval, func() { s.emitVBRBatch(layer) })
 			s.tickers = append(s.tickers, tk)
 		} else {
 			gap := sim.TransmitTime(s.cfg.packetSize(), s.cfg.rate(layer))
@@ -198,7 +204,7 @@ func (s *Source) emitCBR(layer int, gap sim.Time) {
 		return
 	}
 	s.emit(layer)
-	s.net.Engine().Schedule(gap, func() { s.emitCBR(layer, gap) })
+	s.sched().Schedule(gap, func() { s.emitCBR(layer, gap) })
 }
 
 // emitVBRBatch draws the per-interval packet count from the peak-to-mean
@@ -207,7 +213,7 @@ func (s *Source) emitVBRBatch(layer int) {
 	if s.stopped {
 		return
 	}
-	e := s.net.Engine()
+	e := s.sched()
 	p := s.cfg.PeakToMean
 	avg := s.cfg.rate(layer) / (float64(s.cfg.packetSize()) * 8) // A: packets per second
 	var n float64
@@ -245,7 +251,7 @@ func (s *Source) emit(layer int) {
 	p.Layer = layer
 	p.Seq = s.seq[idx]
 	p.Size = s.cfg.packetSize()
-	p.Sent = s.net.Engine().Now()
+	p.Sent = s.sched().Now()
 	s.seq[idx]++
 	s.sent[idx]++
 	s.node.SendMulticastLocal(p)

@@ -109,7 +109,9 @@ func (t *Tool) traceHop(session int, base netsim.GroupID, source, n netsim.NodeI
 	if link != nil {
 		delay = link.Delay
 	}
-	t.net.Engine().Schedule(delay, func() {
+	// Each hop reads an arbitrary router's state, so the walk stays on the
+	// global scheduler (stop-the-world between shard windows).
+	sim.GlobalOf(t.net.Engine()).Schedule(delay, func() {
 		t.traceHop(session, base, source, up, snap, finish, hops+1)
 	})
 }

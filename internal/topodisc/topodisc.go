@@ -124,7 +124,9 @@ func (t *Tool) Start() {
 		return
 	}
 	t.snapshotAll()
-	t.ticker = t.net.Engine().Every(t.Period, t.snapshotAll)
+	// Discovery reads forwarding state across every node, so on a
+	// partitioned network it runs stop-the-world at window barriers.
+	t.ticker = sim.Every(sim.GlobalOf(t.net.Engine()), t.Period, t.snapshotAll)
 }
 
 // Stop halts periodic discovery.

@@ -82,7 +82,7 @@ func (c StarConfig) withDefaults() StarConfig {
 }
 
 // Generate implements Config.
-func (c *StarConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *StarConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := netsim.New(e)
@@ -97,6 +97,9 @@ func (c *StarConfig) Generate(e *sim.Engine) (*Build, error) {
 		Controller: src,
 		Receivers:  [][]*netsim.Node{nil},
 		Optimal:    [][]int{nil},
+		// Partition cut: src and hub in domain 0, each arm (gateway plus
+		// its receivers) its own domain behind the hub-gateway link.
+		Domains: []int{0, 0},
 	}
 	for a := 0; a < cfg.Arms; a++ {
 		bw := cfg.Bandwidth
@@ -104,11 +107,13 @@ func (c *StarConfig) Generate(e *sim.Engine) (*Build, error) {
 			bw *= 1 - cfg.Jitter + 2*cfg.Jitter*rng.Float64()
 		}
 		gw := n.AddNode(fmt.Sprintf("arm%d", a))
+		b.Domains = append(b.Domains, a+1)
 		down, _ := n.Connect(hub, gw, netsim.LinkConfig{Bandwidth: bw, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit})
 		b.Bottlenecks = append(b.Bottlenecks, down)
 		opt := source.LevelForBandwidth(rates, bw)
 		for i := 0; i < cfg.ReceiversPerArm; i++ {
 			rx := n.AddNode(fmt.Sprintf("arm%d-rx%d", a, i))
+			b.Domains = append(b.Domains, a+1)
 			n.Connect(gw, rx, fat)
 			b.Receivers[0] = append(b.Receivers[0], rx)
 			b.Optimal[0] = append(b.Optimal[0], opt)
@@ -188,7 +193,7 @@ func (c MeshConfig) withDefaults() MeshConfig {
 }
 
 // Generate implements Config.
-func (c *MeshConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *MeshConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	n := netsim.New(e)
 	rates := source.Rates(cfg.Layers)
@@ -310,7 +315,7 @@ func (c TreeConfig) withDefaults() TreeConfig {
 }
 
 // Generate implements Config.
-func (c *TreeConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *TreeConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := netsim.New(e)
@@ -324,13 +329,24 @@ func (c *TreeConfig) Generate(e *sim.Engine) (*Build, error) {
 		Receivers:  [][]*netsim.Node{nil},
 		Optimal:    [][]int{nil},
 	}
+	// Partition cut: the source alone is domain 0; each root-child
+	// subtree (a level-1 node with everything below it) is one domain, so
+	// the only boundary links are the root's downlinks.
+	b.Domains = []int{0}
 	frontier := []*netsim.Node{src}
+	frontierDom := []int{0}
 	for level := 1; level <= cfg.Depth; level++ {
 		leafTier := level == cfg.Depth
 		next := make([]*netsim.Node, 0, len(frontier)*cfg.Branch)
-		for _, parent := range frontier {
+		nextDom := make([]int, 0, cap(next))
+		for pi, parent := range frontier {
 			for k := 0; k < cfg.Branch; k++ {
 				child := n.AddNode(fmt.Sprintf("k%d-%d", level, len(next)))
+				dom := frontierDom[pi]
+				if level == 1 {
+					dom = k + 1
+				}
+				b.Domains = append(b.Domains, dom)
 				bw := cfg.Backbone
 				if leafTier {
 					bw = cfg.Leaf
@@ -349,15 +365,17 @@ func (c *TreeConfig) Generate(e *sim.Engine) (*Build, error) {
 					}
 					for i := 0; i < cfg.ReceiversPerLeaf; i++ {
 						rx := n.AddNode(fmt.Sprintf("%s-rx%d", child.Name, i))
+						b.Domains = append(b.Domains, dom)
 						n.Connect(child, rx, fat)
 						b.Receivers[0] = append(b.Receivers[0], rx)
 						b.Optimal[0] = append(b.Optimal[0], opt)
 					}
 				}
 				next = append(next, child)
+				nextDom = append(nextDom, dom)
 			}
 		}
-		frontier = next
+		frontier, frontierDom = next, nextDom
 	}
 	return b, nil
 }
@@ -427,7 +445,7 @@ func (c LinearConfig) withDefaults() LinearConfig {
 }
 
 // Generate implements Config.
-func (c *LinearConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *LinearConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	n := netsim.New(e)
 	rates := source.Rates(cfg.Layers)
@@ -442,16 +460,21 @@ func (c *LinearConfig) Generate(e *sim.Engine) (*Build, error) {
 		Optimal:    [][]int{nil},
 	}
 	opt := source.LevelForBandwidth(rates, cfg.Bandwidth)
+	// Partition cut: the source alone is domain 0; each chain (routers
+	// plus their receivers) is one domain behind its first chain link.
+	b.Domains = []int{0}
 	for ch := 0; ch < cfg.Chains; ch++ {
 		prev := src
 		for h := 0; h < cfg.Length; h++ {
 			node := n.AddNode(fmt.Sprintf("c%d-%d", ch, h))
+			b.Domains = append(b.Domains, ch+1)
 			down, _ := n.Connect(prev, node, chainLink)
 			if h == 0 {
 				b.Bottlenecks = append(b.Bottlenecks, down)
 			}
 			for k := 0; k < cfg.ReceiversPerHop; k++ {
 				rx := n.AddNode(fmt.Sprintf("c%d-%d-rx%d", ch, h, k))
+				b.Domains = append(b.Domains, ch+1)
 				n.Connect(node, rx, fat)
 				b.Receivers[0] = append(b.Receivers[0], rx)
 				b.Optimal[0] = append(b.Optimal[0], opt)

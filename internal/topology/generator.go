@@ -18,9 +18,10 @@ import (
 type Config interface {
 	// Validate reports the first problem with the configuration, or nil.
 	Validate() error
-	// Generate builds the topology on the engine. Call it only after a
-	// successful Validate (the package-level Generate does both).
-	Generate(e *sim.Engine) (*Build, error)
+	// Generate builds the topology on the scheduler — a plain sim.Engine
+	// or a sim.ShardedEngine. Call it only after a successful Validate
+	// (the package-level Generate does both).
+	Generate(e sim.Scheduler) (*Build, error)
 }
 
 // Key is one CLI-settable parameter of a generator, used by the -topo
@@ -137,7 +138,7 @@ func (g Generator) keyNames() string {
 }
 
 // Generate validates cfg and builds the topology on e.
-func Generate(e *sim.Engine, cfg Config) (*Build, error) {
+func Generate(e sim.Scheduler, cfg Config) (*Build, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,7 +149,7 @@ func Generate(e *sim.Engine, cfg Config) (*Build, error) {
 // Scenario builder uses. The deprecated Build* wrappers funnel through it,
 // so a config the old normalize() would have silently clamped now fails
 // loudly.
-func MustGenerate(e *sim.Engine, cfg Config) *Build {
+func MustGenerate(e sim.Scheduler, cfg Config) *Build {
 	b, err := Generate(e, cfg)
 	if err != nil {
 		panic("topology: " + err.Error())

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"toposense/internal/netsim"
+)
+
+// FallbackDomains computes partition labels for a Build whose generator
+// emitted none (Topology A/B, mesh) — a cheap min-cut-style heuristic
+// rather than the family's structural knowledge. The cut is made at the
+// traffic core: source and controller nodes take label 0, and every
+// connected component of the remaining graph becomes its own label. For
+// the paper's topologies the core is exactly where all sessions converge,
+// so removing it separates the receiver regions; for a cyclic mesh the
+// rest usually stays one component and the partition degenerates to two
+// labels, which is still a valid (if shallow) cut.
+//
+// The labels are only returned when every boundary link has positive
+// propagation delay — the conservative engine's lookahead requirement.
+// Otherwise, or when the network is too small to cut, FallbackDomains
+// returns nil and a sharded engine runs the build on a single partition.
+func (b *Build) FallbackDomains() []int {
+	if b.Net == nil {
+		return nil
+	}
+	n := b.Net.NumNodes()
+	if n < 3 {
+		return nil
+	}
+	core := make([]bool, n)
+	if b.Controller != nil {
+		core[b.Controller.ID] = true
+	}
+	for _, s := range b.Sources {
+		core[s.ID] = true
+	}
+
+	doms := make([]int, n)
+	seen := make([]bool, n)
+	next := 1
+	for start := 0; start < n; start++ {
+		if core[start] || seen[start] {
+			continue
+		}
+		queue := []netsim.NodeID{netsim.NodeID(start)}
+		seen[start] = true
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			doms[id] = next
+			for _, l := range b.Net.Node(id).Links() {
+				to := l.To
+				if core[to] || seen[to] {
+					continue
+				}
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+		next++
+	}
+	if next == 1 {
+		return nil // nothing outside the core
+	}
+	// The cut is only usable if every boundary link carries delay.
+	for id := 0; id < n; id++ {
+		for _, l := range b.Net.Node(netsim.NodeID(id)).Links() {
+			if doms[l.From] != doms[l.To] && l.Delay <= 0 {
+				return nil
+			}
+		}
+	}
+	return doms
+}

@@ -50,6 +50,15 @@ type Build struct {
 	Optimal [][]int
 	// Bottlenecks lists the constrained links, for instrumentation.
 	Bottlenecks []*netsim.Link
+	// Domains assigns each node (by ID) a partition label for the sharded
+	// engine: label 0 holds the source and controller, labels 1..k the
+	// link-delay-separated regions (tree root-child subtrees, star arms,
+	// linear chains, tiered tier-1 subtrees). Every link between two
+	// labels has positive propagation delay, which is what gives the
+	// conservative parallel engine its lookahead. Nil means the family
+	// offers no useful cut (Topology A/B, mesh) and a sharded engine
+	// degenerates to one partition.
+	Domains []int
 }
 
 // AllReceivers flattens the per-session receiver lists.
@@ -130,7 +139,7 @@ func (c AConfig) withDefaults() AConfig {
 // each once, so every receiver in a set shares the set's constraint — the
 // paper's "two sets of receivers, each having different bandwidth
 // constraints".
-func (c *AConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *AConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	n := netsim.New(e)
 	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
@@ -225,7 +234,7 @@ func (c BConfig) withDefaults() BConfig {
 // The shared link's capacity is scaled with the number of sessions so each
 // session can ideally receive PerSession (4 layers at the default 500 Kbps),
 // exactly as in the paper's inter-session fairness experiments.
-func (c *BConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *BConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	n := netsim.New(e)
 	fat := netsim.LinkConfig{Bandwidth: FatBandwidth, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}
@@ -326,7 +335,7 @@ func (c TieredConfig) withDefaults() TieredConfig {
 // Generate constructs a random tiered topology with one session rooted at
 // the top tier. The optimal level of each receiver is the min bandwidth
 // along its path.
-func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
+func (c *TieredConfig) Generate(e sim.Scheduler) (*Build, error) {
 	cfg := c.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := netsim.New(e)
@@ -339,9 +348,13 @@ func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
 		Receivers:  [][]*netsim.Node{nil},
 		Optimal:    [][]int{nil},
 	}
+	// Partition cut: the backbone source alone is domain 0; each tier-1
+	// subtree is one domain behind its backbone downlink.
+	b.Domains = []int{0}
 	type tiered struct {
 		node  *netsim.Node
 		minBW float64
+		dom   int
 	}
 	frontier := []tiered{{node: src, minBW: FatBandwidth}}
 	for tier := 0; tier < len(cfg.FanOut); tier++ {
@@ -349,6 +362,11 @@ func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
 		for _, parent := range frontier {
 			for k := 0; k < cfg.FanOut[tier]; k++ {
 				child := n.AddNode(fmt.Sprintf("t%d-%d", tier+1, len(next)))
+				dom := parent.dom
+				if tier == 0 {
+					dom = k + 1
+				}
+				b.Domains = append(b.Domains, dom)
 				// Jitter capacity ±25% around the tier's nominal value.
 				bw := cfg.Bandwidth[tier] * (0.75 + 0.5*rng.Float64())
 				down, _ := n.Connect(parent.node, child, netsim.LinkConfig{
@@ -359,7 +377,7 @@ func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
 					minBW = bw
 					b.Bottlenecks = append(b.Bottlenecks, down)
 				}
-				next = append(next, tiered{node: child, minBW: minBW})
+				next = append(next, tiered{node: child, minBW: minBW, dom: dom})
 			}
 		}
 		frontier = next
@@ -368,6 +386,7 @@ func (c *TieredConfig) Generate(e *sim.Engine) (*Build, error) {
 	for _, leaf := range frontier {
 		for k := 0; k < cfg.ReceiversPerLeaf; k++ {
 			rx := n.AddNode(fmt.Sprintf("%s-rx%d", leaf.node.Name, k))
+			b.Domains = append(b.Domains, leaf.dom)
 			n.Connect(leaf.node, rx, fat)
 			b.Receivers[0] = append(b.Receivers[0], rx)
 			b.Optimal[0] = append(b.Optimal[0], source.LevelForBandwidth(rates, leaf.minBW))

@@ -96,18 +96,21 @@ func (s *Series) WriteTSV(w io.Writer) error {
 	return nil
 }
 
-// Sampler periodically samples named probes into Series.
+// Sampler periodically samples named probes into Series. Its ticker runs
+// on the scheduler's global context: probes read state owned by arbitrary
+// components (receivers, links), so on a sharded engine they must fire at
+// barriers with every shard quiescent.
 type Sampler struct {
-	engine *sim.Engine
+	engine sim.Scheduler
 	period sim.Time
 	probes []func() (name string, v float64)
 	series map[string]*Series
 	ticker *sim.Ticker
 }
 
-// NewSampler creates a sampler on the engine with the given period.
-func NewSampler(engine *sim.Engine, period sim.Time) *Sampler {
-	return &Sampler{engine: engine, period: period, series: make(map[string]*Series)}
+// NewSampler creates a sampler on the scheduler with the given period.
+func NewSampler(engine sim.Scheduler, period sim.Time) *Sampler {
+	return &Sampler{engine: sim.GlobalOf(engine), period: period, series: make(map[string]*Series)}
 }
 
 // Probe registers a named value source sampled every period.
@@ -123,7 +126,7 @@ func (sp *Sampler) Start() {
 	if sp.ticker != nil {
 		return
 	}
-	sp.ticker = sp.engine.Every(sp.period, func() {
+	sp.ticker = sim.Every(sp.engine, sp.period, func() {
 		now := sp.engine.Now()
 		for _, probe := range sp.probes {
 			name, v := probe()
@@ -160,16 +163,18 @@ type Event struct {
 	Msg  string
 }
 
-// Log is an append-only event log.
+// Log is an append-only event log. Callers on a sharded engine must only
+// Addf from the global context (the clock read and the append both assume
+// single-threaded access).
 type Log struct {
-	engine *sim.Engine
+	engine sim.Scheduler
 	events []Event
 	// KindFilter, when non-empty, records only these kinds.
 	KindFilter map[string]bool
 }
 
-// NewLog creates a log bound to the engine's clock.
-func NewLog(engine *sim.Engine) *Log { return &Log{engine: engine} }
+// NewLog creates a log bound to the scheduler's clock.
+func NewLog(engine sim.Scheduler) *Log { return &Log{engine: sim.GlobalOf(engine)} }
 
 // Addf records a formatted event.
 func (l *Log) Addf(kind, format string, args ...any) {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards obs-gate repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards bench-fanin obs-gate fanin-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -54,6 +54,20 @@ bench-scale:
 SHARDS ?= 4
 bench-shards:
 	$(GO) run ./cmd/topobench -fig fig_scale -topo tree -shards $(SHARDS) -json BENCH_shards.json
+
+# Control-plane fan-in capture: the fig_scale tree ladder run flat and with
+# the in-network aggregation layer (an "/agg" twin per point), exported to
+# BENCH_fanin.json. The rendered table carries controller messages per
+# pass, control bytes per receiver and the aggregation reduction factor;
+# the 10^5-receiver point demonstrates the O(receivers) -> O(branching)
+# collapse.
+bench-fanin:
+	$(GO) run ./cmd/topobench -fig fig_scale -topo tree -aggregate -json BENCH_fanin.json
+
+# Zero-allocation gate for the aggregation hot paths: the report-merge and
+# suggestion fan-out benchmarks must report 0 allocs/op at steady state.
+fanin-gate:
+	scripts/benchdiff.sh fanin-gate
 
 # Regenerate the paper's evaluation at full scale (~2 minutes, plus the
 # fig_scale ladder — see bench-scale — which dominates at full size).

@@ -18,6 +18,7 @@
 //	topobench -seed 7               # different random seed
 //	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)
 //	topobench -shards 4             # sharded engine, 4 workers per run (figs 6, 7, fig_scale)
+//	topobench -fig fig_scale -aggregate  # fig_scale with in-network aggregation twins
 //	topobench -json BENCH_full.json # machine-readable results + run metadata
 //	topobench -obs -json BENCH.json # embed each run's observability export
 //	topobench -timeout 10m         # per-run wall-clock budget
@@ -46,6 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine workers per run: 0 = single-threaded engine, N >= 1 = sharded engine with N workers (honoured by figures 6, 7 and fig_scale; fig_scale then adds a speedup column)")
+	aggregate := flag.Bool("aggregate", false, "fig_scale: run an in-network-aggregation twin of every ladder point (control fan-in columns both ways)")
 	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	obsOn := flag.Bool("obs", false, "enable per-run observability; each result then carries an obs export (see -json)")
@@ -85,7 +87,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards}
+	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards, Aggregate: *aggregate}
 	var specs []experiments.Spec
 	type slice struct{ lo, hi int }
 	slices := make([]slice, len(selected))

@@ -15,6 +15,7 @@
 //	toposim -topology tiered -seed 3
 //	toposim -topo tree,depth=3,branch=8,rxleaf=2 -duration 30   # generated large topology
 //	toposim -topo tree,depth=4,branch=10,rxleaf=10 -shards 4    # sharded engine, 4 workers
+//	toposim -topo tree,depth=3,branch=8,rxleaf=2 -aggregate     # in-network report aggregation
 //	toposim -topo list                           # list registered generators and keys
 //	toposim -topology B -sessions 4 -algo rlm    # RLM baseline instead
 //	toposim -topology A -json BENCH_simA.json    # machine-readable result
@@ -73,6 +74,7 @@ func main() {
 	outage := flag.Float64("outage", 60, "with -failat: seconds until the link is repaired")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", 0, "engine workers: 0 = single-threaded engine, N >= 1 = sharded engine with N workers")
+	aggregate := flag.Bool("aggregate", false, "install the in-network feedback aggregation layer (toposense only)")
 	algo := flag.String("algo", "toposense", "toposense or rlm")
 	probe := flag.Bool("probe", false, "use mtrace-style probe-based topology discovery")
 	billing := flag.Bool("billing", false, "print the controller's billing ledger (toposense only)")
@@ -135,8 +137,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
 		os.Exit(2)
 	}
-	if *failAt > 0 && *shards >= 1 {
-		fmt.Fprintln(os.Stderr, "-failat: fault injection is not supported on the sharded engine (tree repair needs the whole network in one partition); drop -shards to run single-threaded")
+	if err := experiments.ValidateEngineFlags(*shards, *failAt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *aggregate && algoName != "toposense" {
+		fmt.Fprintln(os.Stderr, "-aggregate: the aggregation layer serves the toposense controller; it has no meaning under -algo rlm")
 		os.Exit(2)
 	}
 	obsExt := strings.ToLower(filepath.Ext(*obsPath))
@@ -150,6 +156,7 @@ func main() {
 		Traffic:        tr,
 		Staleness:      sim.FromSeconds(*staleness),
 		ProbeDiscovery: *probe,
+		Aggregate:      *aggregate,
 	}
 	dur := sim.FromSeconds(*duration)
 
@@ -237,6 +244,12 @@ func main() {
 				}
 				fmt.Printf("controller: %d steps, %d suggestions sent, %d reports received\n",
 					w.Controller.StepsRun, w.Controller.SuggestionsSent, w.Controller.ReportsRecv)
+				if *aggregate {
+					fmt.Printf("aggregation: %d reports absorbed in-network, %d merges, %d flushes, %d sub-batches down\n",
+						w.Aggregator.Absorbed, w.Aggregator.Merged, w.Aggregator.Flushes, w.Aggregator.Batches)
+					fmt.Printf("controller fan-in: %d control msgs (%d modeled bytes), %d aggregates, %d batches out\n",
+						w.Controller.CtlMsgsRecv, w.Controller.CtlBytesRecv, w.Controller.AggregatesRecv, w.Controller.BatchesSent)
+				}
 				if *probe {
 					fmt.Printf("discovery: %d probe packets over %d discoveries\n", w.Tool.ProbePackets, w.Tool.Discoveries)
 				}
@@ -247,6 +260,10 @@ func main() {
 				if *explain {
 					fmt.Println("\nfinal interval decisions:")
 					fmt.Print(core.FormatDecisions(w.Controller.Algorithm().LastDecisions()))
+					if *aggregate {
+						fmt.Println("\nfinal interval subtree summaries:")
+						fmt.Print(core.FormatSubtrees(w.Controller.Algorithm().Subtrees()))
+					}
 				}
 			} else {
 				w := experiments.NewRLMWorld(e, b, cfg)

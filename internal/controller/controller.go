@@ -27,6 +27,19 @@ type receiverKey struct {
 	node    netsim.NodeID
 }
 
+// subtreeKey identifies one controller-adjacent subtree's aggregate stream.
+type subtreeKey struct {
+	session int
+	origin  netsim.NodeID
+}
+
+// fanGroup is the batched fan-out's scratch: one outgoing SuggestionBatch
+// per next hop from the controller.
+type fanGroup struct {
+	next  netsim.NodeID
+	batch *report.SuggestionBatch
+}
+
 // accum aggregates the sub-interval receiver reports that arrive between
 // two algorithm steps into the single per-interval view the algorithm
 // consumes.
@@ -80,11 +93,30 @@ type Controller struct {
 	// controller would.
 	last map[receiverKey]core.ReceiverState
 
+	// aggregated switches the suggestion fan-out to pooled per-next-hop
+	// SuggestionBatch packets (see EnableAggregation); subtrees collects the
+	// latest aggregate summary per (session, origin) for the algorithm's
+	// aggregate-aware input, and the batch*/fan* slices are per-pass scratch
+	// reused so the steady-state fan-out allocates nothing.
+	aggregated bool
+	subtrees   map[subtreeKey]core.SubtreeSummary
+	batchSugs  []core.Suggestion
+	batchGens  []uint64
+	fanGroups  []fanGroup
+
 	// Stats.
 	StepsRun        int64
 	SuggestionsSent int64
 	ReportsRecv     int64
 	RegistersRecv   int64
+	// Control-plane fan-in, counted at packet delivery: every control
+	// message (and its modeled wire bytes) the controller's node handed to
+	// the agent. With aggregation on, AggregatesRecv of those were compact
+	// in-network merges and BatchesSent counts the pooled downward packets.
+	CtlMsgsRecv    int64
+	CtlBytesRecv   int64
+	AggregatesRecv int64
+	BatchesSent    int64
 	// PassWallNanos / PassWallMaxNanos accumulate the host wall-clock time
 	// spent inside step() — total and worst single pass. Wall time feeds
 	// only reporting (the fig_scale controller-latency column); simulation
@@ -102,6 +134,7 @@ type Controller struct {
 	// per-pass decision audit.
 	obs           *obs.Obs
 	lastPassFired uint64
+	lastPassMsgs  int64
 }
 
 // New creates a controller at node using the given discovery tool and
@@ -144,6 +177,13 @@ func (c *Controller) Algorithm() *core.Algorithm { return c.alg }
 // decision interval.
 func (c *Controller) SetObs(o *obs.Obs) { c.obs = o }
 
+// EnableAggregation switches the suggestion fan-out from per-receiver
+// unicasts to one pooled SuggestionBatch per next hop, for worlds running an
+// in-network aggregation layer (mcast.Aggregator) that splits the batches
+// down the tree. Aggregate consumption needs no switch — consume handles
+// report.Aggregate payloads whenever they arrive. Call before Start.
+func (c *Controller) EnableAggregation() { c.aggregated = true }
+
 // Start begins the discovery tool and the periodic decision timer.
 func (c *Controller) Start() {
 	if c.ticker != nil {
@@ -168,6 +208,8 @@ func (c *Controller) Stop() {
 // With Staleness set, processing is deferred so the information is that old
 // by the time the algorithm sees it.
 func (c *Controller) Recv(p *netsim.Packet) {
+	c.CtlMsgsRecv++
+	c.CtlBytesRecv += int64(p.Size)
 	if c.Staleness > 0 {
 		payload := p.Payload
 		c.nodeSched().Schedule(c.Staleness, func() { c.consume(payload) })
@@ -221,6 +263,49 @@ func (c *Controller) consume(payload any) {
 		if c.billing != nil {
 			c.billing.meter(pl.Session, pl.Node, pl.Bytes, pl.Level, pl.Interval)
 		}
+	case *report.Aggregate:
+		// An in-network merge of many receivers' reports. Each entry carries
+		// the exact sums of its receiver's folded reports, so folding it here
+		// reproduces the flat path's accumulator state bit for bit; that is
+		// the decision-equivalence contract the aggregation layer keeps.
+		c.AggregatesRecv++
+		c.ReportsRecv += pl.ReportCount
+		for i := range pl.Entries {
+			e := &pl.Entries[i]
+			k := receiverKey{pl.Session, e.Node}
+			if _, ok := c.registered[k]; !ok {
+				c.regSeq++
+				c.registered[k] = c.regSeq
+			}
+			c.lastHeard[k] = now
+			a := c.acc[k]
+			if a == nil {
+				a = &accum{}
+				c.acc[k] = a
+			}
+			a.bytes += e.Bytes
+			a.lossSum += e.LossSum
+			a.lossN += int(e.Reports)
+			a.level = e.Level
+			a.reported = true
+			if c.billing != nil {
+				c.billing.meter(pl.Session, e.Node, e.Bytes, e.Level, pl.Interval)
+			}
+		}
+		if c.subtrees == nil {
+			c.subtrees = make(map[subtreeKey]core.SubtreeSummary)
+		}
+		c.subtrees[subtreeKey{pl.Session, pl.Origin}] = core.SubtreeSummary{
+			Session:   pl.Session,
+			Origin:    pl.Origin,
+			Receivers: pl.Receivers(),
+			Reports:   pl.ReportCount,
+			Bytes:     pl.ByteTotal,
+			MeanLoss:  pl.MeanLoss(),
+			MaxLoss:   pl.MaxLoss,
+			Worst:     pl.Worst,
+		}
+		pl.Release()
 	}
 }
 
@@ -333,51 +418,108 @@ func (c *Controller) step() {
 		}
 	}
 
-	in := core.Input{Now: now, Topologies: topos, Reports: reports}
+	// Subtree summaries from consumed aggregates: the latest per (session,
+	// origin), sorted for determinism, cleared each pass like the accums.
+	var subs []core.SubtreeSummary
+	if len(c.subtrees) > 0 {
+		subs = make([]core.SubtreeSummary, 0, len(c.subtrees))
+		for _, s := range c.subtrees {
+			subs = append(subs, s)
+		}
+		sort.Slice(subs, func(i, j int) bool {
+			if subs[i].Session != subs[j].Session {
+				return subs[i].Session < subs[j].Session
+			}
+			return subs[i].Origin < subs[j].Origin
+		})
+		for k := range c.subtrees {
+			delete(c.subtrees, k)
+		}
+	}
+
+	in := core.Input{Now: now, Topologies: topos, Reports: reports, Subtrees: subs}
 	out := c.alg.Step(in)
 	c.StepsRun++
 
 	sent := 0
-	for _, sg := range out {
-		k := receiverKey{sg.Session, sg.Node}
-		if auditing {
-			if i, ok := auditIdx[k]; ok {
-				audit[i].Prescribed = sg.Level
+	if c.aggregated {
+		// Batched fan-out: filter to registered receivers into the per-pass
+		// scratch (with registration generations for the resend recheck),
+		// then send one pooled batch per next hop — and one resend closure
+		// per pass instead of one per receiver.
+		c.batchSugs = c.batchSugs[:0]
+		c.batchGens = c.batchGens[:0]
+		for _, sg := range out {
+			k := receiverKey{sg.Session, sg.Node}
+			if auditing {
+				if i, ok := auditIdx[k]; ok {
+					audit[i].Prescribed = sg.Level
+				}
 			}
+			rgen, ok := c.registered[k]
+			if !ok {
+				continue // never instruct an unregistered receiver
+			}
+			c.batchSugs = append(c.batchSugs, sg)
+			c.batchGens = append(c.batchGens, rgen)
+			sent++
 		}
-		rgen, ok := c.registered[k]
-		if !ok {
-			continue // never instruct an unregistered receiver
-		}
-		send := func() {
-			at := c.global().Now()
-			pkt := report.NewControlPacket(c.node.ID, sg.Node, report.SuggestionSize, at,
-				report.Suggestion{Node: sg.Node, Session: sg.Session, Level: sg.Level, Sent: at})
-			c.node.SendUnicast(pkt)
-			c.SuggestionsSent++
-		}
-		send()
-		sent++
-		// Suggestions cross the congested links they are trying to relieve
-		// and are routinely lost exactly when they matter most; a single
-		// mid-interval repeat makes the control loop robust without
-		// meaningful extra traffic. The repeat is dropped if the controller
-		// stopped, the receiver expired, or the receiver re-registered as a
-		// new incarnation (even within this same pass), in the meantime.
-		if !c.DisableResend {
+		c.sendBatched(c.batchSugs, c.batchGens, false)
+		if !c.DisableResend && sent > 0 {
 			gen := c.gen
 			c.global().Schedule(c.interval/2, func() {
 				if c.ticker == nil || c.gen != gen {
 					return
 				}
-				if cur, ok := c.registered[k]; !ok || cur != rgen {
-					return
-				}
-				send()
+				// The scratch is only rewritten by the next pass, a half
+				// interval after this fires; recheck generations per entry.
+				c.sendBatched(c.batchSugs, c.batchGens, true)
 			})
+		}
+	} else {
+		for _, sg := range out {
+			k := receiverKey{sg.Session, sg.Node}
+			if auditing {
+				if i, ok := auditIdx[k]; ok {
+					audit[i].Prescribed = sg.Level
+				}
+			}
+			rgen, ok := c.registered[k]
+			if !ok {
+				continue // never instruct an unregistered receiver
+			}
+			send := func() {
+				at := c.global().Now()
+				pkt := report.NewControlPacket(c.node.ID, sg.Node, report.SuggestionSize, at,
+					report.Suggestion{Node: sg.Node, Session: sg.Session, Level: sg.Level, Sent: at})
+				c.node.SendUnicast(pkt)
+				c.SuggestionsSent++
+			}
+			send()
+			sent++
+			// Suggestions cross the congested links they are trying to relieve
+			// and are routinely lost exactly when they matter most; a single
+			// mid-interval repeat makes the control loop robust without
+			// meaningful extra traffic. The repeat is dropped if the controller
+			// stopped, the receiver expired, or the receiver re-registered as a
+			// new incarnation (even within this same pass), in the meantime.
+			if !c.DisableResend {
+				gen := c.gen
+				c.global().Schedule(c.interval/2, func() {
+					if c.ticker == nil || c.gen != gen {
+						return
+					}
+					if cur, ok := c.registered[k]; !ok || cur != rgen {
+						return
+					}
+					send()
+				})
+			}
 		}
 	}
 	if c.obs != nil {
+		c.obs.FanIn.Observe(float64(c.CtlMsgsRecv - c.lastPassMsgs))
+		c.lastPassMsgs = c.CtlMsgsRecv
 		var fired uint64
 		// Schedulers expose the fired-event counter only through their
 		// concrete engines; a scheduler without one reports zero distance.
@@ -401,6 +543,68 @@ func (c *Controller) step() {
 	if c.OnStep != nil {
 		c.OnStep(now, in, out)
 	}
+}
+
+// sendBatched sends the suggestions in sugs as one pooled SuggestionBatch
+// per next hop from the controller; the in-network aggregation layer splits
+// each batch further down the tree. With recheck set (the mid-interval
+// resend) entries whose receiver expired or re-registered since the pass are
+// skipped, exactly like the per-receiver resend guard on the flat path. The
+// fan-group scratch is reused across calls, so steady-state passes allocate
+// nothing here.
+func (c *Controller) sendBatched(sugs []core.Suggestion, gens []uint64, recheck bool) {
+	at := c.global().Now()
+	groups := c.fanGroups[:0]
+	for i, sg := range sugs {
+		if recheck {
+			if cur, ok := c.registered[receiverKey{sg.Session, sg.Node}]; !ok || cur != gens[i] {
+				continue
+			}
+		}
+		if sg.Node == c.node.ID {
+			// A receiver co-located with the controller: no hop to batch
+			// over, deliver the plain suggestion locally.
+			pkt := report.NewControlPacket(c.node.ID, sg.Node, report.SuggestionSize, at,
+				report.Suggestion{Node: sg.Node, Session: sg.Session, Level: sg.Level, Sent: at})
+			c.node.SendUnicast(pkt)
+			c.SuggestionsSent++
+			continue
+		}
+		next := c.net.NextHop(c.node.ID, sg.Node)
+		if next == netsim.NoNode {
+			continue // unreachable, as the equivalent unicast would be
+		}
+		var g *fanGroup
+		for j := range groups {
+			if groups[j].next == next {
+				g = &groups[j]
+				break
+			}
+		}
+		if g == nil {
+			groups = append(groups, fanGroup{next: next, batch: report.NewSuggestionBatch()})
+			g = &groups[len(groups)-1]
+			g.batch.Sent = at
+		}
+		g.batch.Add(sg.Node, sg.Session, sg.Level)
+		c.SuggestionsSent++
+	}
+	for i := range groups {
+		g := &groups[i]
+		pkt := c.net.NewPacket()
+		pkt.Kind = netsim.Control
+		pkt.Src = c.node.ID
+		pkt.Dst = g.next
+		pkt.Group = netsim.NoGroup
+		pkt.Size = g.batch.WireSize()
+		pkt.Sent = at
+		pkt.Payload = g.batch
+		c.node.SendUnicast(pkt)
+		pkt.Release()
+		g.batch = nil
+		c.BatchesSent++
+	}
+	c.fanGroups = groups
 }
 
 // SnapshotToTopology converts a discovery snapshot into the algorithm's

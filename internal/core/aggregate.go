@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SubtreeSummary is the aggregate-aware half of the algorithm's input: the
+// compact congestion summary of one controller-adjacent subtree, distilled
+// from an in-network report.Aggregate. The per-receiver entries still arrive
+// through Input.Reports (the decision math is byte-identical to the
+// unaggregated path); the summaries are the O(branching) view a hierarchical
+// control plane reads without walking receivers — which subtree is worst,
+// how much it pulls, and how its losses distribute over levels.
+type SubtreeSummary struct {
+	Session   int
+	Origin    NodeID // tree node whose flush produced the summary
+	Receivers int    // distinct receivers folded in
+	Reports   int64  // loss reports represented
+	Bytes     int64  // bytes received across the subtree
+	MeanLoss  float64
+	MaxLoss   float64
+	Worst     NodeID // receiver that reported MaxLoss
+}
+
+func (s SubtreeSummary) String() string {
+	return fmt.Sprintf("subtree s=%d origin=%d rx=%d reports=%d bytes=%d meanloss=%.3f maxloss=%.3f@%d",
+		s.Session, s.Origin, s.Receivers, s.Reports, s.Bytes, s.MeanLoss, s.MaxLoss, s.Worst)
+}
+
+// Subtrees returns the subtree summaries the most recent Step consumed
+// (nil on the unaggregated path). The slice is a copy.
+func (a *Algorithm) Subtrees() []SubtreeSummary {
+	return append([]SubtreeSummary(nil), a.lastSubtrees...)
+}
+
+// FormatSubtrees renders subtree summaries, one line each.
+func FormatSubtrees(subs []SubtreeSummary) string {
+	var b strings.Builder
+	for _, s := range subs {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -87,6 +87,10 @@ type Algorithm struct {
 	lastCapacityReset sim.Time
 	steps             int64
 	explain           *explainState // non-nil once EnableExplain is called
+	// lastSubtrees retains the most recent Step's aggregate summaries for
+	// Subtrees(); the controller owns the slice and never mutates it after
+	// the call.
+	lastSubtrees []SubtreeSummary
 }
 
 // New creates an algorithm instance. The rng drives back-off randomization;
@@ -292,6 +296,7 @@ func (x *edgeSorter) Less(i, j int) bool {
 func (a *Algorithm) Step(in Input) []Suggestion {
 	a.steps++
 	a.resetExplain()
+	a.lastSubtrees = in.Subtrees
 
 	s := &a.scratch
 	// Bind per-session passes in the scratch arena; skip sessions with no

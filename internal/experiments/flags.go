@@ -1,0 +1,24 @@
+package experiments
+
+import "fmt"
+
+// ValidateEngineFlags checks a CLI's engine-selection flags for the one
+// combination the simulator cannot honour: fault injection (-failat) on the
+// sharded engine. Tree repair after a link failure rebuilds routing state
+// across the whole network, which the conservative sharded engine cannot do
+// safely from inside one partition, so the combination is rejected up front
+// with an error telling the user which flag to drop — instead of silently
+// running a fault-free simulation or crashing mid-run.
+//
+// shards is the -shards flag value (0 = the single-threaded engine) and
+// failAt the -failat seconds (0 = no fault injection).
+func ValidateEngineFlags(shards int, failAt float64) error {
+	if failAt > 0 && shards >= 1 {
+		return fmt.Errorf("-failat %g is not supported with -shards %d: "+
+			"fault injection needs the whole network in one partition for tree repair, "+
+			"which only the single-threaded serial engine guarantees; "+
+			"drop -shards (or set -shards 0) to fall back to the serial engine",
+			failAt, shards)
+	}
+	return nil
+}

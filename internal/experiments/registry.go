@@ -22,6 +22,10 @@ type SweepConfig struct {
 	// byte-identical either way. fig_scale with Shards > 1 additionally
 	// runs each point's single-threaded twin for the speedup column.
 	Shards int
+	// Aggregate makes fig_scale run an in-network-aggregation twin of every
+	// ladder point next to the flat one, so the table carries control fan-in
+	// and control bytes both ways plus the reduction factor.
+	Aggregate bool
 }
 
 // Experiment is one registry entry: a named sweep that can enumerate its
@@ -191,7 +195,7 @@ func Registry() []Experiment {
 			Name:  "fig_scale",
 			Title: "Scaling curve: receivers vs events/s, memory, pass latency",
 			Specs: func(cfg SweepConfig) []Spec {
-				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo, Shards: cfg.Shards})
+				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo, Shards: cfg.Shards, Aggregate: cfg.Aggregate})
 			},
 			Render: ScaleTable,
 		},

@@ -80,6 +80,18 @@ type ScaleRow struct {
 	// counts >= 1; only wall-clock differs.
 	Shards int `json:"shards,omitempty"`
 
+	// Control-plane fan-in at the controller. CtlMsgs/CtlBytes count every
+	// control message (and its modeled wire bytes) delivered to the
+	// controller agent over the run; FanInPerPass is messages per decision
+	// pass and CtlBytesPerRx bytes per receiver. Aggregate marks the runs
+	// with the in-network aggregation layer installed — the tentpole claim
+	// is these columns collapsing from O(receivers) to O(branching).
+	Aggregate     bool    `json:"aggregate,omitempty"`
+	CtlMsgs       int64   `json:"ctl_msgs"`
+	CtlBytes      int64   `json:"ctl_bytes"`
+	FanInPerPass  float64 `json:"fanin"`
+	CtlBytesPerRx float64 `json:"ctl_bytes_per_rx"`
+
 	// Delivered volume and quality.
 	RxBytes          int64   `json:"rx_bytes"` // bytes serialized onto receiver last-hop links
 	BytesPerReceiver float64 `json:"bytes_per_receiver"`
@@ -101,6 +113,11 @@ type ScaleConfig struct {
 	// workers — so ScaleTable can report the wall-clock speedup next to
 	// each point. 0 or 1 runs the single-threaded engine only.
 	Shards int
+	// Aggregate adds an in-network-aggregation twin of every ladder point
+	// (named "<point>/agg"), so the table and BENCH capture carry control
+	// fan-in, control bytes and pass latency both ways, plus the
+	// agg-speedup column against the flat twin.
+	Aggregate bool
 }
 
 func (c *ScaleConfig) normalize() {
@@ -139,20 +156,27 @@ func ScaleSpecs(cfg ScaleConfig) []Spec {
 	cfg.normalize()
 	var specs []Spec
 	for _, point := range scalePoints(cfg) {
-		specs = append(specs, scaleSpec(cfg, point, 0))
+		specs = append(specs, scaleSpec(cfg, point, 0, false))
 		if cfg.Shards > 1 {
-			specs = append(specs, scaleSpec(cfg, point, cfg.Shards))
+			specs = append(specs, scaleSpec(cfg, point, cfg.Shards, false))
+		}
+		if cfg.Aggregate {
+			specs = append(specs, scaleSpec(cfg, point, 0, true))
 		}
 	}
 	return specs
 }
 
 // scaleSpec builds the Spec for one ladder point on one engine flavour
-// (shards == 0 for the single-threaded oracle).
-func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
+// (shards == 0 for the single-threaded oracle), with or without the
+// in-network aggregation layer.
+func scaleSpec(cfg ScaleConfig, point string, shards int, aggregate bool) Spec {
 	name := "fig_scale/" + point
 	if shards > 1 {
 		name = fmt.Sprintf("%s/shards=%d", name, shards)
+	}
+	if aggregate {
+		name += "/agg"
 	}
 	return NewSpec("fig_scale", name,
 		cfg.Seed, cfg.Duration,
@@ -166,7 +190,7 @@ func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
 			if err != nil {
 				return nil, err
 			}
-			w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+			w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Aggregate: aggregate})
 			m.ObserveWorld(w)
 			w.Run(cfg.Duration)
 
@@ -177,6 +201,7 @@ func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
 				Receivers: len(b.AllReceivers()),
 				Groups:    w.Domain.NumGroups(),
 				Shards:    shards,
+				Aggregate: aggregate,
 			}
 			st := w.Domain.StateStats()
 			row.TableEntries = st.Entries
@@ -188,6 +213,11 @@ func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
 				row.PassMeanMs = float64(w.Controller.PassWallNanos) / float64(row.Passes) / 1e6
 			}
 			row.PassMaxMs = float64(w.Controller.PassWallMaxNanos) / 1e6
+			row.CtlMsgs = w.Controller.CtlMsgsRecv
+			row.CtlBytes = w.Controller.CtlBytesRecv
+			if row.Passes > 0 {
+				row.FanInPerPass = float64(row.CtlMsgs) / float64(row.Passes)
+			}
 			for _, rx := range b.AllReceivers() {
 				for _, l := range rx.Links() {
 					if r := l.Reverse(); r != nil {
@@ -197,6 +227,7 @@ func scaleSpec(cfg ScaleConfig, point string, shards int) Spec {
 			}
 			if row.Receivers > 0 {
 				row.BytesPerReceiver = float64(row.RxBytes) / float64(row.Receivers)
+				row.CtlBytesPerRx = float64(row.CtlBytes) / float64(row.Receivers)
 			}
 			traces, optima := w.AllTraces()
 			row.MeanDev = metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration)
@@ -215,18 +246,24 @@ func RunScale(cfg ScaleConfig) []ScaleRow {
 // engines (ScaleConfig.Shards > 1), the sharded run's speedup column is
 // its single-threaded twin's wall time divided by its own.
 func ScaleTable(results []Result) (string, error) {
-	// Wall time of each point's single-threaded run, for the speedup
-	// column of its sharded twin.
+	// Wall time and fan-in of each point's flat single-threaded run, for
+	// the speedup column of its sharded twin and the agg-speedup column of
+	// its aggregated twin.
 	baseWall := map[string]float64{}
+	baseFanIn := map[string]float64{}
 	for _, r := range results {
-		if rows, ok := r.Rows.([]ScaleRow); ok && len(rows) == 1 && rows[0].Shards <= 1 {
-			baseWall[rows[0].Topo] = r.WallSeconds
+		rows, ok := r.Rows.([]ScaleRow)
+		if !ok || len(rows) != 1 || rows[0].Shards > 1 || rows[0].Aggregate {
+			continue
 		}
+		baseWall[rows[0].Topo] = r.WallSeconds
+		baseFanIn[rows[0].Topo] = rows[0].FanInPerPass
 	}
 	t := &Table{
-		Title: "fig_scale: receivers vs cost (events/s, state bytes, pass latency)",
-		Header: []string{"topology", "rx", "nodes", "shards", "events/s", "wall s", "speedup",
-			"state bytes", "dense equiv", "pass mean ms", "pass max ms", "B/rx", "dev"},
+		Title: "fig_scale: receivers vs cost (events/s, state bytes, pass latency, control fan-in)",
+		Header: []string{"topology", "rx", "nodes", "engine", "events/s", "wall s", "speedup",
+			"state bytes", "dense equiv", "pass mean ms", "pass max ms",
+			"fanin/pass", "ctl B/rx", "agg gain", "B/rx", "dev"},
 	}
 	for _, r := range results {
 		if r.Failed() {
@@ -237,18 +274,27 @@ func ScaleTable(results []Result) (string, error) {
 			return "", fmt.Errorf("run %s: rows are %T, want one ScaleRow", r.Name, r.Rows)
 		}
 		row := rows[0]
-		shards, speedup := "st", "-"
+		engine, speedup := "st", "-"
 		if row.Shards >= 1 {
-			shards = fmt.Sprintf("%d", row.Shards)
+			engine = fmt.Sprintf("%d", row.Shards)
 			if base, ok := baseWall[row.Topo]; ok && r.WallSeconds > 0 {
 				speedup = fmt.Sprintf("%.2fx", base/r.WallSeconds)
+			}
+		}
+		// agg gain: the flat twin's controller fan-in over the aggregated
+		// run's — the message-reduction factor the tentpole claims.
+		aggGain := "-"
+		if row.Aggregate {
+			engine += "+agg"
+			if base, ok := baseFanIn[row.Topo]; ok && row.FanInPerPass > 0 {
+				aggGain = fmt.Sprintf("%.0fx", base/row.FanInPerPass)
 			}
 		}
 		t.AddRow(
 			strings.TrimPrefix(row.Topo, "fig_scale/"),
 			fmt.Sprintf("%d", row.Receivers),
 			fmt.Sprintf("%d", row.Nodes),
-			shards,
+			engine,
 			fmt.Sprintf("%.3g", r.EventsPerSecond),
 			fmt.Sprintf("%.1f", r.WallSeconds),
 			speedup,
@@ -256,6 +302,9 @@ func ScaleTable(results []Result) (string, error) {
 			fmt.Sprintf("%d", row.DenseEquivBytes),
 			fmt.Sprintf("%.2f", row.PassMeanMs),
 			fmt.Sprintf("%.2f", row.PassMaxMs),
+			fmt.Sprintf("%.0f", row.FanInPerPass),
+			fmt.Sprintf("%.1f", row.CtlBytesPerRx),
+			aggGain,
 			fmt.Sprintf("%.0f", row.BytesPerReceiver),
 			fmt.Sprintf("%.3f", row.MeanDev),
 		)

@@ -53,6 +53,7 @@ type World struct {
 	Sources    []*source.Source
 	Receivers  [][]*receiver.Receiver // [session][i]
 	Controller *controller.Controller
+	Aggregator *mcast.Aggregator // non-nil when WorldConfig.Aggregate is set
 	Tool       *topodisc.Tool
 	Traces     [][]*metrics.Trace // parallel to Receivers
 	Optimal    [][]int            // parallel to Receivers
@@ -79,6 +80,12 @@ type WorldConfig struct {
 	// engine with N workers. Results are byte-identical either way — only
 	// wall-clock changes. Ignored by NewWorld, which takes the engine.
 	Shards int
+	// Aggregate installs the in-network feedback aggregation layer: tree
+	// nodes fold upward loss reports into per-subtree report.Aggregates and
+	// the controller fans suggestions out as batched per-next-hop packets.
+	// Off (the default) the control plane is byte-identical to the flat
+	// report path.
+	Aggregate bool
 	// Algorithm overrides; zero values take core defaults.
 	Alg core.Config
 }
@@ -162,6 +169,13 @@ func NewWorld(e sim.Runner, b *topology.Build, cfg WorldConfig) *World {
 		w.Receivers = append(w.Receivers, rxs)
 		w.Traces = append(w.Traces, trs)
 	}
+	if cfg.Aggregate {
+		// Installed after the receivers so each node's delivery order is
+		// receiver-then-aggregator; the aggregator's deferred batch release
+		// makes either order safe.
+		w.Aggregator = mcast.NewAggregator(b.Net, b.Controller.ID, 0)
+		w.Controller.EnableAggregation()
+	}
 	return w
 }
 
@@ -178,6 +192,7 @@ func (w *World) WireObs(o *obs.Obs) {
 	w.Net.AttachProbe(obs.NewNetProbe(o))
 	w.Domain.SetObs(o)
 	w.Controller.SetObs(o)
+	w.Aggregator.SetObs(o)
 	o.ObserveEngine(w.Engine)
 }
 

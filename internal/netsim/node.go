@@ -21,16 +21,29 @@ type MulticastHandler interface {
 	HandleMulticast(n *Node, p *Packet, from *Link)
 }
 
+// TransitFilter observes unicast packets passing through a node on their way
+// somewhere else — including packets originated at the node itself, since
+// SendUnicast enters the forwarding path at the origin. Returning true
+// consumes the packet: it is not forwarded further. The filter does not own
+// the packet's references (the delivering link still unrefs it), so a filter
+// that keeps any part of the payload must take ownership of the payload value
+// itself, not retain the *Packet. The in-network report aggregation layer
+// (mcast.Aggregator) is the one installer.
+type TransitFilter interface {
+	FilterTransit(n *Node, p *Packet) bool
+}
+
 // Node is a network element: a router, a source host or a receiver host —
 // the distinction is only in which agents and handlers are attached.
 type Node struct {
 	ID   NodeID
 	Name string
 
-	net    *Network
-	links  map[NodeID]*Link // outgoing links keyed by neighbor
-	agents []Agent
-	mcast  MulticastHandler
+	net     *Network
+	links   map[NodeID]*Link // outgoing links keyed by neighbor
+	agents  []Agent
+	mcast   MulticastHandler
+	transit TransitFilter
 
 	// RecvUnicast counts unicast packets delivered locally.
 	RecvUnicast int64
@@ -43,6 +56,11 @@ func (n *Node) AttachAgent(a Agent) { n.agents = append(n.agents, a) }
 
 // SetMulticastHandler installs the multicast forwarding logic.
 func (n *Node) SetMulticastHandler(h MulticastHandler) { n.mcast = h }
+
+// SetTransitFilter installs (or, with nil, removes) the node's transit
+// filter. At most one filter per node; without one the forwarding path is
+// exactly the pre-filter code plus a single nil check.
+func (n *Node) SetTransitFilter(f TransitFilter) { n.transit = f }
 
 // LinkTo returns the outgoing link to neighbor, or nil.
 func (n *Node) LinkTo(neighbor NodeID) *Link { return n.links[neighbor] }
@@ -113,6 +131,9 @@ func (n *Node) route(p *Packet) {
 			a.Recv(p)
 		}
 		return
+	}
+	if n.transit != nil && n.transit.FilterTransit(n, p) {
+		return // consumed in-network (report aggregation)
 	}
 	next := n.net.NextHop(n.ID, p.Dst)
 	if next == NoNode {

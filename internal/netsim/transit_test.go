@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"testing"
+
+	"toposense/internal/sim"
+)
+
+// recordFilter consumes Control packets bound for sink, recording where it
+// saw them; everything else passes.
+type recordFilter struct {
+	sink  NodeID
+	seen  []NodeID
+	kinds []PacketKind
+}
+
+func (f *recordFilter) FilterTransit(n *Node, p *Packet) bool {
+	f.seen = append(f.seen, n.ID)
+	f.kinds = append(f.kinds, p.Kind)
+	return p.Kind == Control && p.Dst == f.sink
+}
+
+func TestTransitFilterConsumes(t *testing.T) {
+	e := sim.NewEngine(1)
+	net := New(e)
+	a := net.AddNode("a")
+	mid := net.AddNode("mid")
+	c := net.AddNode("c")
+	lc := LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond}
+	net.Connect(a, mid, lc)
+	net.Connect(mid, c, lc)
+
+	f := &recordFilter{sink: c.ID}
+	mid.SetTransitFilter(f)
+
+	// A control packet for c is consumed at mid: never delivered.
+	a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: c.ID, Group: NoGroup, Size: 100})
+	e.Run()
+	if c.RecvUnicast != 0 {
+		t.Errorf("filtered packet was delivered anyway (RecvUnicast=%d)", c.RecvUnicast)
+	}
+	if len(f.seen) != 1 || f.seen[0] != mid.ID {
+		t.Errorf("filter saw %v, want [mid]", f.seen)
+	}
+
+	// A data packet passes the filter untouched and arrives.
+	a.SendUnicast(&Packet{Kind: Data, Src: a.ID, Dst: c.ID, Group: NoGroup, Size: 100})
+	e.Run()
+	if c.RecvUnicast != 1 {
+		t.Errorf("passed packet not delivered (RecvUnicast=%d)", c.RecvUnicast)
+	}
+}
+
+// TestTransitFilterSeesOriginSends pins the property the aggregation layer
+// depends on: SendUnicast enters route() at the origin node, so an
+// origin-installed filter intercepts the node's own outgoing packets too.
+func TestTransitFilterSeesOriginSends(t *testing.T) {
+	e := sim.NewEngine(1)
+	net := New(e)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	net.Connect(a, b, LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond})
+
+	f := &recordFilter{sink: b.ID}
+	a.SetTransitFilter(f)
+	a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: b.ID, Group: NoGroup, Size: 64})
+	e.Run()
+	if len(f.seen) != 1 || f.seen[0] != a.ID {
+		t.Errorf("origin filter saw %v, want [a]", f.seen)
+	}
+	if b.RecvUnicast != 0 {
+		t.Error("consumed origin send was still delivered")
+	}
+}
+
+// TestTransitFilterNotOnLocalDelivery: packets addressed to the node itself
+// are delivered to its agents without consulting the filter — delivery is
+// not transit.
+func TestTransitFilterNotOnLocalDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	net := New(e)
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	net.Connect(a, b, LinkConfig{Bandwidth: 1e9, Delay: sim.Millisecond})
+
+	f := &recordFilter{sink: b.ID}
+	b.SetTransitFilter(f)
+	a.SendUnicast(&Packet{Kind: Control, Src: a.ID, Dst: b.ID, Group: NoGroup, Size: 64})
+	e.Run()
+	if b.RecvUnicast != 1 {
+		t.Errorf("packet not delivered at dst (RecvUnicast=%d)", b.RecvUnicast)
+	}
+	if len(f.seen) != 0 {
+		t.Errorf("filter consulted on local delivery: %v", f.seen)
+	}
+
+	// Removing the filter restores plain forwarding through mid nodes.
+	b.SetTransitFilter(nil)
+	if b.transit != nil {
+		t.Error("SetTransitFilter(nil) did not clear the filter")
+	}
+}

@@ -37,9 +37,18 @@ type Obs struct {
 	Repairs *Counter
 
 	// Controller passes (internal/controller). PassEvents observes the
-	// engine-events distance between consecutive passes.
+	// engine-events distance between consecutive passes; FanIn the control
+	// messages the controller consumed per pass — the fan-in the in-network
+	// aggregation layer collapses from O(receivers) to O(branching).
 	Passes     *Counter
 	PassEvents *Histogram
+	FanIn      *Histogram
+
+	// In-network feedback aggregation (mcast.Aggregator).
+	AggAbsorbed *Counter // loss reports absorbed at tree nodes
+	AggMerges   *Counter // child aggregates merged on the way up
+	AggFlushes  *Counter // aggregate packets emitted toward the controller
+	AggBatches  *Counter // suggestion sub-batches forwarded down the tree
 
 	// Packet plane (via the NetProbe).
 	Enqueues     *Counter
@@ -83,6 +92,13 @@ func New(opt Options) *Obs {
 	o.Passes = o.Reg.Counter("controller_passes")
 	o.PassEvents = o.Reg.Histogram("controller_pass_events",
 		[]float64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000})
+	o.FanIn = o.Reg.Histogram("controller_fanin",
+		[]float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000})
+
+	o.AggAbsorbed = o.Reg.Counter("agg_reports_absorbed")
+	o.AggMerges = o.Reg.Counter("agg_merges")
+	o.AggFlushes = o.Reg.Counter("agg_flushes")
+	o.AggBatches = o.Reg.Counter("agg_batches")
 
 	o.Enqueues = o.Reg.Counter("link_enqueues")
 	o.Delivers = o.Reg.Counter("link_delivers")

@@ -239,16 +239,29 @@ func (r *Receiver) RecvMulticast(p *netsim.Packet) {
 	}
 }
 
-// Recv implements netsim.Agent for unicast control packets: apply
-// controller suggestions addressed to this receiver+session.
+// Recv implements netsim.Agent for unicast control packets: apply controller
+// suggestions addressed to this receiver+session — either a per-receiver
+// Suggestion or this receiver's entry of an aggregated SuggestionBatch whose
+// last hop is this node.
 func (r *Receiver) Recv(p *netsim.Packet) {
-	sg, ok := p.Payload.(report.Suggestion)
-	if !ok || r.stopped || sg.Node != r.node.ID || sg.Session != r.cfg.Session {
-		return
+	switch pl := p.Payload.(type) {
+	case report.Suggestion:
+		if r.stopped || pl.Node != r.node.ID || pl.Session != r.cfg.Session {
+			return
+		}
+		r.SuggestionsRecv++
+		r.lastSuggestion = r.sched().Now()
+		r.applySuggestion(pl.Level)
+	case *report.SuggestionBatch:
+		if r.stopped {
+			return
+		}
+		if lvl, ok := pl.Find(r.node.ID, r.cfg.Session); ok {
+			r.SuggestionsRecv++
+			r.lastSuggestion = r.sched().Now()
+			r.applySuggestion(lvl)
+		}
 	}
-	r.SuggestionsRecv++
-	r.lastSuggestion = r.sched().Now()
-	r.applySuggestion(sg.Level)
 }
 
 // applySuggestion moves the subscription toward target: drops happen all at

@@ -5,6 +5,7 @@
 #   scripts/benchdiff.sh capture NAME        run bench-micro, save to bench/NAME.txt
 #   scripts/benchdiff.sh compare OLD NEW     diff two captures
 #   scripts/benchdiff.sh obs-gate            fail if any obs benchmark allocates
+#   scripts/benchdiff.sh fanin-gate          fail if an aggregation hot path allocates
 #
 # Capture before and after a change, then compare:
 #   scripts/benchdiff.sh capture base
@@ -72,6 +73,24 @@ obs-gate)
 		exit 1
 	fi
 	echo "obs-gate OK: every observability benchmark at 0 allocs/op" >&2
+	;;
+fanin-gate)
+	# The in-network aggregation layer promises zero allocations on its
+	# steady-state hot paths: folding a loss report into an aggregate,
+	# merging a child aggregate, and the controller's batched suggestion
+	# fan-out. Run those benchmarks with -benchmem and fail on any
+	# non-zero allocs/op.
+	[ $# -eq 0 ] || usage
+	out=$(go test -run '^$' -bench 'BenchmarkAggregate|BenchmarkSuggestionFanout' \
+		-benchmem -benchtime 1000x ./internal/report ./internal/controller)
+	echo "$out"
+	bad=$(echo "$out" | awk '/^Benchmark/ && $(NF-1) + 0 > 0 { print "  " $1 ": " $(NF-1) " allocs/op" }')
+	if [ -n "$bad" ]; then
+		echo "fanin-gate FAILED: aggregation hot-path benchmarks allocated:" >&2
+		echo "$bad" >&2
+		exit 1
+	fi
+	echo "fanin-gate OK: every aggregation hot-path benchmark at 0 allocs/op" >&2
 	;;
 *)
 	usage

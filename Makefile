@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards bench-fanin obs-gate fanin-gate repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards bench-fanin bench-federation obs-gate fanin-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -68,6 +68,14 @@ bench-fanin:
 # suggestion fan-out benchmarks must report 0 allocs/op at steady state.
 fanin-gate:
 	scripts/benchdiff.sh fanin-gate
+
+# Hierarchical control plane capture: the flat-vs-federated comparison on
+# the tiered topology (fig_federation) exported to BENCH_federation.json.
+# The federated rows carry per-domain budget convergence (ceiling, end
+# budget, churn count, last-change time) and the cross-domain isolation
+# count, which must be 0.
+bench-federation:
+	$(GO) run ./cmd/topobench -fig fig_federation -json BENCH_federation.json
 
 # Regenerate the paper's evaluation at full scale (~2 minutes, plus the
 # fig_scale ladder — see bench-scale — which dominates at full size).

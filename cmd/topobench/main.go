@@ -48,6 +48,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine workers per run: 0 = single-threaded engine, N >= 1 = sharded engine with N workers (honoured by figures 6, 7 and fig_scale; fig_scale then adds a speedup column)")
 	aggregate := flag.Bool("aggregate", false, "fig_scale: run an in-network-aggregation twin of every ladder point (control fan-in columns both ways)")
+	federate := flag.Bool("federate", false, "fig_scale: run a hierarchical-control-plane twin of every ladder point (fig_federation always runs federated)")
 	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	obsOn := flag.Bool("obs", false, "enable per-run observability; each result then carries an obs export (see -json)")
@@ -75,6 +76,27 @@ func main() {
 		selected = []experiments.Experiment{ex}
 	}
 
+	// Enforce the engine-flag matrix exactly like toposim does. fig_failure
+	// hosts fault injection internally, so selecting it stands in for a
+	// -failat: the combination with -shards (or -federate) must be rejected
+	// up front instead of silently running that experiment on the serial
+	// flat control plane while the rest of the sweep shards.
+	failAt := 0.0
+	if *shards >= 1 || *federate {
+		for _, ex := range selected {
+			if ex.Name == "fig_failure" {
+				failAt = 1
+			}
+		}
+	}
+	if err := experiments.ValidateEngineFlags(*shards, failAt, *aggregate, *federate); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if failAt > 0 {
+			fmt.Fprintln(os.Stderr, "(fig_failure injects faults mid-run; run it separately without the conflicting flag)")
+		}
+		os.Exit(2)
+	}
+
 	// Enumerate every selected experiment's specs into one flat work list,
 	// remembering each experiment's slice so results can be rendered per
 	// experiment afterwards.
@@ -87,7 +109,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards, Aggregate: *aggregate}
+	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards, Aggregate: *aggregate, Federate: *federate}
 	var specs []experiments.Spec
 	type slice struct{ lo, hi int }
 	slices := make([]slice, len(selected))

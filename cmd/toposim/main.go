@@ -75,6 +75,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", 0, "engine workers: 0 = single-threaded engine, N >= 1 = sharded engine with N workers")
 	aggregate := flag.Bool("aggregate", false, "install the in-network feedback aggregation layer (toposense only)")
+	federate := flag.Bool("federate", false, "run the hierarchical control plane: per-domain leaf controllers under a federation parent (toposense only; needs a domain-labelled topology)")
 	algo := flag.String("algo", "toposense", "toposense or rlm")
 	probe := flag.Bool("probe", false, "use mtrace-style probe-based topology discovery")
 	billing := flag.Bool("billing", false, "print the controller's billing ledger (toposense only)")
@@ -137,12 +138,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
 		os.Exit(2)
 	}
-	if err := experiments.ValidateEngineFlags(*shards, *failAt); err != nil {
+	if err := experiments.ValidateEngineFlags(*shards, *failAt, *aggregate, *federate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *aggregate && algoName != "toposense" {
 		fmt.Fprintln(os.Stderr, "-aggregate: the aggregation layer serves the toposense controller; it has no meaning under -algo rlm")
+		os.Exit(2)
+	}
+	if *federate && algoName != "toposense" {
+		fmt.Fprintln(os.Stderr, "-federate: the hierarchical control plane federates toposense controllers; it has no meaning under -algo rlm")
+		os.Exit(2)
+	}
+	if *federate && (*billing || *explain) {
+		fmt.Fprintln(os.Stderr, "-federate: -billing and -explain read the single flat controller; drop them to run federated")
 		os.Exit(2)
 	}
 	obsExt := strings.ToLower(filepath.Ext(*obsPath))
@@ -163,8 +172,11 @@ func main() {
 	// The flight recorder lives inside the run's obs bundle; capture it from
 	// the body so -flightrec can dump it after Execute returns.
 	var runObs *obs.Obs
-	spec := experiments.NewSpec("toposim",
-		fmt.Sprintf("toposim/topo=%s/%s/%s", topoName, tr.Name, algoName),
+	runName := fmt.Sprintf("toposim/topo=%s/%s/%s", topoName, tr.Name, algoName)
+	if *federate {
+		runName += "/fed"
+	}
+	spec := experiments.NewSpec("toposim", runName,
 		*seed, dur,
 		func(m *experiments.Meter) (any, error) {
 			e := experiments.NewRunEngine(*seed, *shards)
@@ -210,7 +222,45 @@ func main() {
 			var levels []int
 			var names []string
 			var sampler *trace.Sampler
-			if algoName == "toposense" {
+			if algoName == "toposense" && *federate {
+				w, err := experiments.NewFedWorld(e, b, cfg)
+				if err != nil {
+					return nil, err
+				}
+				w.Domain.SetObs(m.Obs())
+				for _, l := range w.Leaves {
+					l.Controller().SetObs(m.Obs())
+				}
+				w.Parent.SetObs(m.Obs())
+				if *tsvDir != "" {
+					sampler = trace.NewSampler(e, 500*sim.Millisecond)
+					for s := range w.Receivers {
+						for _, rx := range w.Receivers[s] {
+							rx := rx
+							name := fmt.Sprintf("s%d-%s", s, rx.Node().Name)
+							sampler.Probe(name+".level", func() float64 { return float64(rx.Level()) })
+							sampler.Probe(name+".loss", func() float64 { return rx.LastLoss })
+						}
+					}
+					sampler.Start()
+				}
+				w.Run(dur)
+				traces, optima = w.AllTraces()
+				for s := range w.Receivers {
+					for _, rx := range w.Receivers[s] {
+						levels = append(levels, rx.Level())
+						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+					}
+				}
+				fmt.Printf("federation: %d domains, %d exports received, %d reconcile passes, %d budget changes\n",
+					len(w.Leaves), w.Parent.ExportsRecv, w.Parent.Reconciles, w.Parent.BudgetChanges)
+				for _, l := range w.Leaves {
+					ctrl := l.Controller()
+					changes, last := w.Parent.ChangesFor(l.Domain)
+					fmt.Printf("  domain %d: ceiling %d, %d exports sent, %d budget entries (last change %.0f s), %d suggestions capped, %d steps\n",
+						l.Domain, w.Parent.Ceiling(l.Domain), l.ExportsSent, changes, last.Seconds(), ctrl.SuggestionsCapped, ctrl.StepsRun)
+				}
+			} else if algoName == "toposense" {
 				w := experiments.NewWorld(e, b, cfg)
 				// m.Observe already attached the packet probe; wire the
 				// control-plane components by hand (SetObs(nil) is a no-op).

@@ -93,6 +93,15 @@ type Controller struct {
 	// controller would.
 	last map[receiverKey]core.ReceiverState
 
+	// levelCap caps the level the controller may suggest per session — the
+	// enforcement half of the hierarchical control plane: a parent
+	// controller (internal/federation) pushes per-domain session budgets
+	// down, and the leaf clamps every core.Algorithm suggestion to its
+	// budget before fan-out. Empty (the default) leaves suggestions
+	// untouched, so a non-federated controller is byte-identical to the
+	// pre-federation code path.
+	levelCap map[int]int
+
 	// aggregated switches the suggestion fan-out to pooled per-next-hop
 	// SuggestionBatch packets (see EnableAggregation); subtrees collects the
 	// latest aggregate summary per (session, origin) for the algorithm's
@@ -117,6 +126,9 @@ type Controller struct {
 	CtlBytesRecv   int64
 	AggregatesRecv int64
 	BatchesSent    int64
+	// SuggestionsCapped counts suggestions clamped down to a session's
+	// federation budget before fan-out.
+	SuggestionsCapped int64
 	// PassWallNanos / PassWallMaxNanos accumulate the host wall-clock time
 	// spent inside step() — total and worst single pass. Wall time feeds
 	// only reporting (the fig_scale controller-latency column); simulation
@@ -183,6 +195,47 @@ func (c *Controller) SetObs(o *obs.Obs) { c.obs = o }
 // down the tree. Aggregate consumption needs no switch — consume handles
 // report.Aggregate payloads whenever they arrive. Call before Start.
 func (c *Controller) EnableAggregation() { c.aggregated = true }
+
+// SetLevelCap caps the controller's suggestions for one session at max
+// (the per-domain session budget a federation parent granted). max <= 0
+// clears the cap. Takes effect from the next decision pass.
+func (c *Controller) SetLevelCap(session, max int) {
+	if max <= 0 {
+		delete(c.levelCap, session)
+		return
+	}
+	if c.levelCap == nil {
+		c.levelCap = make(map[int]int)
+	}
+	c.levelCap[session] = max
+}
+
+// LevelCap returns the session's budget cap (0 = uncapped).
+func (c *Controller) LevelCap(session int) int { return c.levelCap[session] }
+
+// RegisteredReceivers returns every currently registered (session, node)
+// pair, sorted — the controller's membership view. The federation
+// experiment uses it to prove domain isolation: a leaf controller must
+// never have consumed a report from outside its domain.
+func (c *Controller) RegisteredReceivers() []ReceiverID {
+	out := make([]ReceiverID, 0, len(c.registered))
+	for k := range c.registered {
+		out = append(out, ReceiverID{Session: k.session, Node: k.node})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// ReceiverID identifies one registered receiver of one session.
+type ReceiverID struct {
+	Session int
+	Node    netsim.NodeID
+}
 
 // Start begins the discovery tool and the periodic decision timer.
 func (c *Controller) Start() {
@@ -440,6 +493,21 @@ func (c *Controller) step() {
 	in := core.Input{Now: now, Topologies: topos, Reports: reports, Subtrees: subs}
 	out := c.alg.Step(in)
 	c.StepsRun++
+
+	// Federation budget enforcement: clamp each suggestion to its session's
+	// cap before any fan-out path sees it (the algorithm's scratch-backed
+	// slice is safely mutable until its next Step).
+	if len(c.levelCap) > 0 {
+		for i := range out {
+			if lim, ok := c.levelCap[out[i].Session]; ok && out[i].Level > lim {
+				out[i].Level = lim
+				c.SuggestionsCapped++
+				if c.obs != nil {
+					c.obs.FedCapped.Inc()
+				}
+			}
+		}
+	}
 
 	sent := 0
 	if c.aggregated {

@@ -137,33 +137,53 @@ func TestScaleSpecsAggregateTwins(t *testing.T) {
 	}
 }
 
-// TestValidateEngineFlags covers the -failat/-shards interaction: the
-// sharded engine cannot host fault injection, and the error must say so
-// and name the serial-engine fallback.
+// TestValidateEngineFlags covers the full -shards/-failat/-aggregate/
+// -federate matrix: the three unsupportable pairs are rejected with errors
+// that name both flags and the fallback, and every other combination — in
+// particular -shards with -aggregate, -failat with -aggregate, and -shards
+// with -federate — passes.
 func TestValidateEngineFlags(t *testing.T) {
 	cases := []struct {
-		shards  int
-		failAt  float64
-		wantErr bool
+		name                string
+		shards              int
+		failAt              float64
+		aggregate, federate bool
+		wantErr             bool
+		frags               []string // fragments the error must contain
 	}{
-		{0, 0, false},
-		{0, 200, false}, // serial engine handles faults
-		{4, 0, false},   // sharded without faults is fine
-		{1, 200, true},  // even one worker uses the sharded engine
-		{4, 200, true},
-		{8, 0.5, true},
+		{name: "all off", wantErr: false},
+		{name: "serial faults", failAt: 200, wantErr: false},
+		{name: "sharded clean", shards: 4, wantErr: false},
+		{name: "aggregate alone", aggregate: true, wantErr: false},
+		{name: "federate alone", federate: true, wantErr: false},
+		{name: "sharded aggregate", shards: 4, aggregate: true, wantErr: false},
+		{name: "sharded federate", shards: 4, federate: true, wantErr: false},
+		{name: "faults with aggregate", failAt: 200, aggregate: true, wantErr: false},
+
+		{name: "faults on one worker", shards: 1, failAt: 200, wantErr: true,
+			frags: []string{"-failat", "-shards", "serial engine"}},
+		{name: "faults sharded", shards: 4, failAt: 200, wantErr: true,
+			frags: []string{"-failat", "-shards", "serial engine"}},
+		{name: "faults sharded small failat", shards: 8, failAt: 0.5, wantErr: true,
+			frags: []string{"-failat", "-shards", "serial engine"}},
+		{name: "faults federated", failAt: 200, federate: true, wantErr: true,
+			frags: []string{"-failat", "-federate", "drop -federate"}},
+		{name: "federate with aggregate", aggregate: true, federate: true, wantErr: true,
+			frags: []string{"-federate", "-aggregate", "drop -aggregate"}},
+		{name: "everything at once", shards: 4, failAt: 200, aggregate: true, federate: true,
+			wantErr: true, frags: []string{"-failat"}},
 	}
 	for _, c := range cases {
-		err := ValidateEngineFlags(c.shards, c.failAt)
+		err := ValidateEngineFlags(c.shards, c.failAt, c.aggregate, c.federate)
 		if (err != nil) != c.wantErr {
-			t.Errorf("ValidateEngineFlags(shards=%d, failat=%g) error = %v, want error %v",
-				c.shards, c.failAt, err, c.wantErr)
+			t.Errorf("%s: ValidateEngineFlags(shards=%d, failat=%g, agg=%v, fed=%v) error = %v, want error %v",
+				c.name, c.shards, c.failAt, c.aggregate, c.federate, err, c.wantErr)
 			continue
 		}
 		if err != nil {
-			for _, frag := range []string{"-failat", "-shards", "serial engine"} {
+			for _, frag := range c.frags {
 				if !strings.Contains(err.Error(), frag) {
-					t.Errorf("error %q does not mention %q", err, frag)
+					t.Errorf("%s: error %q does not mention %q", c.name, err, frag)
 				}
 			}
 		}

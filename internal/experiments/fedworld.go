@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"toposense/internal/controller"
+	"toposense/internal/core"
+	"toposense/internal/federation"
+	"toposense/internal/mcast"
+	"toposense/internal/metrics"
+	"toposense/internal/netsim"
+	"toposense/internal/obs"
+	"toposense/internal/receiver"
+	"toposense/internal/sim"
+	"toposense/internal/source"
+	"toposense/internal/topodisc"
+	"toposense/internal/topology"
+)
+
+// FedWorld is an assembled simulation running the hierarchical control
+// plane: one scoped leaf controller per topology domain (each seeing only
+// its own subtree, exactly the paper's Figure 3 per-domain agents), a
+// federation parent at the topology's controller node reconciling
+// per-domain session budgets, and receivers registered with their domain's
+// leaf — never with a controller outside their domain.
+type FedWorld struct {
+	Engine    sim.Runner
+	Net       *netsim.Network
+	Domain    *mcast.Domain
+	Build     *topology.Build
+	Sources   []*source.Source
+	Receivers [][]*receiver.Receiver // [session][i]
+	Traces    [][]*metrics.Trace     // parallel to Receivers
+	Optimal   [][]int                // parallel to Receivers
+	Parent    *federation.Parent
+	Leaves    []*federation.Leaf        // sorted by domain id
+	LeafFor   map[int]*federation.Leaf  // domain label -> its leaf
+	ScopeFor  map[int]map[netsim.NodeID]bool // domain label -> node set
+	started   bool
+}
+
+// NewFedWorld assembles a federated world on a built topology. The build
+// must carry generator-emitted domain labels (tiered, tree, star, linear
+// families do); every domain containing receivers gets a leaf controller at
+// its top node — the lowest node id carrying the label, which is the
+// domain's ingress since generators emit parents before children — and the
+// parent runs at Build.Controller. cfg.Aggregate is rejected: the
+// in-network aggregation layer serves exactly one flat controller node.
+func NewFedWorld(e sim.Runner, b *topology.Build, cfg WorldConfig) (*FedWorld, error) {
+	if b.Domains == nil {
+		return nil, fmt.Errorf("federation: topology family emits no domain labels; use tiered/tree/star/linear")
+	}
+	if cfg.Aggregate {
+		return nil, fmt.Errorf("federation: -aggregate serves a single flat controller; drop one of the two flags")
+	}
+	if se, ok := e.(*sim.ShardedEngine); ok {
+		b.Net.Partition(se, b.Domains)
+	}
+	layers := cfg.Layers
+	if len(cfg.Rates) > 0 {
+		layers = len(cfg.Rates)
+	} else if layers == 0 {
+		layers = source.DefaultLayers
+	}
+	d := mcast.NewDomain(b.Net)
+	if cfg.LeaveLatency != 0 {
+		d.LeaveLatency = cfg.LeaveLatency
+	}
+
+	w := &FedWorld{
+		Engine: e, Net: b.Net, Domain: d, Build: b, Optimal: b.Optimal,
+		LeafFor:  make(map[int]*federation.Leaf),
+		ScopeFor: make(map[int]map[netsim.NodeID]bool),
+	}
+	sessions := make([]int, len(b.Sources))
+	for i, srcNode := range b.Sources {
+		sessions[i] = i
+		w.Sources = append(w.Sources, source.New(b.Net, d, srcNode, source.Config{
+			Session:    i,
+			Layers:     layers,
+			PeakToMean: cfg.Traffic.PeakToMean,
+			Rates:      cfg.Rates,
+		}))
+	}
+
+	algCfg := cfg.Alg
+	if algCfg.LayerRates == nil {
+		if len(cfg.Rates) > 0 {
+			algCfg.LayerRates = append([]float64(nil), cfg.Rates...)
+		} else {
+			algCfg.LayerRates = source.Rates(layers)
+		}
+	}
+	algCfg.Normalize()
+
+	// Domain geography: node sets per label, and which domains hold
+	// receivers (only those need a controller).
+	nodeSet := make(map[int]map[netsim.NodeID]bool)
+	leafNode := make(map[int]netsim.NodeID) // lowest node id per label = ingress
+	for id, dom := range b.Domains {
+		nid := netsim.NodeID(id)
+		if nodeSet[dom] == nil {
+			nodeSet[dom] = make(map[netsim.NodeID]bool)
+			leafNode[dom] = nid
+		}
+		nodeSet[dom][nid] = true
+		if nid < leafNode[dom] {
+			leafNode[dom] = nid
+		}
+	}
+	needLeaf := make(map[int]bool)
+	for s := range b.Receivers {
+		for _, node := range b.Receivers[s] {
+			needLeaf[b.Domains[node.ID]] = true
+		}
+	}
+	// Domain 0 holds the backbone and the parent; any receivers there are
+	// controlled by a leaf co-resident with the parent, scoped to label 0.
+	leafNode[0] = b.Controller.ID
+
+	doms := make([]int, 0, len(needLeaf))
+	for dom := range needLeaf {
+		doms = append(doms, dom)
+	}
+	sort.Ints(doms)
+
+	w.Parent = federation.NewParent(b.Net, b.Controller, algCfg.LayerRates, algCfg.Interval)
+	for _, dom := range doms {
+		scope := nodeSet[dom]
+		w.ScopeFor[dom] = scope
+		tool := topodisc.NewTool(b.Net, d, sessions)
+		tool.Scope = scope
+		tool.Staleness = cfg.Staleness
+		tool.ProbeMode = cfg.ProbeDiscovery
+		// Distinct RNG stream per leaf, derived from the run seed the same
+		// way the flat controller's is.
+		alg := core.New(algCfg, rand.New(rand.NewSource(cfg.Seed+1+int64(dom))))
+		ctrl := controller.New(b.Net, d, b.Net.Node(leafNode[dom]), tool, alg)
+		ctrl.Staleness = cfg.Staleness
+		leaf := federation.NewLeaf(ctrl, dom, b.Controller.ID)
+		w.Leaves = append(w.Leaves, leaf)
+		w.LeafFor[dom] = leaf
+		w.Parent.AddDomain(federation.DomainConfig{
+			Domain:          dom,
+			Leaf:            leafNode[dom],
+			BorderBandwidth: borderBandwidth(b, dom),
+		})
+	}
+
+	for s := range b.Receivers {
+		var rxs []*receiver.Receiver
+		var trs []*metrics.Trace
+		for _, node := range b.Receivers[s] {
+			ctrlNode := leafNode[b.Domains[node.ID]]
+			rx := receiver.New(b.Net, d, node, receiver.Config{
+				Session:      s,
+				MaxLayers:    layers,
+				InitialLevel: 1,
+				Controller:   ctrlNode,
+			})
+			tr := metrics.NewTrace(0, 0)
+			rx.OnChange = func(c receiver.Change) { tr.Set(c.At, c.To) }
+			rxs = append(rxs, rx)
+			trs = append(trs, tr)
+		}
+		w.Receivers = append(w.Receivers, rxs)
+		w.Traces = append(w.Traces, trs)
+	}
+	return w, nil
+}
+
+// borderBandwidth returns the tightest link capacity crossing from outside
+// into domain dom — the border the parent budgets against. 0 (uncapped)
+// when the domain has no inbound border link (domain 0, the backbone).
+func borderBandwidth(b *topology.Build, dom int) float64 {
+	if dom == 0 {
+		return 0
+	}
+	best := 0.0
+	for _, l := range b.Net.Links() {
+		if b.Domains[l.To] == dom && b.Domains[l.From] != dom {
+			if best == 0 || l.Bandwidth < best {
+				best = l.Bandwidth
+			}
+		}
+	}
+	return best
+}
+
+// WireObs attaches an observability bundle to every component: packet
+// probe, tree events, each leaf controller, the federation parent, and the
+// engine. Nil is a no-op.
+func (w *FedWorld) WireObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	w.Net.AttachProbe(obs.NewNetProbe(o))
+	w.Domain.SetObs(o)
+	for _, l := range w.Leaves {
+		l.Controller().SetObs(o)
+	}
+	w.Parent.SetObs(o)
+	o.ObserveEngine(w.Engine)
+}
+
+// Start launches sources, leaf controllers, the parent, and receivers.
+func (w *FedWorld) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	for _, s := range w.Sources {
+		s.Start()
+	}
+	for _, l := range w.Leaves {
+		l.Controller().Start()
+	}
+	w.Parent.Start()
+	for _, rxs := range w.Receivers {
+		for _, rx := range rxs {
+			rx.Start()
+		}
+	}
+}
+
+// Shutdown stops every component.
+func (w *FedWorld) Shutdown() {
+	for _, s := range w.Sources {
+		s.Stop()
+	}
+	for _, l := range w.Leaves {
+		l.Controller().Stop()
+	}
+	w.Parent.Stop()
+	for _, rxs := range w.Receivers {
+		for _, rx := range rxs {
+			rx.Stop()
+		}
+	}
+}
+
+// Run starts the world (if needed) and advances to the given time.
+func (w *FedWorld) Run(until sim.Time) {
+	w.Start()
+	w.Engine.RunUntil(until)
+}
+
+// AllTraces flattens traces with their optima, session-major.
+func (w *FedWorld) AllTraces() (traces []*metrics.Trace, optima []int) {
+	for s := range w.Traces {
+		traces = append(traces, w.Traces[s]...)
+		optima = append(optima, w.Optimal[s]...)
+	}
+	return traces, optima
+}

@@ -26,6 +26,10 @@ type SweepConfig struct {
 	// ladder point next to the flat one, so the table carries control fan-in
 	// and control bytes both ways plus the reduction factor.
 	Aggregate bool
+	// Federate makes fig_scale run a hierarchical-control-plane twin of
+	// every ladder point (scoped leaf controllers under a federation
+	// parent). fig_federation runs federated regardless.
+	Federate bool
 }
 
 // Experiment is one registry entry: a named sweep that can enumerate its
@@ -195,9 +199,19 @@ func Registry() []Experiment {
 			Name:  "fig_scale",
 			Title: "Scaling curve: receivers vs events/s, memory, pass latency",
 			Specs: func(cfg SweepConfig) []Spec {
-				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo, Shards: cfg.Shards, Aggregate: cfg.Aggregate})
+				return ScaleSpecs(ScaleConfig{Seed: cfg.Seed, Quick: cfg.Quick, Topo: cfg.Topo, Shards: cfg.Shards, Aggregate: cfg.Aggregate, Federate: cfg.Federate})
 			},
 			Render: ScaleTable,
+		},
+		{
+			Name:  "fig_federation",
+			Title: "Hierarchical control plane on a tiered topology: flat vs federated",
+			Specs: func(cfg SweepConfig) []Spec {
+				return FederationSpecs(FederationConfig{Seed: cfg.Seed, Duration: quickDur(cfg)})
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, FederationTable)
+			},
 		},
 		{
 			Name:  "baseline",

@@ -92,6 +92,11 @@ type ScaleRow struct {
 	FanInPerPass  float64 `json:"fanin"`
 	CtlBytesPerRx float64 `json:"ctl_bytes_per_rx"`
 
+	// Federate marks the runs under the hierarchical control plane: scoped
+	// per-domain leaf controllers under a federation parent. The fan-in
+	// columns then sum over every leaf, and Passes counts all leaf passes.
+	Federate bool `json:"federate,omitempty"`
+
 	// Delivered volume and quality.
 	RxBytes          int64   `json:"rx_bytes"` // bytes serialized onto receiver last-hop links
 	BytesPerReceiver float64 `json:"bytes_per_receiver"`
@@ -118,6 +123,11 @@ type ScaleConfig struct {
 	// fan-in, control bytes and pass latency both ways, plus the
 	// agg-speedup column against the flat twin.
 	Aggregate bool
+	// Federate adds a hierarchical-control-plane twin of every ladder point
+	// (named "<point>/fed"): per-domain leaf controllers under a federation
+	// parent. Needs a domain-labelled family (tree, star, linear, tiered —
+	// not mesh).
+	Federate bool
 }
 
 func (c *ScaleConfig) normalize() {
@@ -156,27 +166,34 @@ func ScaleSpecs(cfg ScaleConfig) []Spec {
 	cfg.normalize()
 	var specs []Spec
 	for _, point := range scalePoints(cfg) {
-		specs = append(specs, scaleSpec(cfg, point, 0, false))
+		specs = append(specs, scaleSpec(cfg, point, 0, false, false))
 		if cfg.Shards > 1 {
-			specs = append(specs, scaleSpec(cfg, point, cfg.Shards, false))
+			specs = append(specs, scaleSpec(cfg, point, cfg.Shards, false, false))
 		}
 		if cfg.Aggregate {
-			specs = append(specs, scaleSpec(cfg, point, 0, true))
+			specs = append(specs, scaleSpec(cfg, point, 0, true, false))
+		}
+		if cfg.Federate {
+			specs = append(specs, scaleSpec(cfg, point, 0, false, true))
 		}
 	}
 	return specs
 }
 
 // scaleSpec builds the Spec for one ladder point on one engine flavour
-// (shards == 0 for the single-threaded oracle), with or without the
-// in-network aggregation layer.
-func scaleSpec(cfg ScaleConfig, point string, shards int, aggregate bool) Spec {
+// (shards == 0 for the single-threaded oracle), optionally with the
+// in-network aggregation layer or the hierarchical (federated) control
+// plane installed.
+func scaleSpec(cfg ScaleConfig, point string, shards int, aggregate, federate bool) Spec {
 	name := "fig_scale/" + point
 	if shards > 1 {
 		name = fmt.Sprintf("%s/shards=%d", name, shards)
 	}
 	if aggregate {
 		name += "/agg"
+	}
+	if federate {
+		name += "/fed"
 	}
 	return NewSpec("fig_scale", name,
 		cfg.Seed, cfg.Duration,
@@ -190,34 +207,62 @@ func scaleSpec(cfg ScaleConfig, point string, shards int, aggregate bool) Spec {
 			if err != nil {
 				return nil, err
 			}
-			w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Aggregate: aggregate})
-			m.ObserveWorld(w)
-			w.Run(cfg.Duration)
-
 			row := ScaleRow{
 				Topo:      point,
 				Nodes:     b.Net.NumNodes(),
 				Links:     len(b.Net.Links()),
 				Receivers: len(b.AllReceivers()),
-				Groups:    w.Domain.NumGroups(),
 				Shards:    shards,
 				Aggregate: aggregate,
+				Federate:  federate,
 			}
-			st := w.Domain.StateStats()
-			row.TableEntries = st.Entries
-			row.TableBytes = st.Bytes
-			row.DenseNodes = st.DenseNodes
+			var passWall, passWallMax int64
+			var traces []*metrics.Trace
+			var optima []int
+			if federate {
+				w, err := NewFedWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic})
+				if err != nil {
+					return nil, err
+				}
+				m.Observe(w.Engine, w.Net)
+				w.Run(cfg.Duration)
+				row.Groups = w.Domain.NumGroups()
+				st := w.Domain.StateStats()
+				row.TableEntries, row.TableBytes, row.DenseNodes = st.Entries, st.Bytes, st.DenseNodes
+				// Fan-in and pass latency sum over every leaf controller —
+				// the hierarchy's point is that each leaf's own fan-in is a
+				// domain-sized fraction of the flat controller's.
+				for _, l := range w.Leaves {
+					c := l.Controller()
+					row.Passes += c.StepsRun
+					row.CtlMsgs += c.CtlMsgsRecv
+					row.CtlBytes += c.CtlBytesRecv
+					passWall += c.PassWallNanos
+					if c.PassWallMaxNanos > passWallMax {
+						passWallMax = c.PassWallMaxNanos
+					}
+				}
+				traces, optima = w.AllTraces()
+			} else {
+				w := NewWorld(e, b, WorldConfig{Seed: cfg.Seed, Traffic: cfg.Traffic, Aggregate: aggregate})
+				m.ObserveWorld(w)
+				w.Run(cfg.Duration)
+				row.Groups = w.Domain.NumGroups()
+				st := w.Domain.StateStats()
+				row.TableEntries, row.TableBytes, row.DenseNodes = st.Entries, st.Bytes, st.DenseNodes
+				row.Passes = w.Controller.StepsRun
+				row.CtlMsgs = w.Controller.CtlMsgsRecv
+				row.CtlBytes = w.Controller.CtlBytesRecv
+				passWall = w.Controller.PassWallNanos
+				passWallMax = w.Controller.PassWallMaxNanos
+				traces, optima = w.AllTraces()
+			}
 			row.DenseEquivBytes = row.Nodes * row.Groups * 8
-			row.Passes = w.Controller.StepsRun
 			if row.Passes > 0 {
-				row.PassMeanMs = float64(w.Controller.PassWallNanos) / float64(row.Passes) / 1e6
-			}
-			row.PassMaxMs = float64(w.Controller.PassWallMaxNanos) / 1e6
-			row.CtlMsgs = w.Controller.CtlMsgsRecv
-			row.CtlBytes = w.Controller.CtlBytesRecv
-			if row.Passes > 0 {
+				row.PassMeanMs = float64(passWall) / float64(row.Passes) / 1e6
 				row.FanInPerPass = float64(row.CtlMsgs) / float64(row.Passes)
 			}
+			row.PassMaxMs = float64(passWallMax) / 1e6
 			for _, rx := range b.AllReceivers() {
 				for _, l := range rx.Links() {
 					if r := l.Reverse(); r != nil {
@@ -229,7 +274,6 @@ func scaleSpec(cfg ScaleConfig, point string, shards int, aggregate bool) Spec {
 				row.BytesPerReceiver = float64(row.RxBytes) / float64(row.Receivers)
 				row.CtlBytesPerRx = float64(row.CtlBytes) / float64(row.Receivers)
 			}
-			traces, optima := w.AllTraces()
 			row.MeanDev = metrics.MeanRelativeDeviation(traces, optima, 0, cfg.Duration)
 			return []ScaleRow{row}, nil
 		})
@@ -253,7 +297,7 @@ func ScaleTable(results []Result) (string, error) {
 	baseFanIn := map[string]float64{}
 	for _, r := range results {
 		rows, ok := r.Rows.([]ScaleRow)
-		if !ok || len(rows) != 1 || rows[0].Shards > 1 || rows[0].Aggregate {
+		if !ok || len(rows) != 1 || rows[0].Shards > 1 || rows[0].Aggregate || rows[0].Federate {
 			continue
 		}
 		baseWall[rows[0].Topo] = r.WallSeconds
@@ -289,6 +333,9 @@ func ScaleTable(results []Result) (string, error) {
 			if base, ok := baseFanIn[row.Topo]; ok && row.FanInPerPass > 0 {
 				aggGain = fmt.Sprintf("%.0fx", base/row.FanInPerPass)
 			}
+		}
+		if row.Federate {
+			engine += "+fed"
 		}
 		t.AddRow(
 			strings.TrimPrefix(row.Topo, "fig_scale/"),

@@ -203,7 +203,7 @@ func TestShardDeterminismScaleRows(t *testing.T) {
 func scaleRowCanonical(t *testing.T, point string, shards int) string {
 	t.Helper()
 	cfg := ScaleConfig{Seed: 1, Duration: 15 * sim.Second, Topo: point, Traffic: CBR}
-	res := scaleSpec(cfg, point, shards, false).Execute(0)
+	res := scaleSpec(cfg, point, shards, false, false).Execute(0)
 	if res.Failed() {
 		t.Fatalf("run %s failed: %s", res.Name, res.Err)
 	}

@@ -213,6 +213,24 @@ func (w *World) Start() {
 	}
 }
 
+// Shutdown stops every component and drains the aggregation layer's pooled
+// payloads back to their pools. After Shutdown the world holds no pooled
+// Aggregate or SuggestionBatch — in a drop-free run the process-wide
+// report.AggregatesLive/BatchesLive counters return to their pre-world
+// values, which is exactly what the pool-balance regression test asserts.
+func (w *World) Shutdown() {
+	for _, s := range w.Sources {
+		s.Stop()
+	}
+	w.Controller.Stop()
+	for _, rxs := range w.Receivers {
+		for _, rx := range rxs {
+			rx.Stop()
+		}
+	}
+	w.Aggregator.Stop()
+}
+
 // Run starts the world (if needed) and advances to the given time.
 func (w *World) Run(until sim.Time) {
 	w.Start()

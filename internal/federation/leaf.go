@@ -1,0 +1,100 @@
+package federation
+
+import (
+	"toposense/internal/controller"
+	"toposense/internal/core"
+	"toposense/internal/netsim"
+	"toposense/internal/report"
+	"toposense/internal/sim"
+)
+
+// Leaf adapts one domain's controller to the hierarchical control plane. It
+// hooks the controller's pass observer to export a DomainExport after every
+// decision pass — folding the pass's receiver states through a pooled
+// report.Aggregate per session, so the summary arithmetic is exactly the
+// aggregation layer's — and consumes BudgetUpdate packets from the parent,
+// applying each granted budget as a level cap on the controller.
+//
+// The leaf is a second agent on the controller's node: exports and budget
+// updates travel as ordinary unicast control packets across the simulated
+// network, crossing (and competing on) the same links as the media.
+type Leaf struct {
+	Domain int
+
+	node   *netsim.Node
+	ctrl   *controller.Controller
+	parent netsim.NodeID
+	pass   int64
+
+	// Stats.
+	ExportsSent int64
+	BudgetsRecv int64
+	CapsApplied int64 // level caps installed (SetLevelCap calls)
+}
+
+// NewLeaf wires a leaf onto ctrl, exporting to the parent controller's node.
+// It claims the controller's OnStep hook; install any other observer on the
+// Leaf's own OnStep instead.
+func NewLeaf(ctrl *controller.Controller, domain int, parent netsim.NodeID) *Leaf {
+	l := &Leaf{Domain: domain, node: ctrl.Node(), ctrl: ctrl, parent: parent}
+	ctrl.OnStep = l.export
+	l.node.AttachAgent(l)
+	return l
+}
+
+// Controller returns the wrapped domain controller.
+func (l *Leaf) Controller() *controller.Controller { return l.ctrl }
+
+// export builds and sends the domain summary for one completed pass. The
+// input slice is sorted session-major, so each session's run folds into one
+// aggregate whose summary fields are copied out; the aggregate itself is
+// released immediately — pooled payloads never ride a federation packet, so
+// a congestion-dropped export costs the pools nothing.
+func (l *Leaf) export(now sim.Time, in core.Input, out []core.Suggestion) {
+	l.pass++
+	exp := &DomainExport{Domain: l.Domain, Leaf: l.node.ID, Pass: l.pass, Sent: now}
+	for i := 0; i < len(in.Reports); {
+		s := in.Reports[i].Session
+		ag := report.NewAggregate(s, l.node.ID)
+		top := 0
+		for ; i < len(in.Reports) && in.Reports[i].Session == s; i++ {
+			st := in.Reports[i]
+			ag.Fold(report.LossReport{
+				Node: st.Node, Session: s, Level: st.Level,
+				LossRate: st.LossRate, Bytes: st.Bytes,
+			})
+			if st.Level > top {
+				top = st.Level
+			}
+		}
+		exp.Sessions = append(exp.Sessions, SessionSummary{
+			Session:   s,
+			Receivers: ag.Receivers(),
+			Reports:   ag.ReportCount,
+			Bytes:     ag.ByteTotal,
+			MeanLoss:  ag.MeanLoss(),
+			MaxLoss:   ag.MaxLoss,
+			Worst:     ag.Worst,
+			TopLevel:  top,
+		})
+		ag.Release()
+	}
+	pkt := report.NewControlPacket(l.node.ID, l.parent, exp.WireSize(), now, exp)
+	l.node.SendUnicast(pkt)
+	l.ExportsSent++
+}
+
+// Recv implements netsim.Agent: apply budget updates from the parent. Every
+// other payload addressed to this node belongs to the co-resident controller
+// agent and is ignored here.
+func (l *Leaf) Recv(p *netsim.Packet) {
+	bu, ok := p.Payload.(*BudgetUpdate)
+	if !ok || bu.Domain != l.Domain {
+		return
+	}
+	l.BudgetsRecv++
+	for _, b := range bu.Budgets {
+		l.ctrl.SetLevelCap(b.Session, b.MaxLevel)
+		l.CapsApplied++
+	}
+}

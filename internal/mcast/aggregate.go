@@ -48,6 +48,13 @@ type Aggregator struct {
 	Merged   int64 // child aggregates merged on their way up
 	Flushes  int64 // aggregate packets emitted toward the controller
 	Batches  int64 // suggestion sub-batches forwarded down the tree
+	// Retained counts flushes deferred because the controller was
+	// unreachable at flush time (a failed link mid-repair): the pending
+	// aggregates are kept and the flush retried next interval, instead of
+	// being emitted into a guaranteed routing drop.
+	Retained int64
+
+	stopped bool
 
 	obs *obs.Obs
 }
@@ -121,11 +128,42 @@ func (a *Aggregator) SetObs(o *obs.Obs) {
 // FlushInterval returns the per-node flush cadence.
 func (a *Aggregator) FlushInterval() sim.Time { return a.flush }
 
+// Stop retires the aggregation layer and returns every payload it holds to
+// the report pools: each node's pending (unflushed) aggregates and its
+// deferred-release lastBatch. Without it, stopping a session mid-interval
+// strands the in-flight state — the deferred-by-one batch hand-over only
+// releases a node's previous batch when its next one arrives, so the final
+// batch of a stopped session would never go back to the pool. After Stop
+// the transit filter passes control traffic through untouched and armed
+// flush timers fire as no-ops. Safe on a nil receiver and idempotent —
+// calling it again re-drains, so a straggler batch delivered between two
+// Stops is still recovered; call it with the engine idle (nothing in
+// flight).
+func (a *Aggregator) Stop() {
+	if a == nil {
+		return
+	}
+	a.stopped = true
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		for j := range nd.pending {
+			if ag := nd.pending[j].agg; ag != nil {
+				nd.pending[j].agg = nil
+				ag.Release()
+			}
+		}
+		if nd.lastBatch != nil {
+			nd.lastBatch.Release()
+			nd.lastBatch = nil
+		}
+	}
+}
+
 // FilterTransit implements netsim.TransitFilter: absorb upward control
 // feedback bound for the controller. Everything else (registrations, the
 // node's own outgoing flushes, unrelated unicast) passes through untouched.
 func (a *Aggregator) FilterTransit(n *netsim.Node, p *netsim.Packet) bool {
-	if p.Kind != netsim.Control || p.Dst != a.ctrl {
+	if a.stopped || p.Kind != netsim.Control || p.Dst != a.ctrl {
 		return false
 	}
 	switch pl := p.Payload.(type) {
@@ -196,9 +234,28 @@ func (a *Aggregator) arm(id netsim.NodeID) {
 // one pooled packet per session, handing each aggregate's ownership to its
 // packet (the controller releases it on consumption; if congestion drops the
 // packet the aggregate falls to the garbage collector instead of the pool).
+//
+// The route toward the controller is re-resolved here, at flush time, not
+// frozen at absorb time: a PR 4 tree repair between absorption and flush
+// re-points the next hop, and the flush must follow the repaired route
+// rather than the one the reports arrived on. When no route exists at all —
+// the controller is on the far side of a failed link that has not been
+// repaired yet — emitting would feed every pending aggregate into a
+// guaranteed routing drop (losing the feedback and leaking the pooled
+// aggregate to the garbage collector). Instead the pending state is kept
+// and the flush re-armed, so the accumulated feedback rides out the outage
+// and reaches the controller on the post-repair route.
 func (a *Aggregator) flushNode(id netsim.NodeID) {
 	nd := &a.nodes[id]
 	nd.armed = false
+	if a.stopped {
+		return
+	}
+	if a.net.NextHop(id, a.ctrl) == netsim.NoNode {
+		atomic.AddInt64(&a.Retained, 1)
+		a.arm(id)
+		return
+	}
 	sched := a.net.SchedulerFor(id)
 	now := sched.Now()
 	node := a.net.Node(id)
@@ -235,6 +292,17 @@ func (a *Aggregator) flushNode(id netsim.NodeID) {
 func (a *Aggregator) Recv(p *netsim.Packet) {
 	b, ok := p.Payload.(*report.SuggestionBatch)
 	if !ok {
+		return
+	}
+	if a.stopped {
+		// No forwarding anymore, but still take ownership through the
+		// deferred hand-over so a straggler batch delivered after Stop
+		// keeps the pool balanced instead of falling to the collector.
+		nd := &a.nodes[p.Dst]
+		if nd.lastBatch != nil {
+			nd.lastBatch.Release()
+		}
+		nd.lastBatch = b
 		return
 	}
 	a.redistribute(p.Dst, b)

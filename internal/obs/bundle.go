@@ -50,6 +50,19 @@ type Obs struct {
 	AggFlushes  *Counter // aggregate packets emitted toward the controller
 	AggBatches  *Counter // suggestion sub-batches forwarded down the tree
 
+	// Hierarchical control plane (internal/federation). FedReconcileUs
+	// observes each parent reconcile pass's host wall latency in
+	// microseconds (reporting only — the simulation never reads it);
+	// FedBudgetChurn counts per-(domain, session) budget changes the
+	// reconcile loop pushed down, the stability number of the declarative
+	// loop (churn -> 0 is budget convergence).
+	FedExports     *Counter // domain summaries received from leaf controllers
+	FedReconciles  *Counter // parent reconcile passes run
+	FedBudgetChurn *Counter // budget changes pushed down to leaves
+	FedCapped      *Counter // suggestions clamped to a budget at the leaves
+	FedReconcileUs *Histogram
+	FedBudgetLevel *Histogram // budget levels in force after each reconcile
+
 	// Packet plane (via the NetProbe).
 	Enqueues     *Counter
 	Delivers     *Counter
@@ -99,6 +112,15 @@ func New(opt Options) *Obs {
 	o.AggMerges = o.Reg.Counter("agg_merges")
 	o.AggFlushes = o.Reg.Counter("agg_flushes")
 	o.AggBatches = o.Reg.Counter("agg_batches")
+
+	o.FedExports = o.Reg.Counter("federation_exports")
+	o.FedReconciles = o.Reg.Counter("federation_reconciles")
+	o.FedBudgetChurn = o.Reg.Counter("federation_budget_churn")
+	o.FedCapped = o.Reg.Counter("federation_capped_suggestions")
+	o.FedReconcileUs = o.Reg.Histogram("federation_reconcile_us",
+		[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000})
+	o.FedBudgetLevel = o.Reg.Histogram("federation_budget_level",
+		[]float64{1, 2, 3, 4, 5, 6, 8, 12, 15})
 
 	o.Enqueues = o.Reg.Counter("link_enqueues")
 	o.Delivers = o.Reg.Counter("link_delivers")

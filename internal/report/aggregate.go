@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"toposense/internal/netsim"
 	"toposense/internal/sim"
@@ -72,9 +73,27 @@ type Aggregate struct {
 
 var aggPool = sync.Pool{New: func() any { return new(Aggregate) }}
 
+// Pool balance accounting: every New* bumps the live count, every Release
+// drops it. sync.Pool has no accounting of its own, so these atomics are the
+// only way a test can assert that a run returned every payload it took —
+// the contract a deferred-release holder (mcast.Aggregator's lastBatch) is
+// easiest to break. A payload on a packet that congestion drops is released
+// by no one and falls to the garbage collector; it stays counted as live,
+// so balance assertions belong in drop-free scenarios.
+var aggLive, batchLive int64
+
+// AggregatesLive returns how many pooled Aggregates are currently checked
+// out (NewAggregate calls minus Release calls) across the process.
+func AggregatesLive() int64 { return atomic.LoadInt64(&aggLive) }
+
+// BatchesLive returns how many pooled SuggestionBatches are currently
+// checked out (NewSuggestionBatch calls minus Release calls).
+func BatchesLive() int64 { return atomic.LoadInt64(&batchLive) }
+
 // NewAggregate takes a reset Aggregate from the pool.
 func NewAggregate(session int, origin netsim.NodeID) *Aggregate {
 	a := aggPool.Get().(*Aggregate)
+	atomic.AddInt64(&aggLive, 1)
 	a.Reset()
 	a.Session = session
 	a.Origin = origin
@@ -83,7 +102,10 @@ func NewAggregate(session int, origin netsim.NodeID) *Aggregate {
 
 // Release returns the aggregate to the pool. The caller must be the last
 // holder; the contents stay readable only until the pool hands it out again.
-func (a *Aggregate) Release() { aggPool.Put(a) }
+func (a *Aggregate) Release() {
+	atomic.AddInt64(&aggLive, -1)
+	aggPool.Put(a)
+}
 
 // Reset clears the aggregate, keeping the entry slice's capacity.
 func (a *Aggregate) Reset() {
@@ -264,13 +286,17 @@ var batchPool = sync.Pool{New: func() any { return new(SuggestionBatch) }}
 // NewSuggestionBatch takes an empty batch from the pool.
 func NewSuggestionBatch() *SuggestionBatch {
 	b := batchPool.Get().(*SuggestionBatch)
+	atomic.AddInt64(&batchLive, 1)
 	b.Sent = 0
 	b.Entries = b.Entries[:0]
 	return b
 }
 
 // Release returns the batch to the pool.
-func (b *SuggestionBatch) Release() { batchPool.Put(b) }
+func (b *SuggestionBatch) Release() {
+	atomic.AddInt64(&batchLive, -1)
+	batchPool.Put(b)
+}
 
 // Add appends one prescription.
 func (b *SuggestionBatch) Add(node netsim.NodeID, session, level int) {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards bench-fanin bench-federation obs-gate fanin-gate repro repro-quick cover examples clean
+.PHONY: all build test vet bench bench-micro bench-json bench-scale bench-shards bench-fanin bench-federation bench-churn obs-gate fanin-gate repro repro-quick cover examples clean
 
 all: build vet test
 
@@ -68,6 +68,14 @@ bench-fanin:
 # suggestion fan-out benchmarks must report 0 allocs/op at steady state.
 fanin-gate:
 	scripts/benchdiff.sh fanin-gate
+
+# Membership churn capture: the fig_churn join/leave study (TopoSense vs
+# RLM under Poisson churn swept around the decision interval, plus a tree
+# ladder point) exported to BENCH_churn.json. The rows carry the departure
+# lifecycle numbers: deregistrations consumed, graft+prune rates, tree-cost
+# drift (leaked branches) and settled-receiver convergence.
+bench-churn:
+	$(GO) run ./cmd/topobench -fig fig_churn -json BENCH_churn.json
 
 # Hierarchical control plane capture: the flat-vs-federated comparison on
 # the tiered topology (fig_federation) exported to BENCH_federation.json.

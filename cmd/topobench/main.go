@@ -19,6 +19,7 @@
 //	topobench -parallel 8           # 8 worker goroutines (0 = GOMAXPROCS)
 //	topobench -shards 4             # sharded engine, 4 workers per run (figs 6, 7, fig_scale)
 //	topobench -fig fig_scale -aggregate  # fig_scale with in-network aggregation twins
+//	topobench -fig fig_churn -churn 4    # membership churn study, period pinned to 4 s
 //	topobench -json BENCH_full.json # machine-readable results + run metadata
 //	topobench -obs -json BENCH.json # embed each run's observability export
 //	topobench -timeout 10m         # per-run wall-clock budget
@@ -49,6 +50,7 @@ func main() {
 	shards := flag.Int("shards", 0, "engine workers per run: 0 = single-threaded engine, N >= 1 = sharded engine with N workers (honoured by figures 6, 7 and fig_scale; fig_scale then adds a speedup column)")
 	aggregate := flag.Bool("aggregate", false, "fig_scale: run an in-network-aggregation twin of every ladder point (control fan-in columns both ways)")
 	federate := flag.Bool("federate", false, "fig_scale: run a hierarchical-control-plane twin of every ladder point (fig_federation always runs federated)")
+	churnFlag := flag.Float64("churn", 0, "fig_churn: pin the mean join/leave period to this many simulated seconds instead of the default sweep around the decision interval (0 = default sweep)")
 	jsonPath := flag.String("json", "", "write results + run metadata to this file (e.g. BENCH_full.json)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	obsOn := flag.Bool("obs", false, "enable per-run observability; each result then carries an obs export (see -json)")
@@ -89,7 +91,7 @@ func main() {
 			}
 		}
 	}
-	if err := experiments.ValidateEngineFlags(*shards, failAt, *aggregate, *federate); err != nil {
+	if err := experiments.ValidateEngineFlags(*shards, failAt, *aggregate, *federate, *churnFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if failAt > 0 {
 			fmt.Fprintln(os.Stderr, "(fig_failure injects faults mid-run; run it separately without the conflicting flag)")
@@ -109,7 +111,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards, Aggregate: *aggregate, Federate: *federate}
+	cfg := experiments.SweepConfig{Seed: *seed, Quick: *quick, Topo: *topoFlag, Shards: *shards, Aggregate: *aggregate, Federate: *federate, Churn: *churnFlag}
 	var specs []experiments.Spec
 	type slice struct{ lo, hi int }
 	slices := make([]slice, len(selected))

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"toposense/internal/churn"
 	"toposense/internal/controller"
 	"toposense/internal/core"
 	"toposense/internal/experiments"
@@ -41,7 +42,10 @@ import (
 	"toposense/internal/netsim"
 	"toposense/internal/obs"
 	"toposense/internal/prof"
+	"toposense/internal/receiver"
+	"toposense/internal/rlm"
 	"toposense/internal/sim"
+	"toposense/internal/source"
 	"toposense/internal/topology"
 	"toposense/internal/trace"
 )
@@ -72,6 +76,7 @@ func main() {
 	staleness := flag.Float64("staleness", 0, "topology information staleness in seconds")
 	failAt := flag.Float64("failat", 0, "cut the topology's bottleneck link at this simulated second (0 = no failure)")
 	outage := flag.Float64("outage", 60, "with -failat: seconds until the link is repaired")
+	churnPeriod := flag.Float64("churn", 0, "Poisson membership churn: every receiver alternates joined/departed with this mean period in simulated seconds (0 = no churn)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", 0, "engine workers: 0 = single-threaded engine, N >= 1 = sharded engine with N workers")
 	aggregate := flag.Bool("aggregate", false, "install the in-network feedback aggregation layer (toposense only)")
@@ -138,7 +143,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-outage must be positive when -failat is set")
 		os.Exit(2)
 	}
-	if err := experiments.ValidateEngineFlags(*shards, *failAt, *aggregate, *federate); err != nil {
+	if err := experiments.ValidateEngineFlags(*shards, *failAt, *aggregate, *federate, *churnPeriod); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -284,16 +289,65 @@ func main() {
 					}
 					sampler.Start()
 				}
+				// Membership churn: every receiver alternates between joined
+				// and departed. A departure is the full lifecycle (leave all
+				// layer groups, deregister with the controller); a rejoin is a
+				// fresh incarnation that registers from scratch. cur tracks
+				// the live incarnation per slot; its OnChange feeds the same
+				// trace as the original, so deviations reflect the churn.
+				var cur [][]*receiver.Receiver
+				var drv *churn.Driver
+				if *churnPeriod > 0 {
+					drv = churn.New(b.Net)
+					drv.SetObs(m.Obs())
+					period := sim.FromSeconds(*churnPeriod)
+					cur = make([][]*receiver.Receiver, len(w.Receivers))
+					for s := range w.Receivers {
+						cur[s] = append([]*receiver.Receiver(nil), w.Receivers[s]...)
+						for i := range w.Receivers[s] {
+							s, i := s, i
+							node := b.Receivers[s][i]
+							tr := w.Traces[s][i]
+							drv.Slot(0, period, period,
+								func() {
+									rx := receiver.New(b.Net, w.Domain, node, receiver.Config{
+										Session: s, MaxLayers: source.DefaultLayers,
+										InitialLevel: 1, Controller: b.Controller.ID,
+									})
+									rx.OnChange = func(c receiver.Change) { tr.Set(c.At, c.To) }
+									rx.Start()
+									cur[s][i] = rx
+								},
+								func() {
+									if rx := cur[s][i]; rx != nil {
+										rx.Depart()
+										cur[s][i] = nil
+									}
+								})
+						}
+					}
+				}
 				w.Run(dur)
 				traces, optima = w.AllTraces()
 				for s := range w.Receivers {
-					for _, rx := range w.Receivers[s] {
-						levels = append(levels, rx.Level())
-						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+					for i, rx := range w.Receivers[s] {
+						if cur != nil {
+							rx = cur[s][i]
+						}
+						lvl := 0
+						if rx != nil {
+							lvl = rx.Level()
+						}
+						levels = append(levels, lvl)
+						names = append(names, fmt.Sprintf("s%d/%s", s, b.Receivers[s][i].Name))
 					}
 				}
 				fmt.Printf("controller: %d steps, %d suggestions sent, %d reports received\n",
 					w.Controller.StepsRun, w.Controller.SuggestionsSent, w.Controller.ReportsRecv)
+				if drv != nil {
+					fmt.Printf("churn: %d joins, %d leaves, %d deregisters consumed, %d receivers registered at end\n",
+						drv.Joins, drv.Leaves, w.Controller.DeregistersRecv, len(w.Controller.RegisteredReceivers()))
+				}
 				if *aggregate {
 					fmt.Printf("aggregation: %d reports absorbed in-network, %d merges, %d flushes, %d sub-batches down\n",
 						w.Aggregator.Absorbed, w.Aggregator.Merged, w.Aggregator.Flushes, w.Aggregator.Batches)
@@ -318,13 +372,57 @@ func main() {
 			} else {
 				w := experiments.NewRLMWorld(e, b, cfg)
 				w.Domain.SetObs(m.Obs())
+				// RLM baseline under churn: a departure is Stop (leave every
+				// group — RLM has no control plane to deregister from) and a
+				// rejoin is a fresh receiver probing up from the base layer.
+				var cur [][]*rlm.Receiver
+				var drv *churn.Driver
+				if *churnPeriod > 0 {
+					drv = churn.New(b.Net)
+					drv.SetObs(m.Obs())
+					period := sim.FromSeconds(*churnPeriod)
+					cur = make([][]*rlm.Receiver, len(w.Receivers))
+					for s := range w.Receivers {
+						cur[s] = append([]*rlm.Receiver(nil), w.Receivers[s]...)
+						for i := range w.Receivers[s] {
+							s, i := s, i
+							node := b.Receivers[s][i]
+							tr := w.Traces[s][i]
+							drv.Slot(0, period, period,
+								func() {
+									rx := rlm.New(b.Net, w.Domain, node, rlm.Config{
+										Session: s, MaxLayers: source.DefaultLayers,
+									})
+									rx.OnChange = func(c rlm.Change) { tr.Set(c.At, c.To) }
+									rx.Start()
+									cur[s][i] = rx
+								},
+								func() {
+									if rx := cur[s][i]; rx != nil {
+										rx.Stop()
+										cur[s][i] = nil
+									}
+								})
+						}
+					}
+				}
 				w.Run(dur)
 				traces, optima = w.AllTraces()
 				for s := range w.Receivers {
-					for _, rx := range w.Receivers[s] {
-						levels = append(levels, rx.Level())
-						names = append(names, fmt.Sprintf("s%d/%s", s, rx.Node().Name))
+					for i, rx := range w.Receivers[s] {
+						if cur != nil {
+							rx = cur[s][i]
+						}
+						lvl := 0
+						if rx != nil {
+							lvl = rx.Level()
+						}
+						levels = append(levels, lvl)
+						names = append(names, fmt.Sprintf("s%d/%s", s, b.Receivers[s][i].Name))
 					}
+				}
+				if drv != nil {
+					fmt.Printf("churn: %d joins, %d leaves\n", drv.Joins, drv.Leaves)
 				}
 			}
 

@@ -86,6 +86,11 @@ type Controller struct {
 	regSeq     uint64
 	lastHeard  map[receiverKey]sim.Time
 	acc        map[receiverKey]*accum
+	// departed counts, per session, the receivers unregistered since the
+	// last decision pass. It is read during OnStep (the federation leaf
+	// folds departures into its export) and cleared at the end of every
+	// step. Lazily allocated: without churn it stays nil and costs nothing.
+	departed map[int]int
 	billing    *ledger // non-nil once EnableBilling is called
 	// last holds the most recent completed aggregate per receiver, used
 	// when a receiver goes silent for a whole interval (its reports were
@@ -118,6 +123,7 @@ type Controller struct {
 	SuggestionsSent int64
 	ReportsRecv     int64
 	RegistersRecv   int64
+	DeregistersRecv int64
 	// Control-plane fan-in, counted at packet delivery: every control
 	// message (and its modeled wire bytes) the controller's node handed to
 	// the agent. With aggregation on, AggregatesRecv of those were compact
@@ -237,6 +243,52 @@ type ReceiverID struct {
 	Node    netsim.NodeID
 }
 
+// Unregister forgets a receiver immediately: it is removed from the
+// registration tables (which invalidates any pending mid-interval
+// suggestion resend through the registration-generation check — the key's
+// absence fails the recheck) and evicted from the next algorithm pass. A
+// later Register from the same node is a fresh incarnation and opens a new
+// generation, exactly like a re-registration after expiry. Unknown
+// receivers are ignored.
+func (c *Controller) Unregister(session int, node netsim.NodeID) {
+	c.unregister(receiverKey{session, node})
+}
+
+// unregister drops one receiver's state — the same four tables the
+// expiry sweep in step() clears — and records the departure for this pass.
+func (c *Controller) unregister(k receiverKey) {
+	if _, ok := c.registered[k]; !ok {
+		return
+	}
+	delete(c.registered, k)
+	delete(c.lastHeard, k)
+	delete(c.acc, k)
+	delete(c.last, k)
+	if c.departed == nil {
+		c.departed = make(map[int]int)
+	}
+	c.departed[k.session]++
+}
+
+// PassDepartures returns how many receivers of session have deregistered
+// since the last decision pass. Valid during OnStep; the count resets when
+// the pass completes.
+func (c *Controller) PassDepartures(session int) int { return c.departed[session] }
+
+// DepartedSessions returns the sessions with departures pending in the
+// current pass, sorted; nil when there were none.
+func (c *Controller) DepartedSessions() []int {
+	if len(c.departed) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(c.departed))
+	for s := range c.departed {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Start begins the discovery tool and the periodic decision timer.
 func (c *Controller) Start() {
 	if c.ticker != nil {
@@ -316,6 +368,9 @@ func (c *Controller) consume(payload any) {
 		if c.billing != nil {
 			c.billing.meter(pl.Session, pl.Node, pl.Bytes, pl.Level, pl.Interval)
 		}
+	case report.Deregister:
+		c.DeregistersRecv++
+		c.unregister(receiverKey{pl.Session, pl.Node})
 	case *report.Aggregate:
 		// An in-network merge of many receivers' reports. Each entry carries
 		// the exact sums of its receiver's folded reports, so folding it here
@@ -499,6 +554,12 @@ func (c *Controller) step() {
 	// slice is safely mutable until its next Step).
 	if len(c.levelCap) > 0 {
 		for i := range out {
+			if _, ok := c.registered[receiverKey{out[i].Session, out[i].Node}]; !ok {
+				// A receiver that deregistered mid-interval: the fan-out below
+				// skips it, so clamping it here would only inflate the capped
+				// counter with ghost bookkeeping.
+				continue
+			}
 			if lim, ok := c.levelCap[out[i].Session]; ok && out[i].Level > lim {
 				out[i].Level = lim
 				c.SuggestionsCapped++
@@ -610,6 +671,12 @@ func (c *Controller) step() {
 	}
 	if c.OnStep != nil {
 		c.OnStep(now, in, out)
+	}
+	// Departure counts cover exactly one pass; OnStep (the federation leaf's
+	// export hook) was the last reader. Ranging a nil map is free, so the
+	// churn-free pass stays allocation-free.
+	for s := range c.departed {
+		delete(c.departed, s)
 	}
 }
 

@@ -391,6 +391,83 @@ func TestNoResendToReRegisteredReceiver(t *testing.T) {
 	}
 }
 
+func TestDepartThenReRegisterGetsFreshLevel(t *testing.T) {
+	// The churn lifecycle at the controller: register → deregister →
+	// re-register. The deregistration must clear all four per-receiver
+	// tables, and the re-registration is a fresh incarnation — it opens a
+	// new generation and tracks the registered level, not the stale level
+	// the departed incarnation last reported.
+	w := buildChainWorld(t, 500e3, 0)
+	k := receiverKey{0, 5}
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 2}})
+	w.ctrl.Recv(&netsim.Packet{Payload: report.LossReport{Node: 5, Session: 0, Level: 4, LossRate: 0, Bytes: 100, Interval: sim.Second}})
+	gen := w.ctrl.registered[k]
+
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Deregister{Node: 5, Session: 0}})
+	if w.ctrl.DeregistersRecv != 1 {
+		t.Fatalf("DeregistersRecv = %d, want 1", w.ctrl.DeregistersRecv)
+	}
+	if _, ok := w.ctrl.registered[k]; ok {
+		t.Error("receiver still registered after Deregister")
+	}
+	if _, ok := w.ctrl.acc[k]; ok {
+		t.Error("accumulator survived the Deregister")
+	}
+	if _, ok := w.ctrl.last[k]; ok {
+		t.Error("stale aggregate survived the Deregister")
+	}
+	if got := w.ctrl.PassDepartures(0); got != 1 {
+		t.Errorf("PassDepartures(0) = %d, want 1", got)
+	}
+	if got := w.ctrl.DepartedSessions(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("DepartedSessions() = %v, want [0]", got)
+	}
+	// Deregistering an unknown receiver is a no-op, not a double count.
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Deregister{Node: 5, Session: 0}})
+	if got := w.ctrl.PassDepartures(0); got != 1 {
+		t.Errorf("PassDepartures(0) after duplicate Deregister = %d, want 1", got)
+	}
+
+	w.ctrl.Recv(&netsim.Packet{Payload: report.Register{Node: 5, Session: 0, Level: 1}})
+	if got := w.ctrl.acc[k].level; got != 1 {
+		t.Errorf("accumulator level after re-register = %d, want the fresh 1, not the stale 4", got)
+	}
+	if w.ctrl.registered[k] == gen {
+		t.Error("re-register after Deregister did not open a new generation")
+	}
+}
+
+func TestDepartSuppressesPendingResend(t *testing.T) {
+	// End-to-end: a receiver that Departs between the step and the
+	// mid-interval repeat must not be instructed by the repeat — the
+	// Deregister packet drops the registration, and the generation check
+	// skips the pending resend. Same timing as TestNoResendToExpiredReceiver
+	// but through the real lifecycle instead of reaching into the tables.
+	w := buildChainWorld(t, 500e3, 0)
+	w.start()
+	var sentAtDepart int64
+	// Steps run every 4 s; the step at t=20s schedules its repeat for 22s.
+	// Depart at 20.2s: the Deregister crosses two 200ms hops and lands well
+	// before the sample at 21.5s.
+	w.e.Schedule(20*sim.Second+200*sim.Millisecond, func() { w.rxs[0].Depart() })
+	w.e.Schedule(21*sim.Second+500*sim.Millisecond, func() {
+		sentAtDepart = w.ctrl.SuggestionsSent
+	})
+	w.e.RunUntil(23 * sim.Second) // past the repeat at 22s, before the next step
+	if sentAtDepart == 0 {
+		t.Fatal("controller never sent a suggestion before the departure")
+	}
+	if w.ctrl.DeregistersRecv != 1 {
+		t.Fatalf("DeregistersRecv = %d, want 1", w.ctrl.DeregistersRecv)
+	}
+	if got := len(w.ctrl.RegisteredReceivers()); got != 0 {
+		t.Errorf("%d receivers still registered after Depart", got)
+	}
+	if w.ctrl.SuggestionsSent != sentAtDepart {
+		t.Errorf("repeat sent to a departed receiver: %d -> %d", sentAtDepart, w.ctrl.SuggestionsSent)
+	}
+}
+
 func TestLossReportDoesNotBumpGeneration(t *testing.T) {
 	// Reports from a live receiver must keep the registration generation:
 	// bumping it would cancel every pending mid-interval repeat.

@@ -115,6 +115,66 @@ func TestShutdownPoolBalance(t *testing.T) {
 	}
 }
 
+// TestDepartPurgePoolBalance extends the pool-balance invariant across the
+// departure lifecycle. A receiver's Depart sends a Deregister up its report
+// path; every aggregation node on the way purges the departed receiver's
+// folded feedback from its pending aggregate, so no stale entry rides a
+// later flush into the controller and re-registers the ghost. The purge
+// releases emptied aggregates back to the pool, so the balance invariant
+// (live == baseline + congestion-dropped) must survive a run with churn.
+func TestDepartPurgePoolBalance(t *testing.T) {
+	aggBefore, batchBefore := report.AggregatesLive(), report.BatchesLive()
+
+	w := NewWorldB(2, WorldConfig{Seed: 3, Traffic: CBR, Aggregate: true})
+	var aggDropped, batchDropped int64
+	w.Net.AttachProbe(&netsim.FuncProbe{OnDrop: func(l *netsim.Link, p *netsim.Packet) {
+		switch p.Payload.(type) {
+		case *report.Aggregate:
+			aggDropped++
+		case *report.SuggestionBatch:
+			batchDropped++
+		}
+	}})
+	// Depart one receiver per session mid-run, deliberately misaligned with
+	// the report/flush cadence so each departing receiver has feedback
+	// pending at upstream aggregation nodes when its Deregister climbs.
+	var departed []netsim.NodeID
+	sim.GlobalOf(w.Engine).Schedule(20*sim.Second+777*sim.Millisecond, func() {
+		for s := range w.Receivers {
+			departed = append(departed, w.Receivers[s][0].Node().ID)
+			w.Receivers[s][0].Depart()
+		}
+	})
+	w.Run(45*sim.Second + 123*sim.Millisecond)
+
+	if w.Aggregator.Purged == 0 {
+		t.Error("no pending entries purged — the Deregisters never crossed the aggregation layer")
+	}
+	if got, want := w.Controller.DeregistersRecv, int64(len(departed)); got != want {
+		t.Errorf("controller consumed %d deregistrations, want %d", got, want)
+	}
+	for _, id := range w.Controller.RegisteredReceivers() {
+		for _, node := range departed {
+			if id.Node == node {
+				t.Errorf("departed receiver at node %d still registered at the end — a stale flush re-registered the ghost", node)
+			}
+		}
+	}
+
+	w.Shutdown()
+	w.Engine.RunUntil(50 * sim.Second)
+	w.Aggregator.Stop()
+
+	if got, want := report.AggregatesLive(), aggBefore+aggDropped; got != want {
+		t.Errorf("aggregates still live after a churn run: %d, want %d (baseline %d + %d lost to drops)",
+			got, want, aggBefore, aggDropped)
+	}
+	if got, want := report.BatchesLive(), batchBefore+batchDropped; got != want {
+		t.Errorf("suggestion batches still live after a churn run: %d, want %d (baseline %d + %d lost to drops)",
+			got, want, batchBefore, batchDropped)
+	}
+}
+
 // TestShardAggregateDecisionEquivalence is the combined-flags acceptance:
 // -shards N -aggregate must land every receiver on the same final level as
 // the serial flat-report baseline. Aggregation changes the control plane's

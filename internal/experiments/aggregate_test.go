@@ -138,16 +138,17 @@ func TestScaleSpecsAggregateTwins(t *testing.T) {
 }
 
 // TestValidateEngineFlags covers the full -shards/-failat/-aggregate/
-// -federate matrix: the three unsupportable pairs are rejected with errors
+// -federate/-churn matrix: the unsupportable pairs are rejected with errors
 // that name both flags and the fallback, and every other combination — in
-// particular -shards with -aggregate, -failat with -aggregate, and -shards
-// with -federate — passes.
+// particular -shards with -aggregate, -failat with -aggregate, -shards
+// with -federate, and -churn with -shards or -failat — passes.
 func TestValidateEngineFlags(t *testing.T) {
 	cases := []struct {
 		name                string
 		shards              int
 		failAt              float64
 		aggregate, federate bool
+		churn               float64
 		wantErr             bool
 		frags               []string // fragments the error must contain
 	}{
@@ -159,6 +160,10 @@ func TestValidateEngineFlags(t *testing.T) {
 		{name: "sharded aggregate", shards: 4, aggregate: true, wantErr: false},
 		{name: "sharded federate", shards: 4, federate: true, wantErr: false},
 		{name: "faults with aggregate", failAt: 200, aggregate: true, wantErr: false},
+		{name: "churn alone", churn: 4, wantErr: false},
+		{name: "churn sharded", shards: 4, churn: 4, wantErr: false},
+		{name: "churn with faults", failAt: 200, churn: 4, wantErr: false},
+		{name: "churn with aggregate", aggregate: true, churn: 4, wantErr: false},
 
 		{name: "faults on one worker", shards: 1, failAt: 200, wantErr: true,
 			frags: []string{"-failat", "-shards", "serial engine"}},
@@ -170,11 +175,15 @@ func TestValidateEngineFlags(t *testing.T) {
 			frags: []string{"-failat", "-federate", "drop -federate"}},
 		{name: "federate with aggregate", aggregate: true, federate: true, wantErr: true,
 			frags: []string{"-federate", "-aggregate", "drop -aggregate"}},
+		{name: "churn federated", churn: 4, federate: true, wantErr: true,
+			frags: []string{"-churn", "-federate", "drop -federate"}},
+		{name: "negative churn", churn: -1, wantErr: true,
+			frags: []string{"-churn", "positive"}},
 		{name: "everything at once", shards: 4, failAt: 200, aggregate: true, federate: true,
 			wantErr: true, frags: []string{"-failat"}},
 	}
 	for _, c := range cases {
-		err := ValidateEngineFlags(c.shards, c.failAt, c.aggregate, c.federate)
+		err := ValidateEngineFlags(c.shards, c.failAt, c.aggregate, c.federate, c.churn)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: ValidateEngineFlags(shards=%d, failat=%g, agg=%v, fed=%v) error = %v, want error %v",
 				c.name, c.shards, c.failAt, c.aggregate, c.federate, err, c.wantErr)

@@ -122,6 +122,35 @@ func TestGoldenFig7Determinism(t *testing.T) {
 	checkGolden(t, "7", "golden_fig7_quick.json", 0)
 }
 
+// TestGoldenChurnDeterminism locks the membership-churn study: the quick
+// fig_churn sweep (TopoSense and RLM arms under Poisson join/leave, plus
+// the tree-ladder arm) must be bit-reproducible for a fixed seed. The churn
+// driver draws every holding time from the run-wide RNG, so any change to
+// its draw order — or to the departure lifecycle's packet economy
+// (Deregister, purge, prune cascade) — shows up here as a diff.
+func TestGoldenChurnDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fig_churn sweep is a few seconds of simulation")
+	}
+	checkGolden(t, "fig_churn", "golden_churn_quick.json", 0)
+}
+
+// TestGoldenChurnShardedDeterminism is the sharded lineage of the churn
+// study: recorded with -shards 1 and verified with 4 workers, like
+// TestGoldenShardedDeterminism. The churn driver runs entirely at
+// stop-the-world barriers, so the worker count must not change a single
+// byte — serial-vs-sharded composition of churn is pinned here.
+func TestGoldenChurnShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick fig_churn sweep is a few seconds of simulation")
+	}
+	if *updateGolden {
+		checkGolden(t, "fig_churn", "golden_churn_quick_sharded.json", 1)
+		return
+	}
+	checkGolden(t, "fig_churn", "golden_churn_quick_sharded.json", 4)
+}
+
 // TestGoldenShardedDeterminism locks the sharded engine's worker-count
 // invariance on both golden figures: the *_sharded golden files are
 // recorded with -shards 1 (the sharded execution model on one worker) and

@@ -30,6 +30,10 @@ type SweepConfig struct {
 	// every ladder point (scoped leaf controllers under a federation
 	// parent). fig_federation runs federated regardless.
 	Federate bool
+	// Churn is the mean join/leave period in seconds for the sweeps that
+	// take one (fig_churn): > 0 pins the study to that single period
+	// instead of its default sweep around the decision interval.
+	Churn float64
 }
 
 // Experiment is one registry entry: a named sweep that can enumerate its
@@ -211,6 +215,20 @@ func Registry() []Experiment {
 			},
 			Render: func(results []Result) (string, error) {
 				return table(results, FederationTable)
+			},
+		},
+		{
+			Name:  "fig_churn",
+			Title: "Membership churn: Poisson join/leave vs the decision interval",
+			Specs: func(cfg SweepConfig) []Spec {
+				c := ChurnStudyConfig{Seed: cfg.Seed, Duration: quickDur(cfg), Quick: cfg.Quick, Shards: cfg.Shards}
+				if cfg.Churn > 0 {
+					c.Periods = []sim.Time{sim.Time(cfg.Churn * float64(sim.Second))}
+				}
+				return ChurnStudySpecs(c)
+			},
+			Render: func(results []Result) (string, error) {
+				return table(results, ChurnStudyTable)
 			},
 		},
 		{

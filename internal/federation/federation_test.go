@@ -215,6 +215,60 @@ func TestCutEpisodeAndLearnedCeiling(t *testing.T) {
 	}
 }
 
+// TestDrainedDomainHoldsBudget: a domain whose receivers all depart
+// (Receivers == 0, Departures > 0 in the export) holds its earned budget —
+// even when the drain lands mid-distress-episode and the loss echo would
+// otherwise complete a cut — so rejoining receivers resume at the earned
+// level. A session only ever seen drained gets no initial grant.
+func TestDrainedDomainHoldsBudget(t *testing.T) {
+	r := newParentRig(t, source.Rates(6))
+	r.parent.AddDomain(DomainConfig{Domain: 1, Leaf: r.b.ID, BorderBandwidth: 600e3})
+	ceiling := r.parent.Ceiling(1)
+	r.parent.Start()
+
+	at := func(i int) sim.Time { return sim.Time(i)*sim.Second + 100*sim.Millisecond }
+	i := 0
+	// Climb to the ceiling.
+	for ; i < 2*ceiling+2; i++ {
+		r.export(at(i), SessionSummary{Session: 0, Receivers: 3, TopLevel: 6})
+	}
+	// A distress episode opens (one lossy binding export; CutAfter is 2, so
+	// no cut yet) — and then every receiver departs. The drained export still
+	// echoes the loss, which without the departure gate would keep the
+	// episode open and complete the cut.
+	r.export(at(i), SessionSummary{Session: 0, Receivers: 3, MaxLoss: 0.6, MeanLoss: 0.3, TopLevel: ceiling})
+	i++
+	for j := 0; j < 3; j++ {
+		r.export(at(i), SessionSummary{Session: 0, Receivers: 0, Departures: 3, MaxLoss: 0.6, MeanLoss: 0.3})
+		i++
+	}
+	drainEnd := at(i)
+	// A session this domain has only ever exported drained.
+	r.export(at(i), SessionSummary{Session: 1, Receivers: 0, Departures: 2})
+	i++
+	// Receivers rejoin clean: the domain resumes at the earned budget.
+	for j := 0; j < 4; j++ {
+		r.export(at(i), SessionSummary{Session: 0, Receivers: 3, TopLevel: 6})
+		i++
+	}
+
+	r.e.RunUntil(drainEnd)
+	if got := r.parent.Budget(1, 0); got != ceiling {
+		t.Fatalf("drained domain's budget = %d, want the earned %d (hold, not cut)", got, ceiling)
+	}
+	if got := r.parent.Learned(1); got != ceiling {
+		t.Fatalf("drain ratcheted the learned ceiling to %d, want %d untouched", got, ceiling)
+	}
+
+	r.e.RunUntil(at(i) + sim.Second)
+	if got := r.parent.Budget(1, 0); got != ceiling {
+		t.Errorf("budget after the receivers rejoined = %d, want %d", got, ceiling)
+	}
+	if got := r.parent.Budget(1, 1); got != 0 {
+		t.Errorf("session only ever seen drained was granted budget %d, want none", got)
+	}
+}
+
 // TestUnknownDomainDropped: exports from an unregistered domain are ignored,
 // not acted on.
 func TestUnknownDomainDropped(t *testing.T) {

@@ -53,8 +53,28 @@ func (l *Leaf) Controller() *controller.Controller { return l.ctrl }
 func (l *Leaf) export(now sim.Time, in core.Input, out []core.Suggestion) {
 	l.pass++
 	exp := &DomainExport{Domain: l.Domain, Leaf: l.node.ID, Pass: l.pass, Sent: now}
+	// Sessions whose receivers departed this pass must appear in the export
+	// even when no live receiver reported — otherwise the parent sees a
+	// drained session simply vanish and counts its last summary's ghosts
+	// until the next pass. departed is sorted and in.Reports is
+	// session-major, so the two merge in order; nil (the churn-free case)
+	// costs nothing.
+	departed := l.ctrl.DepartedSessions()
+	di := 0
+	drain := func(before int, all bool) {
+		for di < len(departed) && (all || departed[di] < before) {
+			s := departed[di]
+			exp.Sessions = append(exp.Sessions, SessionSummary{
+				Session:    s,
+				Worst:      netsim.NoNode,
+				Departures: l.ctrl.PassDepartures(s),
+			})
+			di++
+		}
+	}
 	for i := 0; i < len(in.Reports); {
 		s := in.Reports[i].Session
+		drain(s, false)
 		ag := report.NewAggregate(s, l.node.ID)
 		top := 0
 		for ; i < len(in.Reports) && in.Reports[i].Session == s; i++ {
@@ -68,17 +88,22 @@ func (l *Leaf) export(now sim.Time, in core.Input, out []core.Suggestion) {
 			}
 		}
 		exp.Sessions = append(exp.Sessions, SessionSummary{
-			Session:   s,
-			Receivers: ag.Receivers(),
-			Reports:   ag.ReportCount,
-			Bytes:     ag.ByteTotal,
-			MeanLoss:  ag.MeanLoss(),
-			MaxLoss:   ag.MaxLoss,
-			Worst:     ag.Worst,
-			TopLevel:  top,
+			Session:    s,
+			Receivers:  ag.Receivers(),
+			Reports:    ag.ReportCount,
+			Bytes:      ag.ByteTotal,
+			MeanLoss:   ag.MeanLoss(),
+			MaxLoss:    ag.MaxLoss,
+			Worst:      ag.Worst,
+			TopLevel:   top,
+			Departures: l.ctrl.PassDepartures(s),
 		})
 		ag.Release()
+		if di < len(departed) && departed[di] == s {
+			di++ // folded into the live summary above
+		}
 	}
+	drain(0, true)
 	pkt := report.NewControlPacket(l.node.ID, l.parent, exp.WireSize(), now, exp)
 	l.node.SendUnicast(pkt)
 	l.ExportsSent++

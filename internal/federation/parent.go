@@ -237,6 +237,19 @@ func (p *Parent) reconcile() {
 		var changed []SessionBudget
 		for _, s := range e.Sessions {
 			b, ok := ds.budgets[s.Session]
+			if s.Receivers == 0 && s.Departures > 0 {
+				// A drained session: every receiver departed this pass.
+				// Silence from departure is not congestion evidence — hold
+				// the budget where it climbed and reset the hysteresis, so
+				// rejoining receivers resume at the earned level instead of
+				// a cut one. A session only ever seen drained gets no
+				// initial grant either.
+				if ok {
+					ds.streaks[s.Session] = 0
+					ds.raises[s.Session] = 0
+				}
+				continue
+			}
 			if !ok {
 				// First sighting of the session in this domain: grant the
 				// initial budget and let it climb on later passes.

@@ -52,6 +52,12 @@ type SessionSummary struct {
 	MaxLoss   float64       // worst single reported loss rate
 	Worst     netsim.NodeID // receiver that reported MaxLoss (NoNode when empty)
 	TopLevel  int           // highest level any receiver reported
+	// Departures is how many receivers deregistered from this session since
+	// the previous pass. A summary with Receivers == 0 and Departures > 0 is
+	// a drained session: the parent must hold its budget rather than treat
+	// the silence as evidence. The count packs into the summary record's
+	// existing padding, so ExportSessionSize is unchanged.
+	Departures int
 }
 
 // DomainExport is the upward half of the federation protocol: one leaf

@@ -53,6 +53,10 @@ type Aggregator struct {
 	// aggregates are kept and the flush retried next interval, instead of
 	// being emitted into a guaranteed routing drop.
 	Retained int64
+	// Purged counts pending entries dropped because their receiver
+	// deregistered between absorption and flush — without the purge the
+	// fan-in keeps reporting ghosts until the next flush.
+	Purged int64
 
 	stopped bool
 
@@ -183,11 +187,39 @@ func (a *Aggregator) FilterTransit(n *netsim.Node, p *netsim.Packet) bool {
 		if a.obs != nil {
 			a.obs.AggMerges.Inc()
 		}
+	case report.Deregister:
+		// Pass through — the controller must still consume it — but purge
+		// the departed receiver's pending entries at this hop. The packet
+		// retraces the receiver's report path, so every node holding folded
+		// reports from it sees the deregistration on the way up.
+		a.purge(n.ID, pl.Session, pl.Node)
+		return false
 	default:
 		return false
 	}
 	a.arm(n.ID)
 	return true
+}
+
+// purge removes node's folded feedback from id's pending aggregate for
+// session, releasing the aggregate back to the pool when it empties (the
+// armed flush then skips the nil slot, keeping the balance invariant
+// live == baseline + congestion-dropped).
+func (a *Aggregator) purge(id netsim.NodeID, session int, node netsim.NodeID) {
+	nd := &a.nodes[id]
+	for i := range nd.pending {
+		if nd.pending[i].session != session {
+			continue
+		}
+		if ag := nd.pending[i].agg; ag != nil && ag.RemoveEntry(node) {
+			atomic.AddInt64(&a.Purged, 1)
+			if ag.Receivers() == 0 {
+				nd.pending[i].agg = nil
+				ag.Release()
+			}
+		}
+		return
+	}
 }
 
 // pending returns node's accumulating aggregate for session, creating it

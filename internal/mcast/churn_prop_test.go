@@ -1,0 +1,147 @@
+package mcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"toposense/internal/faults"
+	"toposense/internal/netsim"
+	"toposense/internal/sim"
+)
+
+// Property test for the full membership lifecycle under hostile conditions:
+// a random interleaving of joins, leaves, and link outages (with repair)
+// must quiesce to exactly the minimal tree covering the member set at the
+// end — the same invariant TestQuickTreeIsMinimalAfterQuiescence pins for
+// the failure-free case. Outages orphan whole subtrees mid-churn: joins
+// land on disconnected routers, prunes race detach events across downed
+// links, and the repair path re-homes everything when the route returns.
+// None of it may leave either a member without its one copy or forwarding
+// state on a branch with no members behind it.
+
+func TestQuickTreeMinimalUnderChurnAndOutages(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		n := netsim.New(e)
+		cfg := netsim.LinkConfig{Bandwidth: 100e6, Delay: 5 * sim.Millisecond, QueueLimit: 1000}
+
+		// Random tree topology: node 0 is the source.
+		numNodes := rng.Intn(12) + 4
+		nodes := make([]*netsim.Node, numNodes)
+		nodes[0] = n.AddNode("src")
+		for i := 1; i < numNodes; i++ {
+			nodes[i] = n.AddNode("n")
+			n.Connect(nodes[i], nodes[rng.Intn(i)], cfg)
+		}
+		d := NewDomain(n)
+		d.LeaveLatency = 100 * sim.Millisecond
+		g := d.RegisterGroup(0, 1, nodes[0].ID)
+		inj := faults.New(n)
+		links := n.Links()
+
+		// Random interleaving of join/leave churn and link outages. Every
+		// outage repairs before the quiescence horizon below, so the final
+		// routing is the original tree's.
+		var lastRepair sim.Time
+		members := map[int]*memberRec{}
+		joined := map[int]bool{}
+		for op := 0; op < 40; op++ {
+			if rng.Intn(4) == 0 {
+				// Cut a random link (both directions) for up to a second,
+				// starting somewhere in the near future.
+				l := links[rng.Intn(len(links))]
+				start := e.Now() + sim.Time(rng.Intn(200))*sim.Millisecond
+				dur := sim.Time(rng.Intn(900)+100) * sim.Millisecond
+				inj.Outage(start, dur, l, l.Reverse())
+				if start+dur > lastRepair {
+					lastRepair = start + dur
+				}
+			} else {
+				idx := rng.Intn(numNodes-1) + 1
+				m := members[idx]
+				if m == nil {
+					m = &memberRec{}
+					members[idx] = m
+				}
+				if joined[idx] {
+					d.Leave(nodes[idx].ID, g, m)
+					joined[idx] = false
+				} else {
+					d.Join(nodes[idx].ID, g, m)
+					joined[idx] = true
+				}
+			}
+			e.RunUntil(e.Now() + sim.Time(rng.Intn(300))*sim.Millisecond)
+		}
+		// Quiesce: every outage repaired, every repair re-homed, every
+		// graft and prune settled.
+		horizon := e.Now()
+		if lastRepair > horizon {
+			horizon = lastRepair
+		}
+		e.RunUntil(horizon + 5*sim.Second)
+
+		if inj.Failures == 0 || inj.Failures != inj.Repairs {
+			t.Fatalf("seed %d: %d failures, %d repairs — outages did not execute symmetrically",
+				seed, inj.Failures, inj.Repairs)
+		}
+
+		// Reset link stats, clear member logs, send one packet.
+		for _, l := range links {
+			l.ResetStats()
+		}
+		for _, m := range members {
+			m.got = nil
+		}
+		nodes[0].SendMulticastLocal(&netsim.Packet{
+			Kind: netsim.Data, Src: nodes[0].ID, Dst: netsim.NoNode,
+			Group: g, Session: 0, Layer: 1, Seq: 1, Size: 100, Sent: e.Now(),
+		})
+		e.RunUntil(e.Now() + 5*sim.Second)
+
+		memberCount := 0
+		for idx, m := range members {
+			if joined[idx] {
+				memberCount++
+				if len(m.got) != 1 {
+					t.Fatalf("seed %d: member at node %d got %d copies, want 1", seed, idx, len(m.got))
+				}
+			} else if len(m.got) != 0 {
+				t.Fatalf("seed %d: departed member at node %d got %d packets", seed, idx, len(m.got))
+			}
+		}
+
+		// Minimality: exactly the union of member-to-source paths carries
+		// traffic, one copy per link — repairs must not have left duplicate
+		// forwarding entries or stale branches behind.
+		needed := map[[2]netsim.NodeID]bool{}
+		for idx := range members {
+			if !joined[idx] {
+				continue
+			}
+			cur := nodes[idx].ID
+			for cur != nodes[0].ID {
+				up := n.NextHop(cur, nodes[0].ID)
+				needed[[2]netsim.NodeID{up, cur}] = true
+				cur = up
+			}
+		}
+		carrying := 0
+		for _, l := range links {
+			st := l.Stats()
+			if st.Enqueued > 1 {
+				t.Fatalf("seed %d: link %v carried %d copies", seed, l, st.Enqueued)
+			}
+			if st.Enqueued == 1 {
+				carrying++
+				if !needed[[2]netsim.NodeID{l.From, l.To}] {
+					t.Fatalf("seed %d: link %v carried traffic with no members behind it", seed, l)
+				}
+			}
+		}
+		if memberCount > 0 && carrying != len(needed) {
+			t.Fatalf("seed %d: %d links carried traffic, minimal tree needs %d", seed, carrying, len(needed))
+		}
+	}
+}

@@ -75,6 +75,12 @@ type nodeGroupState struct {
 	// detach from the *old* parent after a reroute, which the routing
 	// table can no longer answer.
 	parent netsim.NodeID
+
+	// idleSince is when the router last went idle (no members, no
+	// children) and scheduled its leave-latency timer; zero otherwise. It
+	// feeds the departure-to-prune latency histogram: the gap between the
+	// last member leaving and the prune landing at the parent.
+	idleSince sim.Time
 }
 
 func (s *nodeGroupState) active() bool {
@@ -417,6 +423,7 @@ func (d *Domain) maybeSchedulePrune(n netsim.NodeID, g netsim.GroupID, st *nodeG
 	if st.active() || !st.pruneTimer.IsZero() {
 		return
 	}
+	st.idleSince = d.net.SchedulerFor(n).Now()
 	// The timer fires in n's own context, so it lives on n's shard — which
 	// also keeps the handle cancellable (cross-shard schedules are not).
 	st.pruneTimer = d.net.SchedulerFor(n).Schedule(d.LeaveLatency, func() {
@@ -440,18 +447,27 @@ func (d *Domain) pruneFromParent(n netsim.NodeID, g netsim.GroupID) {
 	}
 	up := st.parent
 	st.parent = netsim.NoNode
+	idle := st.idleSince
+	st.idleSince = 0
 	link := d.net.Node(n).LinkTo(up)
 	if link == nil {
 		return
 	}
 	atomic.AddInt64(&d.Prunes, 1)
 	d.noteTree(obs.EvPrune, n, up, g)
-	d.net.SchedulerBetween(n, up).Schedule(link.Delay, func() {
+	sched := d.net.SchedulerBetween(n, up)
+	sched.Schedule(link.Delay, func() {
 		upSt := d.lookup(up, g)
 		if upSt == nil {
 			return
 		}
 		upSt.removeChild(n)
+		if d.obs != nil && idle > 0 {
+			// Departure-to-prune latency: last member left at idle, the
+			// prune just landed upstream. Cascade prunes (idle == 0) are
+			// not re-counted — the latency was paid at the last-hop router.
+			d.obs.DeparturePrune.Observe((sched.Now() - idle).Seconds() * 1e3)
+		}
 		if !upSt.active() && upSt.pruneTimer.IsZero() {
 			// Upstream prunes promptly: the leave-latency cost was already
 			// paid at the last-hop router.
@@ -466,6 +482,7 @@ func (d *Domain) cancelPrune(n netsim.NodeID, st *nodeGroupState) {
 	if !st.pruneTimer.IsZero() {
 		d.net.SchedulerFor(n).Cancel(st.pruneTimer)
 		st.pruneTimer = sim.Handle{}
+		st.idleSince = 0
 	}
 }
 
@@ -580,6 +597,33 @@ func (d *Domain) HasLocalMembers(n netsim.NodeID, g netsim.GroupID) bool {
 func (d *Domain) OnTree(n netsim.NodeID, g netsim.GroupID) bool {
 	st := d.lookup(n, g)
 	return st != nil && st.active()
+}
+
+// TreeCost returns the total number of links currently carrying multicast
+// traffic across every group's distribution tree (each parent->child edge
+// counted once). This is the dynamic-routing literature's "tree cost"
+// metric; the churn study tracks its drift over time. Control-path only —
+// call while the engine is quiescent (a sampler barrier), cost O(entries).
+func (d *Domain) TreeCost() int {
+	cost := 0
+	count := func(st *nodeGroupState) {
+		if st != nil {
+			cost += len(st.children)
+		}
+	}
+	for i := range d.state {
+		ng := &d.state[i]
+		if ng.dense != nil {
+			for _, st := range ng.dense {
+				count(st)
+			}
+			continue
+		}
+		for _, st := range ng.sts {
+			count(st)
+		}
+	}
+	return cost
 }
 
 // StateStats sizes the forwarding state — the numbers the fig_scale study

@@ -50,6 +50,14 @@ type Obs struct {
 	AggFlushes  *Counter // aggregate packets emitted toward the controller
 	AggBatches  *Counter // suggestion sub-batches forwarded down the tree
 
+	// Membership churn (internal/churn driver + the departure lifecycle).
+	// DeparturePrune observes the departure-to-prune latency in
+	// milliseconds: the last member leaving a last-hop router to the prune
+	// landing at its parent (leave latency + one link delay, typically).
+	ChurnJoins     *Counter
+	ChurnLeaves    *Counter
+	DeparturePrune *Histogram
+
 	// Hierarchical control plane (internal/federation). FedReconcileUs
 	// observes each parent reconcile pass's host wall latency in
 	// microseconds (reporting only — the simulation never reads it);
@@ -112,6 +120,11 @@ func New(opt Options) *Obs {
 	o.AggMerges = o.Reg.Counter("agg_merges")
 	o.AggFlushes = o.Reg.Counter("agg_flushes")
 	o.AggBatches = o.Reg.Counter("agg_batches")
+
+	o.ChurnJoins = o.Reg.Counter("churn_joins")
+	o.ChurnLeaves = o.Reg.Counter("churn_leaves")
+	o.DeparturePrune = o.Reg.Histogram("churn_departure_prune_ms",
+		[]float64{100, 250, 500, 1000, 1500, 2000, 3000, 5000})
 
 	o.FedExports = o.Reg.Counter("federation_exports")
 	o.FedReconciles = o.Reg.Counter("federation_reconciles")

@@ -180,6 +180,25 @@ func (r *Receiver) Stop() {
 	r.setLevel(0)
 }
 
+// Depart is the full teardown: leave every subscribed layer group (Stop)
+// and tell the controller to forget this receiver. Stop alone leaves the
+// controller tracking a ghost until the registration-expiry horizon (5
+// intervals); Depart's deregistration packet evicts it from the very next
+// algorithm pass and drops any pending mid-interval suggestion resend via
+// the registration-generation check. Like Stop, Depart is idempotent and
+// the receiver cannot be restarted — rejoining is a new incarnation.
+func (r *Receiver) Depart() {
+	if r.stopped {
+		return
+	}
+	e := r.sched()
+	r.Stop()
+	if r.cfg.Controller != netsim.NoNode {
+		d := report.Deregister{Node: r.node.ID, Session: r.cfg.Session}
+		r.node.SendUnicast(report.NewControlPacket(r.node.ID, r.cfg.Controller, report.DeregisterSize, e.Now(), d))
+	}
+}
+
 // RecvMulticast implements mcast.Member: account the packet against the
 // layer's sequence stream.
 //

@@ -13,9 +13,10 @@ import (
 
 // ctrlStub collects control packets at the controller node.
 type ctrlStub struct {
-	node      *netsim.Node
-	registers []report.Register
-	reports   []report.LossReport
+	node        *netsim.Node
+	registers   []report.Register
+	reports     []report.LossReport
+	deregisters []report.Deregister
 }
 
 func (c *ctrlStub) Recv(p *netsim.Packet) {
@@ -24,6 +25,8 @@ func (c *ctrlStub) Recv(p *netsim.Packet) {
 		c.registers = append(c.registers, pl)
 	case report.LossReport:
 		c.reports = append(c.reports, pl)
+	case report.Deregister:
+		c.deregisters = append(c.deregisters, pl)
 	}
 }
 
@@ -79,6 +82,53 @@ func TestRegisterOnStart(t *testing.T) {
 	}
 	if reg.String() == "" {
 		t.Error("empty Register.String")
+	}
+}
+
+func TestDepartLeavesGroupsAndDeregisters(t *testing.T) {
+	// Depart is the full teardown: level drops to 0 (every layer group
+	// left), reporting stops, and exactly one Deregister reaches the
+	// controller — idempotently, however many times Depart is called.
+	r := newRig(t, 10e6, Config{InitialLevel: 3})
+	r.src.Start()
+	r.rx.Start()
+	r.e.RunUntil(5 * sim.Second)
+	if r.rx.Level() != 3 {
+		t.Fatalf("level before Depart = %d, want 3", r.rx.Level())
+	}
+
+	r.e.Schedule(sim.Second, func() {
+		r.rx.Depart()
+		r.rx.Depart() // idempotent: no second teardown, no second packet
+	})
+	r.e.RunUntil(7 * sim.Second)
+	reportsAtDepart := len(r.ctrl.reports)
+
+	if r.rx.Level() != 0 {
+		t.Errorf("level after Depart = %d, want 0", r.rx.Level())
+	}
+	if len(r.ctrl.deregisters) != 1 {
+		t.Fatalf("controller received %d Deregisters, want 1", len(r.ctrl.deregisters))
+	}
+	d := r.ctrl.deregisters[0]
+	if d.Node != r.rx.Node().ID || d.Session != 0 {
+		t.Errorf("deregister = %+v", d)
+	}
+	if d.String() == "" {
+		t.Error("empty Deregister.String")
+	}
+
+	// Departed for good: reporting stays silent and the layer groups stay
+	// left long past the leave latency.
+	r.e.RunUntil(12 * sim.Second)
+	if got := len(r.ctrl.reports); got != reportsAtDepart {
+		t.Errorf("departed receiver kept reporting: %d -> %d", reportsAtDepart, got)
+	}
+	for layer := 1; layer <= 3; layer++ {
+		g := r.d.GroupOf(0, layer)
+		if r.d.OnTree(r.rx.Node().ID, g) {
+			t.Errorf("layer %d group still forwarding to the departed receiver", layer)
+		}
 	}
 }
 

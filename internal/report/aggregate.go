@@ -178,6 +178,54 @@ func (a *Aggregate) entry(node netsim.NodeID) *AggEntry {
 	return &a.Entries[lo]
 }
 
+// RemoveEntry drops node's folded record, debiting every summary field it
+// contributed to, and reports whether the node was present. When the removed
+// node was the worst receiver, the pointer is recomputed from the survivors
+// using each entry's mean loss — exact for single-report entries and a
+// conservative stand-in otherwise. RemoveEntry only runs on the departure
+// path (a receiver that deregistered mid-flush), so it carries no
+// fold-order-equivalence contract the way Fold/Merge do.
+func (a *Aggregate) RemoveEntry(node netsim.NodeID) bool {
+	lo, hi := 0, len(a.Entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.Entries[mid].Node < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(a.Entries) || a.Entries[lo].Node != node {
+		return false
+	}
+	e := a.Entries[lo]
+	a.ReportCount -= int64(e.Reports)
+	a.ByteTotal -= e.Bytes
+	a.LossTotal -= e.LossSum
+	l := clampLevel(e.Level)
+	if a.LevelReports[l] -= e.Reports; a.LevelReports[l] < 0 {
+		// Level can drift across folds (the histogram buckets by each
+		// report's level, the entry keeps only the latest); clamp rather
+		// than exporting a negative count.
+		a.LevelReports[l] = 0
+	}
+	if a.LevelLoss[l] -= e.LossSum; a.LevelLoss[l] < 0 {
+		a.LevelLoss[l] = 0
+	}
+	a.Entries = append(a.Entries[:lo], a.Entries[lo+1:]...)
+	if a.Worst == node {
+		a.MaxLoss = 0
+		a.Worst = netsim.NoNode
+		for i := range a.Entries {
+			s := &a.Entries[i]
+			if s.Reports > 0 {
+				a.noteLoss(s.LossSum/float64(s.Reports), s.Node)
+			}
+		}
+	}
+	return true
+}
+
 // Fold absorbs one receiver's LossReport.
 func (a *Aggregate) Fold(r LossReport) {
 	e := a.entry(r.Node)

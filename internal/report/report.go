@@ -19,6 +19,7 @@ const (
 	RegisterSize   = 64
 	LossReportSize = 96
 	SuggestionSize = 64
+	DeregisterSize = 48
 )
 
 // Register announces a receiver to the controller when it starts
@@ -31,6 +32,19 @@ type Register struct {
 
 func (r Register) String() string {
 	return fmt.Sprintf("register node=%d s=%d lvl=%d", r.Node, r.Session, r.Level)
+}
+
+// Deregister announces a receiver's departure from a session: the
+// controller must forget it (no further suggestions, no ghost entry in the
+// next algorithm pass) and any in-network aggregation along the report path
+// must purge its pending entries.
+type Deregister struct {
+	Node    netsim.NodeID // the departing receiver's node
+	Session int
+}
+
+func (d Deregister) String() string {
+	return fmt.Sprintf("deregister node=%d s=%d", d.Node, d.Session)
 }
 
 // LossReport is a receiver's periodic feedback for one session over one
